@@ -1,0 +1,53 @@
+//! Criterion bench: change-point detectors over series lengths — the K-S
+//! scan is quadratic in the (small) reduced series, the cost-based methods
+//! amortise via prefix sums.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mt4g_stats::cpd::{
+    BinarySegmentation, ChangePointDetector, CostL2, CusumDetector, CvmChangePointDetector,
+    KsChangePointDetector, Pelt,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn step_series(n: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    (0..n)
+        .map(|i| {
+            let base = if i < n / 2 { 40.0 } else { 220.0 };
+            base + rng.gen_range(-2.0..2.0)
+        })
+        .collect()
+}
+
+fn bench_cpd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpd_detect");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [32usize, 128, 512] {
+        let series = step_series(n);
+        group.bench_with_input(BenchmarkId::new("ks", n), &n, |b, _| {
+            let d = KsChangePointDetector::default();
+            b.iter(|| d.detect(black_box(&series)))
+        });
+        group.bench_with_input(BenchmarkId::new("cvm", n), &n, |b, _| {
+            let d = CvmChangePointDetector::default();
+            b.iter(|| d.detect(black_box(&series)))
+        });
+        group.bench_with_input(BenchmarkId::new("cusum", n), &n, |b, _| {
+            let d = CusumDetector::default();
+            b.iter(|| d.detect(black_box(&series)))
+        });
+        group.bench_with_input(BenchmarkId::new("pelt", n), &n, |b, _| {
+            b.iter(|| Pelt::new(CostL2::new(black_box(&series)), 100.0).run())
+        });
+        group.bench_with_input(BenchmarkId::new("binseg", n), &n, |b, _| {
+            b.iter(|| BinarySegmentation::new(CostL2::new(black_box(&series)), 100.0).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpd);
+criterion_main!(benches);

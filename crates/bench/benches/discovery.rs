@@ -1,0 +1,50 @@
+//! Criterion bench: complete single-element discoveries — what a user's
+//! `--only <element>` run costs end to end (benchmark + K-S evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt4g_core::benchmarks::size::{self, SizeConfig};
+use mt4g_core::suite::{run_discovery, DiscoveryConfig};
+use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace};
+use mt4g_sim::presets;
+use std::hint::black_box;
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+
+    group.bench_function("size_const_l1_h100", |b| {
+        b.iter(|| {
+            let mut gpu = presets::h100_80();
+            let cfg = SizeConfig {
+                search_cap: 65536,
+                ..SizeConfig::new(MemorySpace::Constant, LoadFlags::CACHE_ALL, 64)
+            };
+            black_box(size::run(&mut gpu, &cfg))
+        })
+    });
+
+    group.bench_function("size_vl1_mi210", |b| {
+        b.iter(|| {
+            let mut gpu = presets::mi210();
+            let cfg = SizeConfig::new(MemorySpace::Vector, LoadFlags::CACHE_ALL, 64);
+            black_box(size::run(&mut gpu, &cfg))
+        })
+    });
+
+    group.bench_function("only_l1_discovery_t1000", |b| {
+        b.iter(|| {
+            let mut gpu = presets::t1000();
+            let cfg = DiscoveryConfig {
+                only: Some(vec![CacheKind::L1]),
+                measure_bandwidth: false,
+                ..DiscoveryConfig::fast()
+            };
+            black_box(run_discovery(&mut gpu, &cfg))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

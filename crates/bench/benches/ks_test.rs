@@ -1,0 +1,34 @@
+//! Criterion bench: the two-sample K-S test — MT4G applies it at every
+//! candidate split of every size scan, so its O(n log n) cost matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mt4g_stats::{ks_statistic, ks_test};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn samples(n: usize, shift: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let a = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let b = (0..n).map(|_| rng.gen_range(0.0..100.0) + shift).collect();
+    (a, b)
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks_two_sample");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 256, 1024, 4096] {
+        let (a, b) = samples(n, 10.0);
+        group.bench_with_input(BenchmarkId::new("statistic", n), &n, |bench, _| {
+            bench.iter(|| ks_statistic(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_test", n), &n, |bench, _| {
+            bench.iter(|| ks_test(black_box(&a), black_box(&b), 0.05))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ks);
+criterion_main!(benches);

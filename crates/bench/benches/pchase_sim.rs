@@ -1,0 +1,40 @@
+//! Criterion bench: end-to-end p-chase runs through the kernel
+//! interpreter — the unit of work the size benchmark repeats hundreds of
+//! times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mt4g_core::pchase::{run_pchase_with_overhead, PchaseConfig};
+use mt4g_sim::device::{LoadFlags, MemorySpace};
+use mt4g_sim::presets;
+use std::hint::black_box;
+
+fn bench_pchase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pchase_run");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, array_bytes) in [("8KiB", 8192u64), ("128KiB", 131072), ("1MiB", 1 << 20)] {
+        group.throughput(Throughput::Elements(array_bytes / 32));
+        group.bench_with_input(
+            BenchmarkId::new("warm_l1_path", label),
+            &array_bytes,
+            |b, &bytes| {
+                let mut gpu = presets::h100_80();
+                let cfg = PchaseConfig::sequential(
+                    MemorySpace::Global,
+                    LoadFlags::CACHE_ALL,
+                    bytes,
+                    32,
+                );
+                b.iter(|| {
+                    gpu.free_all();
+                    gpu.flush_caches();
+                    run_pchase_with_overhead(black_box(&mut gpu), &cfg, 8.0).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pchase);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **Figure 2** — raw size-benchmark data and the Eq. (2) reduction for
+//! NVIDIA V100 Constant L1, AMD MI300X vL1 and AMD MI210 sL1d, with the
+//! detected change point.
+//!
+//! The paper's figure plots, per array size, the raw latency percentiles
+//! (the "blue/orange/green" series) and the geometric reduction (violet),
+//! marking the change point with a vertical dashed line. This binary
+//! prints the same series as aligned columns (redirect to a file to plot).
+
+use mt4g_core::benchmarks::size::{scan_interval, SizeConfig};
+use mt4g_core::pchase::calibrate_overhead;
+use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace};
+use mt4g_sim::gpu::Gpu;
+use mt4g_stats::cpd::{ChangePointDetector, KsChangePointDetector};
+use mt4g_stats::descriptive::percentile;
+use mt4g_sim::presets;
+
+fn series(gpu: &mut Gpu, kind: CacheKind, space: MemorySpace, label: &str) {
+    let spec = *gpu.config.cache(kind).unwrap();
+    let fg = spec.fetch_granularity as u64;
+    let cfg = SizeConfig::new(space, LoadFlags::CACHE_ALL, fg);
+    let overhead = calibrate_overhead(gpu);
+    // Scan a generous window around the planted size, like the figure.
+    let lo = spec.size / 2;
+    let hi = spec.size * 3 / 2;
+    let step = ((hi - lo) / 48).max(fg) / fg * fg;
+    let scan = scan_interval(gpu, &cfg, lo, hi, step, overhead);
+    let cp = KsChangePointDetector::new(0.05).detect(&scan.reduced);
+
+    println!("\n--- {label} (planted size: {} B) ---", spec.size);
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>12}",
+        "size_B", "p10", "p50", "p90", "reduction"
+    );
+    for (i, (size, raw)) in scan.sizes.iter().zip(&scan.raw).enumerate() {
+        let marker = match cp {
+            Some(c) if c.index == i => "  <-- change point",
+            _ => "",
+        };
+        println!(
+            "{:>10} {:>8.1} {:>8.1} {:>8.1} {:>12.1}{}",
+            size,
+            percentile(raw, 10.0).unwrap_or(0.0),
+            percentile(raw, 50.0).unwrap_or(0.0),
+            percentile(raw, 90.0).unwrap_or(0.0),
+            scan.reduced[i],
+            marker,
+        );
+    }
+    match cp {
+        Some(c) => println!(
+            "change point at {} B (confidence {:.4}) -> capacity in ({}, {}] B at this plot's {} B step\n\
+             (the size benchmark itself refines to the fetch granularity and reports the exact value)",
+            scan.sizes[c.index],
+            c.confidence,
+            scan.sizes[c.index] - step,
+            scan.sizes[c.index],
+            step,
+        ),
+        None => println!("no change point found in the plotted window"),
+    }
+}
+
+fn main() {
+    println!("=== Figure 2: size-benchmark raw data, reduction, change points ===");
+    let mut v100 = presets::v100();
+    series(&mut v100, CacheKind::ConstL1, MemorySpace::Constant, "NVIDIA V100 CL1");
+    let mut mi300 = presets::mi300x();
+    series(&mut mi300, CacheKind::VL1, MemorySpace::Vector, "AMD MI300X vL1");
+    let mut mi210 = presets::mi210();
+    series(&mut mi210, CacheKind::SL1D, MemorySpace::Scalar, "AMD MI210 sL1d");
+}

@@ -1,0 +1,50 @@
+//! **Future-work extension** (paper Sec. VII): compute-capability metrics
+//! — achieved FLOPS per datatype and tensor/matrix-engine throughput, for
+//! every validation GPU, against the first-principles peaks.
+
+use mt4g_core::benchmarks::flops;
+use mt4g_sim::compute::{peak_gflops, DType};
+use mt4g_sim::presets;
+
+fn main() {
+    println!("=== Future work: FLOPS / tensor-engine characterisation ===\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "GPU", "FP64", "FP32", "FP16", "INT32", "TensorFP16"
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "", "(TFLOP/s)", "", "", "(TOP/s)", "(dense)"
+    );
+    for mut gpu in presets::all() {
+        let name = gpu.config.name.clone();
+        let mut row = format!("{name:<22}");
+        for dtype in DType::ALL {
+            let cell = match flops::run(&mut gpu, dtype) {
+                Some(r) => format!("{:.1}", r.achieved_gflops / 1e3),
+                None => "—".to_string(),
+            };
+            let width = if dtype == DType::TensorFp16 { 14 } else { 12 };
+            row.push_str(&format!("{cell:>width$}"));
+        }
+        println!("{row}");
+    }
+
+    println!("\nAchieved vs first-principles peak (H100-80):");
+    let mut gpu = presets::h100_80();
+    for dtype in DType::ALL {
+        let peak = peak_gflops(&gpu.config, dtype);
+        let achieved = flops::run(&mut gpu, dtype);
+        match (peak, achieved) {
+            (Some(p), Some(a)) => println!(
+                "  {:<11} peak {:>9.1} TFLOP/s, achieved {:>9.1} ({:.0}%), best ILP {}",
+                dtype.label(),
+                p / 1e3,
+                a.achieved_gflops / 1e3,
+                a.achieved_gflops / p * 100.0,
+                a.best_ilp
+            ),
+            _ => println!("  {:<11} engine not present", dtype.label()),
+        }
+    }
+}

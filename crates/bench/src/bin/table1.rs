@@ -1,0 +1,38 @@
+//! **Table I** — coverage of provided information and attributes on
+//! different memory elements, for one NVIDIA and one AMD GPU.
+//!
+//! The paper's legend: `!` available (benchmarked), `!(API)` via an
+//! interface, `#` not available, `n/a` not applicable. The matrix below is
+//! built from an *actual* discovery run, so it reflects what the pipeline
+//! really produced rather than a hand-maintained table.
+
+use mt4g_bench::discover;
+use mt4g_core::report::coverage_matrix;
+use mt4g_sim::presets;
+
+fn main() {
+    for mut gpu in [presets::h100_80(), presets::mi210()] {
+        let name = gpu.config.name.clone();
+        let vendor = gpu.config.vendor;
+        let report = discover(&mut gpu);
+        println!("\n=== Table I ({vendor} — {name}) ===\n");
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "Element", "Size", "Latency", "R/W BW", "Line", "Fetch", "Amount", "Shared"
+        );
+        for row in coverage_matrix(&report) {
+            println!(
+                "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                row.kind.label(),
+                row.size.symbol(),
+                row.load_latency.symbol(),
+                row.bandwidth.symbol(),
+                row.cache_line.symbol(),
+                row.fetch_granularity.symbol(),
+                row.amount.symbol(),
+                row.shared_with.symbol(),
+            );
+        }
+    }
+    println!("\nLegend: ! = benchmarked; !(API) = via interface; !(limit) = up to a testing limit; # = not available; n/a = not applicable");
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the MT4G
+//! paper (see DESIGN.md's per-experiment index); the Criterion benches in
+//! `benches/` measure the statistical kernel and the simulator substrate.
+
+use mt4g_core::report::Report;
+use mt4g_core::suite::{normalize_report, run_discovery, DiscoveryConfig};
+use mt4g_sim::device::CacheKind;
+use mt4g_sim::gpu::Gpu;
+
+/// Runs a full (thorough but CU-windowed) discovery on a preset and
+/// normalises the report rows into Table I order.
+pub fn discover(gpu: &mut Gpu) -> Report {
+    let cfg = DiscoveryConfig {
+        cu_window: 4, // windowed CU scan: identical groups, bench-friendly
+        ..DiscoveryConfig::thorough()
+    };
+    let has_l3 = gpu.config.cache(CacheKind::L3).is_some();
+    let mut report = run_discovery(gpu, &cfg);
+    normalize_report(&mut report, has_l3);
+    report
+}
+
+/// Prints a horizontal rule sized for the paper-style tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats an optional f64 with a dash fallback.
+pub fn opt_f64(v: Option<f64>, digits: usize) -> String {
+    v.map(|x| format!("{x:.digits$}")).unwrap_or_else(|| "—".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_f64_formats() {
+        assert_eq!(opt_f64(Some(1.234), 2), "1.23");
+        assert_eq!(opt_f64(None, 2), "—");
+    }
+}

@@ -1,0 +1,118 @@
+//! Read/write bandwidth benchmarks (paper Sec. IV-I).
+//!
+//! Unlike everything else, these are not p-chase based: a STREAM-style
+//! kernel issues 128-bit vector loads/stores from the maximum number of
+//! threads per block, across a swept number of blocks (the paper found
+//! `num_SMs × max_blocks_per_SM` heuristically optimal but MT4G still
+//! sweeps — it is not tuned to specific hardware). Only higher-level
+//! caches and device memory are measured (Table I's "†").
+
+use mt4g_sim::bandwidth::{stream_bandwidth_gibs, StreamOp};
+use mt4g_sim::device::CacheKind;
+use mt4g_sim::gpu::Gpu;
+
+/// Result of one level's bandwidth benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthResult {
+    /// Best achieved read bandwidth, GiB/s.
+    pub read_gibs: f64,
+    /// Best achieved write bandwidth, GiB/s.
+    pub write_gibs: f64,
+    /// Block count that achieved the best read bandwidth.
+    pub best_blocks: u32,
+}
+
+/// Total bytes each measurement streams (the array is looped; what matters
+/// is that launch overhead is amortised).
+const STREAM_VOLUME_BYTES: u64 = 8 << 30;
+
+/// Measures read and write bandwidth of `level`, sweeping block counts.
+/// Returns `None` for levels without bandwidth instrumentation (low-level
+/// caches, per Table I).
+pub fn run(gpu: &mut Gpu, level: CacheKind) -> Option<BandwidthResult> {
+    let chip = gpu.config.chip.clone();
+    let optimal = chip.num_sms * chip.max_blocks_per_sm;
+    // Sweep from one block per SM to 2x the heuristic optimum.
+    let mut candidates = vec![chip.num_sms, chip.num_sms * 2, chip.num_sms * 4];
+    let mut b = chip.num_sms * 8;
+    while b < optimal {
+        candidates.push(b);
+        b *= 2;
+    }
+    candidates.push(optimal);
+    candidates.push(optimal * 2);
+
+    let mut best_read = f64::MIN;
+    let mut best_blocks = 0;
+    for &blocks in &candidates {
+        let bw = stream_bandwidth_gibs(
+            gpu,
+            level,
+            StreamOp::Read,
+            STREAM_VOLUME_BYTES,
+            blocks,
+            chip.max_threads_per_block,
+        )?;
+        if bw > best_read {
+            best_read = bw;
+            best_blocks = blocks;
+        }
+    }
+    let write = stream_bandwidth_gibs(
+        gpu,
+        level,
+        StreamOp::Write,
+        STREAM_VOLUME_BYTES,
+        best_blocks,
+        chip.max_threads_per_block,
+    )?;
+    Some(BandwidthResult {
+        read_gibs: best_read,
+        write_gibs: write,
+        best_blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_sim::presets;
+
+    #[test]
+    fn h100_l2_bandwidth_near_planted_values() {
+        let mut gpu = presets::h100_80();
+        let r = run(&mut gpu, CacheKind::L2).unwrap();
+        assert!((r.read_gibs / 4505.0 - 1.0).abs() < 0.08, "{r:?}");
+        assert!((r.write_gibs / 3482.0 - 1.0).abs() < 0.08, "{r:?}");
+    }
+
+    #[test]
+    fn h100_dram_bandwidth_near_planted_values() {
+        let mut gpu = presets::h100_80();
+        let r = run(&mut gpu, CacheKind::DeviceMemory).unwrap();
+        assert!((r.read_gibs / 2560.0 - 1.0).abs() < 0.08, "{r:?}");
+        assert!((r.write_gibs / 2765.0 - 1.0).abs() < 0.08, "{r:?}");
+    }
+
+    #[test]
+    fn sweep_prefers_the_heuristic_block_count() {
+        let mut gpu = presets::h100_80();
+        let chip = gpu.config.chip.clone();
+        let r = run(&mut gpu, CacheKind::L2).unwrap();
+        assert_eq!(r.best_blocks, chip.num_sms * chip.max_blocks_per_sm);
+    }
+
+    #[test]
+    fn low_level_caches_are_not_measured() {
+        let mut gpu = presets::h100_80();
+        assert!(run(&mut gpu, CacheKind::L1).is_none());
+        assert!(run(&mut gpu, CacheKind::ConstL1).is_none());
+    }
+
+    #[test]
+    fn mi300x_l3_bandwidth_is_measured() {
+        let mut gpu = presets::mi300x();
+        let r = run(&mut gpu, CacheKind::L3).unwrap();
+        assert!(r.read_gibs > r.write_gibs);
+    }
+}

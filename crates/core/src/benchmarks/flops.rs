@@ -1,0 +1,107 @@
+//! Compute-throughput (FLOPS) benchmark — the paper's declared *future
+//! work* ("incorporate compute capability metrics, such as FLOPS for INT
+//! and FP datatypes of different precisions ... characterize specialized
+//! engines, like tensor cores"), implemented here as an extension.
+//!
+//! Methodology mirrors the bandwidth benchmark's philosophy: a kernel of
+//! back-to-back FMA chains per datatype, swept over launch configurations
+//! *and* instruction-level parallelism (independent accumulator chains per
+//! thread), reporting the best achieved rate. Low ILP at low occupancy
+//! cannot cover the ALU pipeline latency — the sweep finds the knee.
+
+use mt4g_sim::compute::{run_flops_kernel, DType};
+use mt4g_sim::gpu::Gpu;
+
+/// Result for one datatype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlopsResult {
+    /// The datatype measured.
+    pub dtype: DType,
+    /// Best achieved throughput, GFLOP/s (GOP/s for integer types).
+    pub achieved_gflops: f64,
+    /// ILP (independent chains per thread) at the optimum.
+    pub best_ilp: u32,
+    /// Block count at the optimum.
+    pub best_blocks: u32,
+}
+
+/// Measures the achievable throughput of one datatype, sweeping block
+/// counts and ILP. Returns `None` when the engine does not exist (e.g.
+/// tensor cores on Pascal) — reported as "not available", like the
+/// paper's other hardware gaps.
+pub fn run(gpu: &mut Gpu, dtype: DType) -> Option<FlopsResult> {
+    let chip = gpu.config.chip.clone();
+    let optimal_blocks = chip.num_sms * chip.max_blocks_per_sm;
+    let mut best: Option<FlopsResult> = None;
+    for &blocks in &[chip.num_sms, chip.num_sms * 4, optimal_blocks / 2, optimal_blocks] {
+        for ilp in [1u32, 2, 4, 8] {
+            let gflops = run_flops_kernel(gpu, dtype, blocks, chip.max_threads_per_block, ilp)?;
+            if best.map_or(true, |b| gflops > b.achieved_gflops) {
+                best = Some(FlopsResult {
+                    dtype,
+                    achieved_gflops: gflops,
+                    best_ilp: ilp,
+                    best_blocks: blocks,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Measures every datatype in [`DType::ALL`]; absent engines are skipped.
+pub fn run_all(gpu: &mut Gpu) -> Vec<FlopsResult> {
+    DType::ALL.iter().filter_map(|&d| run(gpu, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_sim::compute::peak_gflops;
+    use mt4g_sim::presets;
+
+    #[test]
+    fn h100_fp32_reaches_near_peak() {
+        let mut gpu = presets::h100_80();
+        let r = run(&mut gpu, DType::Fp32).unwrap();
+        let peak = peak_gflops(&gpu.config, DType::Fp32).unwrap();
+        assert!(
+            r.achieved_gflops > 0.85 * peak,
+            "{} vs {peak}",
+            r.achieved_gflops
+        );
+        assert!(r.best_ilp >= 4, "the sweep should prefer high ILP");
+    }
+
+    #[test]
+    fn tensor_cores_dwarf_vector_fp16() {
+        let mut gpu = presets::a100();
+        let v = run(&mut gpu, DType::Fp16).unwrap();
+        let t = run(&mut gpu, DType::TensorFp16).unwrap();
+        assert!(t.achieved_gflops > 3.0 * v.achieved_gflops);
+    }
+
+    #[test]
+    fn pascal_reports_no_tensor_engine() {
+        let mut gpu = presets::p6000();
+        assert!(run(&mut gpu, DType::TensorFp16).is_none());
+        // ... but all four vector rates exist.
+        assert_eq!(run_all(&mut gpu).len(), 4);
+    }
+
+    #[test]
+    fn cdna2_fp64_matches_fp32() {
+        let mut gpu = presets::mi210();
+        let f64r = run(&mut gpu, DType::Fp64).unwrap();
+        let f32r = run(&mut gpu, DType::Fp32).unwrap();
+        let ratio = f64r.achieved_gflops / f32r.achieved_gflops;
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn run_all_covers_every_engine_on_hopper() {
+        let mut gpu = presets::h100_80();
+        let all = run_all(&mut gpu);
+        assert_eq!(all.len(), DType::ALL.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! The MT4G microbenchmark families (paper Sec. IV).
+//!
+//! | Module | Paper section | Measures |
+//! |---|---|---|
+//! | [`size`] | IV-B | cache capacity via p-chase + K-S change point |
+//! | [`latency`] | IV-C | load latency (mean, p50, p95, std) |
+//! | [`fetch_granularity`] | IV-D | bytes per fetch transaction |
+//! | [`line_size`] | IV-E | cache line size via stride aliasing |
+//! | [`amount`] | IV-F | independent cache instances per SM/CU |
+//! | [`l2_segments`] | IV-F1 | L2 segmentation behind the API total |
+//! | [`sharing_nv`] | IV-G | physical unification of logical spaces |
+//! | [`sharing_amd`] | IV-H | CU ids sharing one sL1d |
+//! | [`bandwidth`] | IV-I | achieved read/write stream bandwidth |
+//! | [`flops`] | VII (future work) | FLOPS per datatype, tensor engines |
+
+pub mod amount;
+pub mod bandwidth;
+pub mod fetch_granularity;
+pub mod flops;
+pub mod l2_segments;
+pub mod latency;
+pub mod line_size;
+pub mod sharing_amd;
+pub mod sharing_nv;
+pub mod size;

@@ -1,0 +1,254 @@
+//! The `mt4g` command-line tool.
+//!
+//! Mirrors the real tool's interface (paper appendix):
+//!
+//! ```text
+//! mt4g --gpu <PRESET> [-j] [-p] [-c] [-q] [--only <ELEMENT>] [--fast] [-o <DIR>]
+//! ```
+//!
+//! * `-j` — write `<GPU_name>.json` (JSON always goes to stdout otherwise)
+//! * `-p` — write a Markdown report
+//! * `-c` — write the CSV report (the GPUscout-GUI input format)
+//! * `-g` — write Fig.-2-style raw scan series (one CSV per sized cache)
+//! * `-q` — quiet: JSON to stdout only, no progress chatter
+//! * `--only <ELEMENT>` — limit to one memory element (e.g. `L1`, `L2`)
+//! * `--fast` — coarser scans, windowed CU-sharing pass
+//! * `--list` — list available GPU presets
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use mt4g_core::report;
+use mt4g_core::suite::{normalize_report, run_discovery, DiscoveryConfig};
+use mt4g_sim::device::CacheKind;
+use mt4g_sim::presets;
+
+struct Args {
+    gpu: Option<String>,
+    json_file: bool,
+    markdown: bool,
+    csv: bool,
+    graphs: bool,
+    quiet: bool,
+    fast: bool,
+    list: bool,
+    only: Option<String>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        gpu: None,
+        json_file: false,
+        markdown: false,
+        csv: false,
+        graphs: false,
+        quiet: false,
+        fast: false,
+        list: false,
+        only: None,
+        out_dir: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-j" | "--json" => args.json_file = true,
+            "-p" | "--markdown" => args.markdown = true,
+            "-c" | "--csv" => args.csv = true,
+            "-g" | "--graphs" => args.graphs = true,
+            "-q" | "--quiet" => args.quiet = true,
+            "--fast" => args.fast = true,
+            "--list" => args.list = true,
+            "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
+            "--only" => args.only = Some(it.next().ok_or("--only needs a value")?),
+            "-o" | "--out" => {
+                args.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?)
+            }
+            "-h" | "--help" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
+         USAGE: mt4g --gpu <PRESET> [-j] [-p] [-c] [-g] [-q] [--only <ELEMENT>] [--fast] [-o <DIR>]\n\n\
+         PRESETS: {}\n\
+         ELEMENTS: L1 L2 L3 Texture Readonly ConstL1 ConstL15 Shared LDS vL1 sL1d Device",
+        presets::ALL_NAMES.join(" ")
+    );
+}
+
+fn parse_element(s: &str) -> Option<CacheKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "l1" => CacheKind::L1,
+        "l2" => CacheKind::L2,
+        "l3" => CacheKind::L3,
+        "texture" | "tex" => CacheKind::Texture,
+        "readonly" | "ro" => CacheKind::Readonly,
+        "constl1" | "cl1" => CacheKind::ConstL1,
+        "constl15" | "cl15" | "cl1.5" => CacheKind::ConstL15,
+        "shared" | "sharedmemory" => CacheKind::SharedMemory,
+        "lds" => CacheKind::Lds,
+        "vl1" => CacheKind::VL1,
+        "sl1d" => CacheKind::SL1D,
+        "device" | "dram" => CacheKind::DeviceMemory,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        for name in presets::ALL_NAMES {
+            println!("{name}");
+        }
+        return;
+    }
+    let Some(gpu_name) = args.gpu.as_deref() else {
+        print_help();
+        std::process::exit(2);
+    };
+    let Some(mut gpu) = presets::by_name(gpu_name) else {
+        eprintln!("error: unknown GPU preset '{gpu_name}' (try --list)");
+        std::process::exit(2);
+    };
+
+    let mut cfg = if args.fast {
+        DiscoveryConfig::fast()
+    } else {
+        DiscoveryConfig::thorough()
+    };
+    if let Some(only) = args.only.as_deref() {
+        match parse_element(only) {
+            Some(kind) => cfg.only = Some(vec![kind]),
+            None => {
+                eprintln!("error: unknown element '{only}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !args.quiet {
+        eprintln!("mt4g: analysing {} ...", gpu.config.name);
+    }
+    let has_l3 = gpu.config.cache(CacheKind::L3).is_some();
+    let mut report = run_discovery(&mut gpu, &cfg);
+    normalize_report(&mut report, has_l3);
+    if !args.quiet {
+        let rt = &report.runtime;
+        eprintln!(
+            "mt4g: {} benchmarks, {} kernels, {} loads, {} simulated cycles",
+            rt.benchmarks_run, rt.kernels_launched, rt.loads_executed, rt.gpu_cycles
+        );
+    }
+
+    let json = report::to_json_pretty(&report).expect("report serialises");
+    let stem = report.device.name.replace([' ', '/'], "_");
+    if args.json_file {
+        let path = args.out_dir.join(format!("{stem}.json"));
+        write_file(&path, &json);
+        if !args.quiet {
+            eprintln!("mt4g: wrote {}", path.display());
+        }
+    } else {
+        println!("{json}");
+    }
+    if args.markdown {
+        let path = args.out_dir.join(format!("{stem}.md"));
+        write_file(&path, &report::to_markdown(&report));
+        if !args.quiet {
+            eprintln!("mt4g: wrote {}", path.display());
+        }
+    }
+    if args.csv {
+        let path = args.out_dir.join(format!("{stem}.csv"));
+        write_file(&path, &report::to_csv(&report));
+        if !args.quiet {
+            eprintln!("mt4g: wrote {}", path.display());
+        }
+    }
+    if args.graphs {
+        write_graphs(&mut gpu, &report, &args.out_dir, &stem, args.quiet);
+    }
+}
+
+/// `-g`: Fig.-2-style raw scan data around each discovered cache size —
+/// array size, latency percentiles, and the Eq. (2) reduction, as CSV.
+fn write_graphs(
+    gpu: &mut mt4g_sim::Gpu,
+    report: &mt4g_core::report::Report,
+    out_dir: &std::path::Path,
+    stem: &str,
+    quiet: bool,
+) {
+    use mt4g_core::benchmarks::size::{scan_interval, SizeConfig};
+    use mt4g_core::pchase::calibrate_overhead;
+    use mt4g_core::report::Attribute;
+    use mt4g_sim::device::{LoadFlags, MemorySpace, Vendor};
+
+    let targets: Vec<(CacheKind, MemorySpace, LoadFlags)> = match gpu.vendor() {
+        Vendor::Nvidia => vec![
+            (CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL),
+            (CacheKind::ConstL1, MemorySpace::Constant, LoadFlags::CACHE_ALL),
+        ],
+        Vendor::Amd => vec![
+            (CacheKind::VL1, MemorySpace::Vector, LoadFlags::CACHE_ALL),
+            (CacheKind::SL1D, MemorySpace::Scalar, LoadFlags::CACHE_ALL),
+        ],
+    };
+    let dir = out_dir.join(format!("{stem}_graphs"));
+    let _ = std::fs::create_dir_all(&dir);
+    for (kind, space, flags) in targets {
+        let Some(element) = report.element(kind) else { continue };
+        let (Attribute::Measured { value: size, .. }, Some(&fg)) =
+            (&element.size, element.fetch_granularity_bytes.value())
+        else {
+            continue;
+        };
+        let cfg = SizeConfig::new(space, flags, fg as u64);
+        let overhead = calibrate_overhead(gpu);
+        let lo = size / 2;
+        let hi = size * 3 / 2;
+        let step = (((hi - lo) / 48).max(fg as u64) / fg as u64) * fg as u64;
+        let scan = scan_interval(gpu, &cfg, lo, hi, step, overhead);
+        let mut csv = String::from("array_bytes,p10,p50,p90,reduction\n");
+        for (s, (raw, red)) in scan
+            .sizes
+            .iter()
+            .zip(scan.raw.iter().zip(&scan.reduced))
+        {
+            let p = |q| mt4g_stats::descriptive::percentile(raw, q).unwrap_or(0.0);
+            csv.push_str(&format!(
+                "{s},{:.2},{:.2},{:.2},{:.3}\n",
+                p(10.0),
+                p(50.0),
+                p(90.0),
+                red
+            ));
+        }
+        let path = dir.join(format!("{}_scan.csv", kind.label().replace([' ', '.'], "_")));
+        write_file(&path, &csv);
+        if !quiet {
+            eprintln!("mt4g: wrote {}", path.display());
+        }
+    }
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(contents.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}

@@ -1,0 +1,127 @@
+//! Hit/miss classification of raw latency samples.
+//!
+//! Several benchmarks (fetch granularity, amount, physical sharing) don't
+//! need change-point detection — they need to decide whether a run's loads
+//! were serviced by the target level ("hits") or fell through to a deeper
+//! level ("misses"). Latency distributions of adjacent levels are far
+//! apart (e.g. H100: L1 38 vs L2 220 vs DRAM 843 cycles), so a reference
+//! latency for the target level plus a generous margin separates them
+//! robustly; tail outliers are absorbed by fractional thresholds.
+
+/// Verdict about one latency sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// ≥ `hit_fraction_threshold` of loads hit the target level.
+    Hits,
+    /// ≥ `miss_fraction_threshold` of loads fell through.
+    Misses,
+    /// Genuinely mixed hits and misses.
+    Mixed,
+}
+
+/// Classifier around a known target-level hit latency.
+#[derive(Debug, Clone, Copy)]
+pub struct HitMissClassifier {
+    /// Reference latency of a target-level hit, in cycles.
+    pub hit_latency: f64,
+    /// A load counts as a hit while `lat <= hit_latency + margin`.
+    pub margin: f64,
+    /// Fraction above which a run counts as all-hits / all-misses
+    /// (absorbs noise outliers). Default 0.9.
+    pub decisive_fraction: f64,
+}
+
+impl HitMissClassifier {
+    /// Builds a classifier with the default margin
+    /// `max(15, 0.5 * hit_latency)` cycles.
+    pub fn for_hit_latency(hit_latency: f64) -> Self {
+        HitMissClassifier {
+            hit_latency,
+            margin: (0.5 * hit_latency).max(15.0),
+            decisive_fraction: 0.9,
+        }
+    }
+
+    /// Whether a single latency is a target-level hit.
+    pub fn is_hit(&self, latency: f64) -> bool {
+        latency <= self.hit_latency + self.margin
+    }
+
+    /// Fraction of hits in a sample.
+    pub fn hit_fraction(&self, latencies: &[f64]) -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        latencies.iter().filter(|&&l| self.is_hit(l)).count() as f64 / latencies.len() as f64
+    }
+
+    /// Classifies a whole run.
+    pub fn verdict(&self, latencies: &[f64]) -> RunVerdict {
+        let f = self.hit_fraction(latencies);
+        if f >= self.decisive_fraction {
+            RunVerdict::Hits
+        } else if f <= 1.0 - self.decisive_fraction {
+            RunVerdict::Misses
+        } else {
+            RunVerdict::Mixed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_hits_classify_as_hits() {
+        let c = HitMissClassifier::for_hit_latency(38.0);
+        let lats = vec![38.0; 100];
+        assert_eq!(c.verdict(&lats), RunVerdict::Hits);
+        assert_eq!(c.hit_fraction(&lats), 1.0);
+    }
+
+    #[test]
+    fn next_level_classifies_as_misses() {
+        let c = HitMissClassifier::for_hit_latency(38.0);
+        let lats = vec![220.0; 100];
+        assert_eq!(c.verdict(&lats), RunVerdict::Misses);
+    }
+
+    #[test]
+    fn outliers_do_not_flip_a_hit_run() {
+        let c = HitMissClassifier::for_hit_latency(38.0);
+        let mut lats = vec![39.0; 95];
+        lats.extend(vec![900.0; 5]); // 5% outliers
+        assert_eq!(c.verdict(&lats), RunVerdict::Hits);
+    }
+
+    #[test]
+    fn genuine_mix_detected() {
+        let c = HitMissClassifier::for_hit_latency(38.0);
+        let mut lats = vec![38.0; 50];
+        lats.extend(vec![220.0; 50]);
+        assert_eq!(c.verdict(&lats), RunVerdict::Mixed);
+    }
+
+    #[test]
+    fn margin_scales_with_latency() {
+        // DRAM-scale hits need a wide margin; 843 vs ~1000 is still a hit.
+        let c = HitMissClassifier::for_hit_latency(843.0);
+        assert!(c.is_hit(1000.0));
+        assert!(!c.is_hit(1500.0));
+    }
+
+    #[test]
+    fn close_levels_still_separate() {
+        // sL1d 50 vs L2 310: margin = 25, threshold 75 < 310.
+        let c = HitMissClassifier::for_hit_latency(50.0);
+        assert!(c.is_hit(55.0));
+        assert!(!c.is_hit(310.0));
+    }
+
+    #[test]
+    fn empty_sample_counts_as_no_hits() {
+        let c = HitMissClassifier::for_hit_latency(38.0);
+        assert_eq!(c.hit_fraction(&[]), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mt4g-core — the MT4G tool
+//!
+//! The reproduction of the paper's primary contribution: a suite of
+//! microbenchmarks plus automated statistical evaluation that
+//! reverse-engineers GPU compute and memory topologies, unified across
+//! NVIDIA and AMD into one report.
+//!
+//! * [`pchase`] — the fine-grained pointer-chase engine (Sec. IV-A),
+//! * [`classify`] — hit/miss classification around known level latencies,
+//! * [`benchmarks`] — the nine benchmark families of Sec. IV,
+//! * [`suite`] — per-vendor orchestration into a complete discovery run,
+//! * [`report`] — the report data model and JSON / Markdown / CSV writers,
+//! * [`lookup`] — the cores-per-SM microarchitecture table (Sec. III-B).
+//!
+//! ```
+//! use mt4g_sim::presets;
+//! use mt4g_core::suite::{run_discovery, DiscoveryConfig};
+//!
+//! let mut gpu = presets::t1000();
+//! let report = run_discovery(&mut gpu, &DiscoveryConfig::fast());
+//! assert_eq!(report.device.name, "T1000");
+//! let json = mt4g_core::report::to_json_pretty(&report).unwrap();
+//! assert!(json.contains("\"L1\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod classify;
+pub mod lookup;
+pub mod pchase;
+pub mod report;
+pub mod suite;
+
+pub use report::{Attribute, Report};
+pub use suite::{run_discovery, DiscoveryConfig};

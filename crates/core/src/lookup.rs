@@ -1,0 +1,63 @@
+//! Microarchitecture lookup table.
+//!
+//! "The number of cores per SM/CU comes from a microarchitecture-specific
+//! internal lookup table" (paper Sec. III-B) — it is the one compute
+//! attribute no runtime API reports.
+
+use mt4g_sim::device::Microarch;
+
+/// CUDA cores / stream processors per SM/CU for a microarchitecture.
+///
+/// NVIDIA numbers are FP32 cores per SM of the HPC/datacenter parts of
+/// each generation; AMD CDNA CUs carry 64 stream processors throughout.
+pub fn cores_per_sm(arch: Microarch) -> u32 {
+    match arch {
+        Microarch::Pascal => 128,
+        Microarch::Volta => 64,
+        Microarch::Turing => 64,
+        Microarch::Ampere => 64,
+        Microarch::Hopper => 128,
+        Microarch::Cdna1 | Microarch::Cdna2 | Microarch::Cdna3 => 64,
+    }
+}
+
+/// Cores per SM from a compute-capability / gfx-arch string, the way the
+/// real tool keys its table (it has no `Microarch` enum to hand — only
+/// what `hipDeviceProp_t` reports).
+pub fn cores_per_sm_by_cc(cc: &str) -> Option<u32> {
+    let arch = match cc {
+        "6.0" | "6.1" | "6.2" => Microarch::Pascal,
+        "7.0" | "7.2" => Microarch::Volta,
+        "7.5" => Microarch::Turing,
+        "8.0" | "8.6" | "8.7" => Microarch::Ampere,
+        "9.0" => Microarch::Hopper,
+        "gfx908" => Microarch::Cdna1,
+        "gfx90a" => Microarch::Cdna2,
+        "gfx940" | "gfx941" | "gfx942" => Microarch::Cdna3,
+        _ => return None,
+    };
+    Some(cores_per_sm(arch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_every_preset() {
+        for gpu in mt4g_sim::presets::all() {
+            let by_cc = cores_per_sm_by_cc(&gpu.config.chip.compute_capability);
+            assert_eq!(
+                by_cc,
+                Some(gpu.config.chip.cores_per_sm),
+                "{}",
+                gpu.config.name
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_cc_returns_none() {
+        assert_eq!(cores_per_sm_by_cc("12.0"), None);
+    }
+}

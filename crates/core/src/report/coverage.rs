@@ -1,0 +1,115 @@
+//! Coverage matrix — regenerates the paper's Table I from an actual
+//! report: which attributes are available, from where, per memory element.
+
+use super::{Attribute, Report};
+use mt4g_sim::device::CacheKind;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the coverage matrix (the paper's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoverageCell {
+    /// `!` — available (benchmarked).
+    Benchmarked,
+    /// `!(API)` — available via an interface.
+    ViaApi,
+    /// `!(limit)` — available up to a testing limit.
+    UpToLimit,
+    /// `#` — not available.
+    NotAvailable,
+    /// `n/a` — not applicable.
+    NotApplicable,
+}
+
+impl CoverageCell {
+    /// The paper's table symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CoverageCell::Benchmarked => "!",
+            CoverageCell::ViaApi => "!(API)",
+            CoverageCell::UpToLimit => "!(limit)",
+            CoverageCell::NotAvailable => "#",
+            CoverageCell::NotApplicable => "n/a",
+        }
+    }
+}
+
+fn classify<T>(a: &Attribute<T>) -> CoverageCell {
+    match a {
+        Attribute::Measured { .. } => CoverageCell::Benchmarked,
+        Attribute::FromApi { .. } => CoverageCell::ViaApi,
+        Attribute::AtLeast { .. } => CoverageCell::UpToLimit,
+        Attribute::Unavailable { .. } => CoverageCell::NotAvailable,
+        Attribute::NotApplicable => CoverageCell::NotApplicable,
+    }
+}
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Memory element.
+    pub kind: CacheKind,
+    /// Size column.
+    pub size: CoverageCell,
+    /// Load-latency column.
+    pub load_latency: CoverageCell,
+    /// Read & write bandwidth column.
+    pub bandwidth: CoverageCell,
+    /// Cache-line-size column.
+    pub cache_line: CoverageCell,
+    /// Fetch-granularity column.
+    pub fetch_granularity: CoverageCell,
+    /// Amount column.
+    pub amount: CoverageCell,
+    /// Physically-shared-with column.
+    pub shared_with: CoverageCell,
+}
+
+/// Builds the coverage matrix from a report.
+pub fn coverage_matrix(report: &Report) -> Vec<CoverageRow> {
+    report
+        .memory
+        .iter()
+        .map(|m| CoverageRow {
+            kind: m.kind,
+            size: classify(&m.size),
+            load_latency: classify(&m.load_latency),
+            bandwidth: classify(&m.read_bandwidth_gibs),
+            cache_line: classify(&m.cache_line_bytes),
+            fetch_granularity: classify(&m.fetch_granularity_bytes),
+            amount: classify(&m.amount),
+            shared_with: classify(&m.shared_with),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_match_the_paper_legend() {
+        assert_eq!(CoverageCell::Benchmarked.symbol(), "!");
+        assert_eq!(CoverageCell::ViaApi.symbol(), "!(API)");
+        assert_eq!(CoverageCell::NotAvailable.symbol(), "#");
+        assert_eq!(CoverageCell::NotApplicable.symbol(), "n/a");
+    }
+
+    #[test]
+    fn classification_follows_provenance() {
+        assert_eq!(
+            classify(&Attribute::Measured {
+                value: 1u64,
+                confidence: 1.0
+            }),
+            CoverageCell::Benchmarked
+        );
+        assert_eq!(
+            classify(&Attribute::FromApi { value: 1u64 }),
+            CoverageCell::ViaApi
+        );
+        assert_eq!(
+            classify::<u64>(&Attribute::NotApplicable),
+            CoverageCell::NotApplicable
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! CSV report writer — the original MT4G output format, which the
+//! GPUscout-GUI integration still parses (paper Sec. VI-B footnote).
+
+use super::{Attribute, Report};
+
+fn cell<T: std::fmt::Display>(a: &Attribute<T>) -> (String, String, String) {
+    match a {
+        Attribute::Measured { value, confidence } => {
+            (value.to_string(), "measured".into(), format!("{confidence:.4}"))
+        }
+        Attribute::FromApi { value } => (value.to_string(), "api".into(), "1.0000".into()),
+        Attribute::AtLeast { value } => (format!(">{value}"), "at_least".into(), "0.0000".into()),
+        Attribute::Unavailable { reason } => ("".into(), format!("unavailable: {reason}"), "0.0000".into()),
+        Attribute::NotApplicable => ("".into(), "n/a".into(), "".into()),
+    }
+}
+
+/// Renders the memory topology as CSV with one row per (element,
+/// attribute): `element,attribute,value,source,confidence`.
+pub fn to_csv(report: &Report) -> String {
+    let mut out = String::from("element,attribute,value,source,confidence\n");
+    let mut push = |element: &str, attribute: &str, c: (String, String, String)| {
+        // Quote the source field: unavailability reasons may contain commas.
+        out.push_str(&format!(
+            "{element},{attribute},{},\"{}\",{}\n",
+            c.0, c.1, c.2
+        ));
+    };
+    for m in &report.memory {
+        let label = m.kind.label().replace(' ', "_");
+        push(&label, "size_bytes", cell(&m.size));
+        let lat = match &m.load_latency {
+            Attribute::Measured { value, confidence } => (
+                format!("{:.1}", value.mean),
+                "measured".into(),
+                format!("{confidence:.4}"),
+            ),
+            Attribute::NotApplicable => ("".into(), "n/a".into(), "".into()),
+            Attribute::Unavailable { reason } => {
+                ("".into(), format!("unavailable: {reason}"), "0.0000".into())
+            }
+            _ => ("".into(), "?".into(), "".into()),
+        };
+        push(&label, "load_latency_cycles", lat);
+        push(&label, "read_bandwidth_gibs", cell(&m.read_bandwidth_gibs));
+        push(&label, "write_bandwidth_gibs", cell(&m.write_bandwidth_gibs));
+        push(&label, "cache_line_bytes", cell(&m.cache_line_bytes));
+        push(&label, "fetch_granularity_bytes", cell(&m.fetch_granularity_bytes));
+        let amount = match &m.amount {
+            Attribute::Measured { value, confidence } => (
+                value.count.to_string(),
+                "measured".into(),
+                format!("{confidence:.4}"),
+            ),
+            Attribute::FromApi { value } => {
+                (value.count.to_string(), "api".into(), "1.0000".into())
+            }
+            Attribute::Unavailable { reason } => {
+                ("".into(), format!("unavailable: {reason}"), "0.0000".into())
+            }
+            _ => ("".into(), "n/a".into(), "".into()),
+        };
+        push(&label, "amount", amount);
+    }
+    for e in &report.compute_throughput {
+        push(
+            e.dtype.label(),
+            "achieved_gflops",
+            cell(&e.achieved_gflops),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ComputeInfo, DeviceInfo, RuntimeInfo};
+    use mt4g_sim::device::{CacheKind, Vendor};
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut r = Report {
+            device: DeviceInfo {
+                name: "X".into(),
+                vendor: Vendor::Amd,
+                compute_capability: "gfx90a".into(),
+                clock_mhz: 1,
+                mem_clock_mhz: 1,
+                bus_width_bits: 1,
+            },
+            compute: ComputeInfo {
+                num_sms: 1,
+                cores_per_sm: 64,
+                warp_size: 64,
+                warps_per_sm: 1,
+                max_blocks_per_sm: 1,
+                max_threads_per_block: 1,
+                max_threads_per_sm: 64,
+                regs_per_block: 1,
+                regs_per_sm: 1,
+                cu_physical_ids: None,
+            },
+            memory: Vec::new(),
+            compute_throughput: Vec::new(),
+            runtime: RuntimeInfo::default(),
+        };
+        r.element_mut(CacheKind::VL1).size = Attribute::Measured {
+            value: 16384,
+            confidence: 0.99,
+        };
+        let csv = to_csv(&r);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "element,attribute,value,source,confidence"
+        );
+        assert!(csv.contains("vL1,size_bytes,16384,\"measured\",0.9900"));
+        // One row per attribute for the single element + header.
+        assert_eq!(csv.lines().count(), 1 + 7);
+    }
+}

@@ -1,0 +1,75 @@
+//! JSON serialisation of the report — MT4G's primary machine-readable
+//! output (`./mt4g -j` writes `<GPU_name>.json`).
+
+use super::Report;
+
+/// Serialises a report to compact JSON.
+pub fn to_json(report: &Report) -> Result<String, serde_json::Error> {
+    serde_json::to_string(report)
+}
+
+/// Serialises a report to pretty-printed JSON (the artifact format).
+pub fn to_json_pretty(report: &Report) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(report)
+}
+
+/// Parses a report back from JSON (downstream tools — sys-sage, GPUscout —
+/// consume this).
+pub fn from_json(json: &str) -> Result<Report, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Attribute, ComputeInfo, DeviceInfo, RuntimeInfo};
+    use mt4g_sim::device::{CacheKind, Vendor};
+
+    fn tiny_report() -> Report {
+        let mut r = Report {
+            device: DeviceInfo {
+                name: "TestGPU".into(),
+                vendor: Vendor::Nvidia,
+                compute_capability: "9.0".into(),
+                clock_mhz: 1000,
+                mem_clock_mhz: 2000,
+                bus_width_bits: 5120,
+            },
+            compute: ComputeInfo {
+                num_sms: 4,
+                cores_per_sm: 128,
+                warp_size: 32,
+                warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                max_threads_per_sm: 2048,
+                regs_per_block: 65536,
+                regs_per_sm: 65536,
+                cu_physical_ids: None,
+            },
+            memory: Vec::new(),
+            compute_throughput: Vec::new(),
+            runtime: RuntimeInfo::default(),
+        };
+        r.element_mut(CacheKind::L1).size = Attribute::Measured {
+            value: 243712,
+            confidence: 0.98,
+        };
+        r
+    }
+
+    #[test]
+    fn json_round_trip_preserves_report() {
+        let report = tiny_report();
+        let json = to_json_pretty(&report).unwrap();
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_contains_provenance_tags() {
+        let json = to_json(&tiny_report()).unwrap();
+        assert!(json.contains("\"source\":\"Measured\""));
+        assert!(json.contains("\"confidence\":0.98"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Markdown report writer (`./mt4g -p`), formatted like the paper's
+//! Table III.
+
+use super::{Attribute, LatencyReport, Report, SharingReport};
+use crate::report::format_bytes;
+
+fn fmt_size(a: &Attribute<u64>) -> String {
+    match a {
+        Attribute::Measured { value, confidence } => {
+            format!("{} ({:.2})", format_bytes(*value), confidence)
+        }
+        Attribute::FromApi { value } => format!("{} (API)", format_bytes(*value)),
+        Attribute::AtLeast { value } => format!(">{}", format_bytes(*value)),
+        Attribute::Unavailable { .. } => "—".into(),
+        Attribute::NotApplicable => "n/a".into(),
+    }
+}
+
+fn fmt_latency(a: &Attribute<LatencyReport>) -> String {
+    match a {
+        Attribute::Measured { value, .. } => {
+            format!(
+                "{:.0} (p50 {:.0}, p95 {:.0})",
+                value.mean, value.stats.p50, value.stats.p95
+            )
+        }
+        Attribute::Unavailable { .. } => "—".into(),
+        Attribute::NotApplicable => "n/a".into(),
+        _ => "?".into(),
+    }
+}
+
+fn fmt_bw(read: &Attribute<f64>, write: &Attribute<f64>) -> String {
+    match (read.value(), write.value()) {
+        (Some(r), Some(w)) => format!("{:.2}/{:.2} TiB/s", r / 1024.0, w / 1024.0),
+        _ => "n/a".into(),
+    }
+}
+
+fn fmt_u32(a: &Attribute<u32>) -> String {
+    match a {
+        Attribute::Measured { value, .. } => format!("{value}B"),
+        Attribute::FromApi { value } => format!("{value}B (API)"),
+        Attribute::AtLeast { value } => format!(">{value}B"),
+        Attribute::Unavailable { .. } => "—".into(),
+        Attribute::NotApplicable => "n/a".into(),
+    }
+}
+
+fn fmt_amount(a: &Attribute<super::AmountReport>) -> String {
+    match a {
+        Attribute::Measured { value, .. } | Attribute::FromApi { value } => {
+            let scope = match value.scope {
+                super::AmountScope::PerSm => "/SM",
+                super::AmountScope::PerGpu => "/GPU",
+            };
+            format!("{}{}", value.count, scope)
+        }
+        Attribute::Unavailable { .. } => "—".into(),
+        _ => "n/a".into(),
+    }
+}
+
+fn fmt_sharing(a: &Attribute<SharingReport>) -> String {
+    match a {
+        Attribute::Measured { value, .. } => match value {
+            SharingReport::Spaces(spaces) if spaces.is_empty() => "no".into(),
+            SharingReport::Spaces(spaces) => spaces
+                .iter()
+                .map(|k| k.label())
+                .collect::<Vec<_>>()
+                .join(","),
+            SharingReport::CuPartners(partners) => {
+                let shared = partners.iter().filter(|p| !p.is_empty()).count();
+                let exclusive = partners.len() - shared;
+                format!("CU ids ({shared} shared, {exclusive} exclusive)")
+            }
+        },
+        Attribute::Unavailable { .. } => "—".into(),
+        _ => "n/a".into(),
+    }
+}
+
+/// Renders the full report as Markdown.
+pub fn to_markdown(report: &Report) -> String {
+    let mut out = String::new();
+    let d = &report.device;
+    out.push_str(&format!("# MT4G Report — {}\n\n", d.name));
+    out.push_str(&format!(
+        "- Vendor: {} | Compute capability: {} | Clock: {} MHz | Mem clock: {} MHz | Bus: {} bit\n\n",
+        d.vendor, d.compute_capability, d.clock_mhz, d.mem_clock_mhz, d.bus_width_bits
+    ));
+    let c = &report.compute;
+    out.push_str("## Compute Resources\n\n");
+    out.push_str(&format!(
+        "| SMs/CUs | Cores/SM | Warp | Warps/SM | Blocks/SM | Thr/Block | Thr/SM | Regs/Block | Regs/SM |\n\
+         |---|---|---|---|---|---|---|---|---|\n\
+         | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n\n",
+        c.num_sms,
+        c.cores_per_sm,
+        c.warp_size,
+        c.warps_per_sm,
+        c.max_blocks_per_sm,
+        c.max_threads_per_block,
+        c.max_threads_per_sm,
+        c.regs_per_block,
+        c.regs_per_sm
+    ));
+    if let Some(ids) = &c.cu_physical_ids {
+        out.push_str(&format!(
+            "Logical→physical CU ids: {} active, physical range 0–{}\n\n",
+            ids.len(),
+            ids.last().copied().unwrap_or(0)
+        ));
+    }
+    out.push_str("## Memory Topology\n\n");
+    out.push_str(
+        "| Element | Size | Load Latency (cyc) | R/W Bandwidth | Line | Fetch | Amount | Shared With |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for m in &report.memory {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            m.kind.label(),
+            fmt_size(&m.size),
+            fmt_latency(&m.load_latency),
+            fmt_bw(&m.read_bandwidth_gibs, &m.write_bandwidth_gibs),
+            fmt_u32(&m.cache_line_bytes),
+            fmt_u32(&m.fetch_granularity_bytes),
+            fmt_amount(&m.amount),
+            fmt_sharing(&m.shared_with),
+        ));
+    }
+    if !report.compute_throughput.is_empty() {
+        out.push_str("\n## Arithmetic Throughput (extension)\n\n");
+        out.push_str("| Engine | Achieved | Best ILP |\n|---|---|---|\n");
+        for e in &report.compute_throughput {
+            let (value, ilp) = match (&e.achieved_gflops, e.best_ilp) {
+                (Attribute::Measured { value, .. }, Some(ilp)) => {
+                    (format!("{:.2} TFLOP/s", value / 1e3), ilp.to_string())
+                }
+                _ => ("#".into(), "—".into()),
+            };
+            out.push_str(&format!("| {} | {} | {} |\n", e.dtype.label(), value, ilp));
+        }
+    }
+    let rt = &report.runtime;
+    out.push_str(&format!(
+        "\n## Run Statistics\n\n{} benchmarks, {} kernel launches, {} loads, {} simulated GPU cycles\n",
+        rt.benchmarks_run, rt.kernels_launched, rt.loads_executed, rt.gpu_cycles
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{AmountReport, AmountScope};
+    use mt4g_sim::device::CacheKind;
+
+    #[test]
+    fn attribute_formatting() {
+        assert_eq!(
+            fmt_size(&Attribute::Measured {
+                value: 243712,
+                confidence: 0.98
+            }),
+            "238KiB (0.98)"
+        );
+        assert_eq!(
+            fmt_size(&Attribute::FromApi {
+                value: 50 * 1024 * 1024
+            }),
+            "50MiB (API)"
+        );
+        assert_eq!(fmt_size(&Attribute::AtLeast { value: 65536 }), ">64KiB");
+        assert_eq!(fmt_size(&Attribute::NotApplicable), "n/a");
+        assert_eq!(
+            fmt_amount(&Attribute::Measured {
+                value: AmountReport {
+                    count: 2,
+                    scope: AmountScope::PerGpu
+                },
+                confidence: 1.0
+            }),
+            "2/GPU"
+        );
+        assert_eq!(
+            fmt_sharing(&Attribute::Measured {
+                value: SharingReport::Spaces(vec![CacheKind::Texture, CacheKind::Readonly]),
+                confidence: 1.0
+            }),
+            "Texture,Readonly"
+        );
+    }
+}

@@ -1,0 +1,841 @@
+//! Per-vendor orchestration of the full MT4G discovery run.
+//!
+//! Mirrors the real tool's flow: general and compute information comes
+//! from the (emulated) vendor APIs plus the cores-per-SM lookup table;
+//! every memory attribute that no API exposes is reverse-engineered by the
+//! benchmark families of [`crate::benchmarks`], in dependency order —
+//! latency first (the classifiers need it), then fetch granularity (the
+//! size scan steps by it), then size, then the structural benchmarks
+//! (line size, amount, segmentation, physical sharing), and finally
+//! bandwidth. NVIDIA runs ~35 benchmark instances, AMD ~15 (paper
+//! Sec. V-A); the exact counts are tallied in the report.
+
+use mt4g_sim::api;
+use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace, Vendor, CONSTANT_ARRAY_LIMIT};
+use mt4g_sim::gpu::Gpu;
+
+use crate::benchmarks::amount::{self, AmountConfig, AmountResult};
+use crate::benchmarks::bandwidth;
+use crate::benchmarks::flops;
+use crate::benchmarks::fetch_granularity::{self, FetchGranularityConfig};
+use crate::benchmarks::l2_segments;
+use crate::benchmarks::latency::{self, LatencyConfig};
+use crate::benchmarks::line_size::{self, LineSizeConfig};
+use crate::benchmarks::sharing_amd::{self, CuSharingConfig, CuSharingResult};
+use crate::benchmarks::sharing_nv::{self, SpaceProbe};
+use crate::benchmarks::size::{self, SizeConfig, SizeResult};
+use crate::lookup;
+use crate::report::{
+    AmountReport, AmountScope, Attribute, ComputeInfo, DeviceInfo, FlopsEntry, LatencyReport,
+    Report, RuntimeInfo, SharingReport,
+};
+
+/// Tuning knobs of a discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// K-S significance level for change-point detection.
+    pub alpha: f64,
+    /// Latencies recorded per p-chase ("first N").
+    pub record_n: usize,
+    /// Scan points per size-benchmark stage.
+    pub scan_points: usize,
+    /// Restrict discovery to these memory elements (CLI `--only`); `None`
+    /// = everything.
+    pub only: Option<Vec<CacheKind>>,
+    /// Windowed CU-sharing scan span (0 = exhaustive all-pairs, the
+    /// paper's no-assumptions mode).
+    pub cu_window: usize,
+    /// Whether to run the bandwidth benchmarks.
+    pub measure_bandwidth: bool,
+    /// Whether to run the FLOPS/tensor-engine benchmarks — the paper's
+    /// future-work extension, on by default in this reproduction.
+    pub measure_flops: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            alpha: 0.05,
+            record_n: 256,
+            scan_points: 24,
+            only: None,
+            cu_window: 0,
+            measure_bandwidth: true,
+            measure_flops: true,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Full-fidelity configuration (exhaustive CU pairs).
+    pub fn thorough() -> Self {
+        Self::default()
+    }
+
+    /// A faster configuration for tests and interactive runs: coarser
+    /// scans and a windowed CU-sharing pass (the paper's CLI offers the
+    /// same trade-off to cut the ~15 min run time).
+    pub fn fast() -> Self {
+        DiscoveryConfig {
+            record_n: 192,
+            scan_points: 16,
+            cu_window: 4,
+            ..Self::default()
+        }
+    }
+
+    fn wants(&self, kind: CacheKind) -> bool {
+        self.only.as_ref().map_or(true, |ks| ks.contains(&kind))
+    }
+}
+
+/// Intermediate per-element measurement state the later stages feed on.
+#[derive(Debug, Clone, Copy, Default)]
+struct Measured {
+    hit_latency: Option<f64>,
+    fetch_granularity: Option<u64>,
+    size: Option<u64>,
+}
+
+/// Counts benchmark instances for the Sec. V-A accounting.
+struct Tally(u32);
+
+impl Tally {
+    fn bump(&mut self) -> &mut Self {
+        self.0 += 1;
+        self
+    }
+}
+
+/// Runs the complete discovery and produces the MT4G report.
+pub fn run_discovery(gpu: &mut Gpu, cfg: &DiscoveryConfig) -> Report {
+    let props = api::device_props(gpu);
+    let device = DeviceInfo {
+        name: props.name.clone(),
+        vendor: props.vendor,
+        compute_capability: props.compute_capability.clone(),
+        clock_mhz: props.clock_mhz,
+        mem_clock_mhz: props.mem_clock_mhz,
+        bus_width_bits: props.bus_width_bits,
+    };
+    let compute = ComputeInfo {
+        num_sms: props.num_sms,
+        cores_per_sm: lookup::cores_per_sm_by_cc(&props.compute_capability)
+            .unwrap_or(props.warp_size),
+        warp_size: props.warp_size,
+        warps_per_sm: props.max_threads_per_sm / props.warp_size.max(1),
+        max_blocks_per_sm: props.max_blocks_per_sm,
+        max_threads_per_block: props.max_threads_per_block,
+        max_threads_per_sm: props.max_threads_per_sm,
+        regs_per_block: props.regs_per_block,
+        regs_per_sm: props.regs_per_sm,
+        cu_physical_ids: api::logical_to_physical_cu(gpu),
+    };
+
+    let mut report = Report {
+        device,
+        compute,
+        memory: Vec::new(),
+        compute_throughput: Vec::new(),
+        runtime: RuntimeInfo::default(),
+    };
+    let mut tally = Tally(0);
+
+    match gpu.vendor() {
+        Vendor::Nvidia => discover_nvidia(gpu, cfg, &mut report, &mut tally),
+        Vendor::Amd => discover_amd(gpu, cfg, &mut report, &mut tally),
+    }
+
+    // Future-work extension: arithmetic throughput per datatype / engine.
+    if cfg.measure_flops && cfg.only.is_none() {
+        for dtype in mt4g_sim::compute::DType::ALL {
+            tally.bump();
+            report.compute_throughput.push(match flops::run(gpu, dtype) {
+                Some(r) => FlopsEntry {
+                    dtype,
+                    achieved_gflops: Attribute::Measured {
+                        value: r.achieved_gflops,
+                        confidence: 0.9,
+                    },
+                    best_ilp: Some(r.best_ilp),
+                },
+                None => FlopsEntry {
+                    dtype,
+                    achieved_gflops: Attribute::Unavailable {
+                        reason: "engine not present on this microarchitecture".into(),
+                    },
+                    best_ilp: None,
+                },
+            });
+        }
+    }
+
+    let stats = gpu.stats();
+    report.runtime = RuntimeInfo {
+        benchmarks_run: tally.0,
+        kernels_launched: stats.kernels_launched,
+        loads_executed: stats.loads_executed,
+        gpu_cycles: stats.total_cycles,
+    };
+    report
+}
+
+/// Latency + fetch-granularity + size + line size for one cacheable
+/// element; returns what later stages need.
+#[allow(clippy::too_many_arguments)]
+fn discover_cache_element(
+    gpu: &mut Gpu,
+    cfg: &DiscoveryConfig,
+    report: &mut Report,
+    tally: &mut Tally,
+    kind: CacheKind,
+    space: MemorySpace,
+    flags: LoadFlags,
+    latency_array_bytes: Option<u64>,
+    search_lo: Option<u64>,
+    search_cap: Option<u64>,
+) -> Measured {
+    let mut m = Measured::default();
+    if !cfg.wants(kind) {
+        return m;
+    }
+
+    // (1) Load latency, on a small fixed array (Sec. IV-C).
+    let mut lat_cfg = LatencyConfig::standard(space, flags, 64);
+    if let Some(bytes) = latency_array_bytes {
+        lat_cfg.array_bytes = bytes;
+        lat_cfg.stride_bytes = 64.min(bytes / 4).max(4);
+    }
+    tally.bump();
+    if let Some(lr) = latency::run(gpu, &lat_cfg) {
+        m.hit_latency = Some(lr.mean);
+        report.element_mut(kind).load_latency = Attribute::Measured {
+            value: lr,
+            confidence: 1.0 - (lr.stats.std_dev / lr.stats.mean.max(1.0)).min(1.0),
+        };
+    }
+    let Some(hit_lat) = m.hit_latency else {
+        return m;
+    };
+
+    // (2) Fetch granularity (Sec. IV-D) — the size benchmark's step.
+    tally.bump();
+    let fg_cfg = FetchGranularityConfig::new(space, flags, hit_lat);
+    if let Some((fg, conf)) = fetch_granularity::run(gpu, &fg_cfg) {
+        m.fetch_granularity = Some(fg as u64);
+        report.element_mut(kind).fetch_granularity_bytes = Attribute::Measured {
+            value: fg,
+            confidence: conf,
+        };
+    }
+    let fg = m.fetch_granularity.unwrap_or(32);
+
+    // (3) Size (Sec. IV-B).
+    let mut size_cfg = SizeConfig::new(space, flags, fg);
+    size_cfg.alpha = cfg.alpha;
+    size_cfg.record_n = cfg.record_n;
+    size_cfg.scan_points = cfg.scan_points;
+    if let Some(lo) = search_lo {
+        size_cfg.search_lo = lo;
+    }
+    if let Some(cap) = search_cap {
+        size_cfg.search_cap = cap;
+    }
+    if space == MemorySpace::Constant {
+        size_cfg.search_cap = size_cfg.search_cap.min(CONSTANT_ARRAY_LIMIT);
+    }
+    tally.bump();
+    match size::run(gpu, &size_cfg) {
+        SizeResult::Found {
+            bytes, confidence, ..
+        } => {
+            m.size = Some(bytes);
+            report.element_mut(kind).size = Attribute::Measured {
+                value: bytes,
+                confidence,
+            };
+        }
+        SizeResult::ExceedsCap { cap } => {
+            report.element_mut(kind).size = Attribute::AtLeast { value: cap };
+        }
+        SizeResult::NoResult { reason } => {
+            report.element_mut(kind).size = Attribute::Unavailable { reason };
+        }
+    }
+
+    // (4) Cache line size (Sec. IV-E) — needs the size as input; the
+    // paper's CL1.5 footnote applies: no size, no line size.
+    tally.bump();
+    if let Some(size_bytes) = m.size {
+        let ls_cfg = LineSizeConfig::new(space, flags, size_bytes, fg, hit_lat);
+        report.element_mut(kind).cache_line_bytes = match line_size::run(gpu, &ls_cfg) {
+            Some((line, conf)) => Attribute::Measured {
+                value: line,
+                confidence: conf,
+            },
+            None => Attribute::Unavailable {
+                reason: "line-size scan inconclusive".into(),
+            },
+        };
+    } else {
+        report.element_mut(kind).cache_line_bytes = Attribute::Unavailable {
+            reason: "cache size unavailable (input to the line-size benchmark)".into(),
+        };
+    }
+    m
+}
+
+/// Amount benchmark wrapper (Sec. IV-F).
+fn discover_amount(
+    gpu: &mut Gpu,
+    report: &mut Report,
+    tally: &mut Tally,
+    kind: CacheKind,
+    space: MemorySpace,
+    m: Measured,
+    schedulable: bool,
+) {
+    let (Some(size), Some(fg), Some(lat)) = (m.size, m.fetch_granularity, m.hit_latency) else {
+        report.element_mut(kind).amount = Attribute::Unavailable {
+            reason: "size/granularity/latency prerequisites missing".into(),
+        };
+        return;
+    };
+    tally.bump();
+    let a_cfg = AmountConfig {
+        space,
+        flags: LoadFlags::CACHE_ALL,
+        cache_size: size,
+        fetch_granularity: fg,
+        target_hit_latency: lat,
+        schedulable,
+    };
+    report.element_mut(kind).amount = match amount::run(gpu, &a_cfg) {
+        AmountResult::Found { count, .. } => Attribute::Measured {
+            value: AmountReport {
+                count,
+                scope: AmountScope::PerSm,
+            },
+            confidence: 1.0,
+        },
+        AmountResult::NoResult { reason } => Attribute::Unavailable { reason },
+    };
+}
+
+fn discover_nvidia(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, tally: &mut Tally) {
+    let props = api::device_props(gpu);
+    let quirks = gpu.config.quirks;
+
+    // --- L1 / Texture / Readonly (unified or not — that's what the
+    // sharing benchmark will tell).
+    let m_l1 = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL,
+        None, None, None,
+    );
+    let m_tex = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::Texture, MemorySpace::Texture, LoadFlags::CACHE_ALL,
+        None, None, None,
+    );
+    let m_ro = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::Readonly, MemorySpace::Readonly, LoadFlags::CACHE_ALL,
+        None, None, None,
+    );
+
+    // --- Constant L1: its latency array must stay below the (unknown)
+    // CL1 size; 1 KiB is the search floor anyway.
+    let m_cl1 = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::ConstL1, MemorySpace::Constant, LoadFlags::CACHE_ALL,
+        Some(1024), None, Some(CONSTANT_ARRAY_LIMIT),
+    );
+
+    // --- Constant L1.5: measured *behind* CL1 — arrays larger than CL1,
+    // which the warm-up evicts from CL1 (Sec. IV-B2).
+    let cl1_size = m_cl1.size.unwrap_or(2048);
+    let m_cl15 = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::ConstL15, MemorySpace::Constant, LoadFlags::CACHE_ALL,
+        Some(4 * cl1_size), Some(2 * cl1_size), Some(CONSTANT_ARRAY_LIMIT),
+    );
+    let _ = m_cl15;
+    // The 64 KiB constant limit also blocks the CL1.5 amount benchmark
+    // (paper Sec. III-C).
+    report.element_mut(CacheKind::ConstL15).amount = Attribute::Unavailable {
+        reason: "64 KiB constant array limitation".into(),
+    };
+
+    // --- Amounts (Sec. IV-F).
+    if cfg.wants(CacheKind::L1) {
+        discover_amount(
+            gpu, report, tally,
+            CacheKind::L1, MemorySpace::Global, m_l1,
+            !quirks.l1_amount_unschedulable,
+        );
+    }
+    if cfg.wants(CacheKind::Texture) {
+        discover_amount(gpu, report, tally, CacheKind::Texture, MemorySpace::Texture, m_tex, true);
+    }
+    if cfg.wants(CacheKind::Readonly) {
+        discover_amount(gpu, report, tally, CacheKind::Readonly, MemorySpace::Readonly, m_ro, true);
+    }
+    if cfg.wants(CacheKind::ConstL1) {
+        discover_amount(gpu, report, tally, CacheKind::ConstL1, MemorySpace::Constant, m_cl1, true);
+    }
+
+    // --- L2: total size from the API, segmentation benchmarked
+    // (Sec. IV-F1), latency via `.cg`, fetch granularity, line size, BW.
+    if cfg.wants(CacheKind::L2) {
+        let l2_total = props.l2_size_bytes;
+        report.element_mut(CacheKind::L2).size = Attribute::FromApi { value: l2_total };
+        tally.bump();
+        let l2_lat = latency::run(
+            gpu,
+            &LatencyConfig::standard(MemorySpace::Global, LoadFlags::CACHE_GLOBAL, 64),
+        );
+        let mut l2_fg = 32u64;
+        if let Some(lr) = l2_lat {
+            report.element_mut(CacheKind::L2).load_latency = Attribute::Measured {
+                value: lr,
+                confidence: 1.0 - (lr.stats.std_dev / lr.stats.mean.max(1.0)).min(1.0),
+            };
+            tally.bump();
+            let fg_cfg = FetchGranularityConfig::new(
+                MemorySpace::Global,
+                LoadFlags::CACHE_GLOBAL,
+                lr.mean,
+            );
+            if let Some((fg, conf)) = fetch_granularity::run(gpu, &fg_cfg) {
+                l2_fg = fg as u64;
+                report.element_mut(CacheKind::L2).fetch_granularity_bytes =
+                    Attribute::Measured {
+                        value: fg,
+                        confidence: conf,
+                    };
+            }
+            tally.bump();
+            if let Some(segs) = l2_segments::run(gpu, l2_fg, cfg.scan_points) {
+                report.element_mut(CacheKind::L2).amount = Attribute::Measured {
+                    value: AmountReport {
+                        count: segs.count,
+                        scope: AmountScope::PerGpu,
+                    },
+                    confidence: segs.confidence,
+                };
+                tally.bump();
+                let ls_cfg = LineSizeConfig::new(
+                    MemorySpace::Global,
+                    LoadFlags::CACHE_GLOBAL,
+                    segs.segment_bytes,
+                    l2_fg,
+                    lr.mean,
+                );
+                if let Some((line, conf)) = line_size::run(gpu, &ls_cfg) {
+                    report.element_mut(CacheKind::L2).cache_line_bytes = Attribute::Measured {
+                        value: line,
+                        confidence: conf,
+                    };
+                }
+            }
+        }
+        if cfg.measure_bandwidth {
+            tally.bump().bump();
+            if let Some(bw) = bandwidth::run(gpu, CacheKind::L2) {
+                let e = report.element_mut(CacheKind::L2);
+                e.read_bandwidth_gibs = Attribute::Measured {
+                    value: bw.read_gibs,
+                    confidence: 0.9,
+                };
+                e.write_bandwidth_gibs = Attribute::Measured {
+                    value: bw.write_gibs,
+                    confidence: 0.9,
+                };
+            }
+        }
+    }
+
+    // --- Shared Memory: size from the API, latency benchmarked.
+    if cfg.wants(CacheKind::SharedMemory) {
+        let e = report.element_mut(CacheKind::SharedMemory);
+        e.size = Attribute::FromApi {
+            value: props.shared_mem_per_sm_bytes,
+        };
+        tally.bump();
+        if let Some(lr) = latency::run(
+            gpu,
+            &LatencyConfig::standard(MemorySpace::Shared, LoadFlags::CACHE_ALL, 64),
+        ) {
+            report.element_mut(CacheKind::SharedMemory).load_latency = Attribute::Measured {
+                value: lr,
+                confidence: 1.0,
+            };
+        }
+    }
+
+    // --- Device memory.
+    discover_device_memory(gpu, cfg, report, tally, MemorySpace::Global, props.total_mem_bytes);
+
+    // --- Physical sharing (Sec. IV-G), over everything measured above.
+    if cfg.only.is_none() {
+        tally.bump();
+        let probe = |m: Measured, deflt: f64| {
+            (
+                m.size.unwrap_or(2048),
+                m.fetch_granularity.unwrap_or(32),
+                m.hit_latency.unwrap_or(deflt),
+            )
+        };
+        let probes: Vec<SpaceProbe> = sharing_nv::nvidia_probes(
+            probe(m_l1, 38.0),
+            probe(m_tex, 39.0),
+            probe(m_ro, 35.0),
+            probe(m_cl1, 21.0),
+        );
+        let groups = sharing_nv::sharing_groups(gpu, &probes, quirks.flaky_l1_const_sharing);
+        for (kind, partners, confidence) in groups {
+            report.element_mut(kind).shared_with = if confidence == 0.0 {
+                Attribute::Unavailable {
+                    reason: "sharing measurement unreliable on this microarchitecture".into(),
+                }
+            } else {
+                Attribute::Measured {
+                    value: SharingReport::Spaces(partners),
+                    confidence,
+                }
+            };
+        }
+    }
+}
+
+fn discover_amd(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, tally: &mut Tally) {
+    let props = api::device_props(gpu);
+    let quirks = gpu.config.quirks;
+
+    // --- vL1 and sL1d: fully benchmarked (Table I).
+    let m_vl1 = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::VL1, MemorySpace::Vector, LoadFlags::CACHE_ALL,
+        None, None, None,
+    );
+    let m_sl1d = discover_cache_element(
+        gpu, cfg, report, tally,
+        CacheKind::SL1D, MemorySpace::Scalar, LoadFlags::CACHE_ALL,
+        None, None, None,
+    );
+
+    if cfg.wants(CacheKind::VL1) {
+        discover_amount(gpu, report, tally, CacheKind::VL1, MemorySpace::Vector, m_vl1, true);
+    }
+
+    // --- sL1d CU sharing (Sec. IV-H).
+    if cfg.wants(CacheKind::SL1D) {
+        tally.bump();
+        let sh_cfg = CuSharingConfig {
+            sl1d_size: m_sl1d.size.unwrap_or(16 * 1024),
+            fetch_granularity: m_sl1d.fetch_granularity.unwrap_or(64),
+            hit_latency: m_sl1d.hit_latency.unwrap_or(50.0),
+            can_pin_cus: !quirks.no_cu_pinning,
+        };
+        let result = if cfg.cu_window > 0 {
+            sharing_amd::run_windowed(gpu, &sh_cfg, cfg.cu_window)
+        } else {
+            sharing_amd::run(gpu, &sh_cfg)
+        };
+        report.element_mut(CacheKind::SL1D).shared_with = match result {
+            CuSharingResult::Found { partners } => Attribute::Measured {
+                value: SharingReport::CuPartners(partners),
+                confidence: 1.0,
+            },
+            CuSharingResult::NoResult { reason } => Attribute::Unavailable { reason },
+        };
+    }
+
+    // --- L2: sizes, line size and amount from APIs (HSA/KFD/XCD count);
+    // latency and fetch granularity benchmarked with GLC=1.
+    if cfg.wants(CacheKind::L2) {
+        if let Some(sizes) = api::hsa_cache_sizes(gpu) {
+            if let Some(&(_, l2)) = sizes.iter().find(|(k, _)| *k == CacheKind::L2) {
+                report.element_mut(CacheKind::L2).size = Attribute::FromApi { value: l2 };
+            }
+        }
+        if let Some(lines) = api::kfd_cache_line_sizes(gpu) {
+            if let Some(&(_, line)) = lines.iter().find(|(k, _)| *k == CacheKind::L2) {
+                report.element_mut(CacheKind::L2).cache_line_bytes =
+                    Attribute::FromApi { value: line };
+            }
+        }
+        if let Some(segs) = l2_segments::run(gpu, 64, cfg.scan_points) {
+            report.element_mut(CacheKind::L2).amount = Attribute::FromApi {
+                value: AmountReport {
+                    count: segs.count,
+                    scope: AmountScope::PerGpu,
+                },
+            };
+        }
+        tally.bump();
+        if let Some(lr) = latency::run(
+            gpu,
+            &LatencyConfig::standard(MemorySpace::Vector, LoadFlags::CACHE_GLOBAL, 64),
+        ) {
+            let mean = lr.mean;
+            report.element_mut(CacheKind::L2).load_latency = Attribute::Measured {
+                value: lr,
+                confidence: 1.0,
+            };
+            tally.bump();
+            let fg_cfg =
+                FetchGranularityConfig::new(MemorySpace::Vector, LoadFlags::CACHE_GLOBAL, mean);
+            if let Some((fg, conf)) = fetch_granularity::run(gpu, &fg_cfg) {
+                report.element_mut(CacheKind::L2).fetch_granularity_bytes =
+                    Attribute::Measured {
+                        value: fg,
+                        confidence: conf,
+                    };
+            }
+        }
+        if cfg.measure_bandwidth {
+            tally.bump().bump();
+            if let Some(bw) = bandwidth::run(gpu, CacheKind::L2) {
+                let e = report.element_mut(CacheKind::L2);
+                e.read_bandwidth_gibs = Attribute::Measured {
+                    value: bw.read_gibs,
+                    confidence: 0.9,
+                };
+                e.write_bandwidth_gibs = Attribute::Measured {
+                    value: bw.write_gibs,
+                    confidence: 0.9,
+                };
+            }
+        }
+    }
+
+    // --- L3 (CDNA3): size/line/amount from APIs; load latency and fetch
+    // granularity are the paper's declared gaps; bandwidth measured.
+    if gpu.config.cache(CacheKind::L3).is_some() && cfg.wants(CacheKind::L3) {
+        if let Some(sizes) = api::hsa_cache_sizes(gpu) {
+            if let Some(&(_, l3)) = sizes.iter().find(|(k, _)| *k == CacheKind::L3) {
+                report.element_mut(CacheKind::L3).size = Attribute::FromApi { value: l3 };
+            }
+        }
+        if let Some(lines) = api::kfd_cache_line_sizes(gpu) {
+            if let Some(&(_, line)) = lines.iter().find(|(k, _)| *k == CacheKind::L3) {
+                report.element_mut(CacheKind::L3).cache_line_bytes =
+                    Attribute::FromApi { value: line };
+            }
+        }
+        if let Some(n) = api::l3_amount(gpu) {
+            report.element_mut(CacheKind::L3).amount = Attribute::FromApi {
+                value: AmountReport {
+                    count: n,
+                    scope: AmountScope::PerGpu,
+                },
+            };
+        }
+        let e = report.element_mut(CacheKind::L3);
+        e.load_latency = Attribute::Unavailable {
+            reason: "CDNA3 L3 latency benchmarking pending (paper future work)".into(),
+        };
+        e.fetch_granularity_bytes = Attribute::Unavailable {
+            reason: "CDNA3 L3 fetch granularity benchmarking pending (paper future work)".into(),
+        };
+        if cfg.measure_bandwidth {
+            tally.bump().bump();
+            if let Some(bw) = bandwidth::run(gpu, CacheKind::L3) {
+                let e = report.element_mut(CacheKind::L3);
+                e.read_bandwidth_gibs = Attribute::Measured {
+                    value: bw.read_gibs,
+                    confidence: 0.9,
+                };
+                e.write_bandwidth_gibs = Attribute::Measured {
+                    value: bw.write_gibs,
+                    confidence: 0.9,
+                };
+            }
+        }
+    }
+
+    // --- LDS: size from the API, latency benchmarked.
+    if cfg.wants(CacheKind::Lds) {
+        report.element_mut(CacheKind::Lds).size = Attribute::FromApi {
+            value: props.shared_mem_per_sm_bytes,
+        };
+        tally.bump();
+        if let Some(lr) = latency::run(
+            gpu,
+            &LatencyConfig::standard(MemorySpace::Lds, LoadFlags::CACHE_ALL, 64),
+        ) {
+            report.element_mut(CacheKind::Lds).load_latency = Attribute::Measured {
+                value: lr,
+                confidence: 1.0,
+            };
+        }
+    }
+
+    // --- Device memory.
+    discover_device_memory(gpu, cfg, report, tally, MemorySpace::Vector, props.total_mem_bytes);
+}
+
+fn discover_device_memory(
+    gpu: &mut Gpu,
+    cfg: &DiscoveryConfig,
+    report: &mut Report,
+    tally: &mut Tally,
+    space: MemorySpace,
+    total_mem: u64,
+) {
+    if !cfg.wants(CacheKind::DeviceMemory) {
+        return;
+    }
+    report.element_mut(CacheKind::DeviceMemory).size = Attribute::FromApi { value: total_mem };
+    tally.bump();
+    if let Some(lr) = latency::run(
+        gpu,
+        &LatencyConfig::standard(space, LoadFlags::VOLATILE, 64),
+    ) {
+        report.element_mut(CacheKind::DeviceMemory).load_latency = Attribute::Measured {
+            value: lr,
+            confidence: 1.0,
+        };
+    }
+    if cfg.measure_bandwidth {
+        tally.bump().bump();
+        if let Some(bw) = bandwidth::run(gpu, CacheKind::DeviceMemory) {
+            let e = report.element_mut(CacheKind::DeviceMemory);
+            e.read_bandwidth_gibs = Attribute::Measured {
+                value: bw.read_gibs,
+                confidence: 0.9,
+            };
+            e.write_bandwidth_gibs = Attribute::Measured {
+                value: bw.write_gibs,
+                confidence: 0.9,
+            };
+        }
+    }
+}
+
+/// Convenience: `LatencyReport` from an attribute, for downstream models.
+pub fn mean_latency(attr: &Attribute<LatencyReport>) -> Option<f64> {
+    attr.value().map(|l| l.mean)
+}
+
+/// Elements a vendor's report is expected to contain, in Table I order —
+/// used by the coverage matrix and the suite tests.
+pub fn expected_elements(vendor: Vendor, has_l3: bool) -> Vec<CacheKind> {
+    match vendor {
+        Vendor::Nvidia => vec![
+            CacheKind::L1,
+            CacheKind::L2,
+            CacheKind::Texture,
+            CacheKind::Readonly,
+            CacheKind::ConstL1,
+            CacheKind::ConstL15,
+            CacheKind::SharedMemory,
+            CacheKind::DeviceMemory,
+        ],
+        Vendor::Amd => {
+            let mut v = vec![CacheKind::VL1, CacheKind::SL1D, CacheKind::L2];
+            if has_l3 {
+                v.push(CacheKind::L3);
+            }
+            v.push(CacheKind::Lds);
+            v.push(CacheKind::DeviceMemory);
+            v
+        }
+    }
+}
+
+/// Ensures all expected rows exist in the report (filling gaps with empty
+/// rows) and orders them canonically.
+pub fn normalize_report(report: &mut Report, has_l3: bool) {
+    let order = expected_elements(report.device.vendor, has_l3);
+    for kind in &order {
+        report.element_mut(*kind);
+    }
+    report.memory.sort_by_key(|m| {
+        order
+            .iter()
+            .position(|k| *k == m.kind)
+            .unwrap_or(usize::MAX)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_sim::presets;
+
+    #[test]
+    fn fast_config_is_cheaper_than_thorough() {
+        let fast = DiscoveryConfig::fast();
+        let full = DiscoveryConfig::thorough();
+        assert!(fast.scan_points < full.scan_points);
+        assert!(fast.cu_window > 0);
+        assert_eq!(full.cu_window, 0);
+    }
+
+    #[test]
+    fn only_filter_restricts_elements() {
+        let mut gpu = presets::t1000();
+        let cfg = DiscoveryConfig {
+            only: Some(vec![CacheKind::ConstL1]),
+            measure_bandwidth: false,
+            ..DiscoveryConfig::fast()
+        };
+        let report = run_discovery(&mut gpu, &cfg);
+        let cl1 = report.element(CacheKind::ConstL1).unwrap();
+        assert_eq!(cl1.size.value(), Some(&2048));
+        // L1 was skipped entirely.
+        assert!(report.element(CacheKind::L1).map_or(true, |e| !e.size.is_available()));
+    }
+
+    #[test]
+    fn flops_extension_reports_every_engine() {
+        let mut gpu = presets::t1000();
+        let cfg = DiscoveryConfig {
+            only: None,
+            measure_bandwidth: false,
+            ..DiscoveryConfig::fast()
+        };
+        let report = run_discovery(&mut gpu, &cfg);
+        assert_eq!(
+            report.compute_throughput.len(),
+            mt4g_sim::compute::DType::ALL.len()
+        );
+        // Turing has tensor cores; the entry is measured.
+        let tc = report
+            .compute_throughput
+            .iter()
+            .find(|e| e.dtype == mt4g_sim::compute::DType::TensorFp16)
+            .unwrap();
+        assert!(tc.achieved_gflops.is_available());
+    }
+
+    #[test]
+    fn pascal_flops_extension_marks_missing_tensor_engine() {
+        let mut gpu = presets::p6000();
+        let cfg = DiscoveryConfig {
+            only: None,
+            measure_bandwidth: false,
+            ..DiscoveryConfig::fast()
+        };
+        let report = run_discovery(&mut gpu, &cfg);
+        let tc = report
+            .compute_throughput
+            .iter()
+            .find(|e| e.dtype == mt4g_sim::compute::DType::TensorFp16)
+            .unwrap();
+        assert!(matches!(
+            tc.achieved_gflops,
+            Attribute::Unavailable { .. }
+        ));
+    }
+
+    #[test]
+    fn expected_elements_cover_both_vendors() {
+        assert_eq!(expected_elements(Vendor::Nvidia, false).len(), 8);
+        assert_eq!(expected_elements(Vendor::Amd, true).len(), 6);
+        assert_eq!(expected_elements(Vendor::Amd, false).len(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Smoke tests for the `mt4g` CLI binary.
+
+use std::process::Command;
+
+fn mt4g() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mt4g"))
+}
+
+#[test]
+fn list_prints_all_presets() {
+    let out = mt4g().arg("--list").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in mt4g_sim::presets::ALL_NAMES {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn unknown_gpu_fails_with_code_2() {
+    let out = mt4g().args(["--gpu", "RTX9090"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown GPU preset"));
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let out = mt4g().arg("--bogus").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn only_run_emits_parseable_json() {
+    let out = mt4g()
+        .args(["--gpu", "T1000", "-q", "--fast", "--only", "cl1"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = mt4g_core::report::from_json(&stdout).expect("valid JSON report");
+    assert_eq!(report.device.name, "T1000");
+    let cl1 = report
+        .element(mt4g_sim::device::CacheKind::ConstL1)
+        .expect("CL1 row");
+    assert_eq!(cl1.size.value(), Some(&2048));
+}
+
+#[test]
+fn json_flag_writes_named_file() {
+    let dir = std::env::temp_dir().join(format!("mt4g-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = mt4g()
+        .args(["--gpu", "T1000", "-q", "--fast", "--only", "cl1", "-j"])
+        .args(["-o", dir.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let json_path = dir.join("T1000.json");
+    let contents = std::fs::read_to_string(&json_path).expect("file written");
+    assert!(mt4g_core::report::from_json(&contents).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the discovery pipeline: for *random* planted
+//! cache geometries — not just the ten presets — the size, fetch
+//! granularity and line-size benchmarks must recover the planted values
+//! through the noise. This is the reproduction's strongest claim: the
+//! pipeline has no knowledge of the configuration it is measuring.
+
+use mt4g_core::benchmarks::fetch_granularity::{self, FetchGranularityConfig};
+use mt4g_core::benchmarks::line_size::{self, LineSizeConfig};
+use mt4g_core::benchmarks::size::{self, SizeConfig};
+use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace};
+use mt4g_sim::gpu::Gpu;
+use mt4g_sim::presets;
+use proptest::prelude::*;
+
+/// An H100 variant with a randomised L1 geometry.
+fn custom_gpu(l1_size: u64, line: u32, fg: u32, latency: u32, seed: u64) -> Gpu {
+    let mut cfg = presets::h100_80().config;
+    for (kind, spec) in cfg.caches.iter_mut() {
+        if matches!(
+            kind,
+            CacheKind::L1 | CacheKind::Texture | CacheKind::Readonly
+        ) {
+            spec.size = l1_size;
+            spec.line_size = line;
+            spec.fetch_granularity = fg;
+            spec.load_latency = latency;
+        }
+    }
+    Gpu::with_seed(cfg, seed)
+}
+
+/// Random but physically coherent L1 geometry: power-of-two line and
+/// fetch granularity, size a multiple of the line in 8–160 KiB.
+fn geometry() -> impl Strategy<Value = (u64, u32, u32)> {
+    (5u32..8, 0u32..3, 64u64..1280).prop_map(|(line_pow, fg_shift, lines)| {
+        let line = 1u32 << line_pow; // 32..128
+        let fg = (line >> fg_shift.min(line_pow - 2)).max(32); // >= 32
+        let size = lines * line as u64;
+        (size, line, fg.min(line))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The size benchmark recovers a random planted capacity exactly.
+    #[test]
+    fn size_benchmark_recovers_random_geometry(
+        (size, line, fg) in geometry(),
+        latency in 25u32..90,
+        seed in 0u64..1000,
+    ) {
+        let mut gpu = custom_gpu(size, line, fg, latency, seed);
+        let cfg = SizeConfig::new(MemorySpace::Global, LoadFlags::CACHE_ALL, fg as u64);
+        let result = size::run(&mut gpu, &cfg);
+        prop_assert_eq!(result.bytes(), Some(size), "geometry {:?}", (size, line, fg));
+    }
+
+    /// The fetch-granularity benchmark recovers a random planted sector.
+    #[test]
+    fn fetch_granularity_recovers_random_geometry(
+        (size, line, fg) in geometry(),
+        seed in 0u64..1000,
+    ) {
+        let mut gpu = custom_gpu(size, line, fg, 40, seed);
+        let cfg = FetchGranularityConfig::new(
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            40.0,
+        );
+        let found = fetch_granularity::run(&mut gpu, &cfg);
+        prop_assert_eq!(found.map(|(v, _)| v), Some(fg));
+    }
+
+    /// The line-size benchmark recovers a random planted line size, given
+    /// the true capacity and granularity as inputs (as the suite wires it).
+    #[test]
+    fn line_size_recovers_random_geometry(
+        (size, line, fg) in geometry(),
+        seed in 0u64..1000,
+    ) {
+        let mut gpu = custom_gpu(size, line, fg, 40, seed);
+        let cfg = LineSizeConfig::new(
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            size,
+            fg as u64,
+            40.0,
+        );
+        let found = line_size::run(&mut gpu, &cfg);
+        prop_assert_eq!(found.map(|(v, _)| v), Some(line));
+    }
+}

@@ -1,0 +1,380 @@
+//! GPUscout-style bottleneck analysis backed by MT4G topology (paper
+//! Sec. VI-B).
+//!
+//! GPUscout detects memory-related bottlenecks from profiler counters and
+//! recommends fixes; its recommendations are "closely tied to the GPU
+//! topology: for instance, register spilling is tied to the number of
+//! cores and registers per SM, or the L1 hit rate is tied to the L1 size".
+//! The GUI's Memory Graph view (the paper's Fig. 4) joins the counters
+//! with MT4G's sizes. This module implements that join: profiler counters
+//! + an MT4G [`Report`] → findings with topology-grounded recommendations,
+//! plus the textual memory-graph rendering the `fig4` harness prints.
+
+use mt4g_core::report::Report;
+use mt4g_sim::device::CacheKind;
+use serde::{Deserialize, Serialize};
+
+/// Profiler counters of one kernel (Nsight Compute / rocprof analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// L1 (unified) hit rate in `[0, 1]`.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate in `[0, 1]`.
+    pub l2_hit_rate: f64,
+    /// Bytes moved between L1 and L2.
+    pub l1_l2_traffic_bytes: u64,
+    /// Bytes moved between L2 and device memory.
+    pub l2_dram_traffic_bytes: u64,
+    /// Registers allocated per thread.
+    pub regs_per_thread: u32,
+    /// Spilled register bytes per thread (local-memory traffic).
+    pub spill_bytes_per_thread: u32,
+    /// Threads per block of the launch.
+    pub threads_per_block: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_bytes_per_block: u64,
+    /// Working-set estimate of the kernel's hot data, bytes.
+    pub working_set_bytes: u64,
+}
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational.
+    Info,
+    /// Likely measurable impact.
+    Warning,
+    /// Dominant bottleneck.
+    Critical,
+}
+
+/// One bottleneck finding with a topology-grounded recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Severity.
+    pub severity: Severity,
+    /// Short title.
+    pub title: String,
+    /// Recommendation referencing concrete MT4G attributes.
+    pub recommendation: String,
+}
+
+/// Runs the analysis.
+pub fn analyze(report: &Report, k: &KernelCounters) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let compute = &report.compute;
+
+    // --- Register pressure / spilling (tied to regs per SM).
+    let max_concurrent_threads = if k.regs_per_thread > 0 {
+        compute.regs_per_sm / k.regs_per_thread
+    } else {
+        compute.max_threads_per_sm
+    };
+    if k.spill_bytes_per_thread > 0 {
+        findings.push(Finding {
+            severity: Severity::Critical,
+            title: "register spilling".into(),
+            recommendation: format!(
+                "{} B/thread spill to local memory; the SM offers {} registers \
+                 shared by up to {} threads — reduce per-thread live state or \
+                 cap the block at {} threads to restore full-register occupancy",
+                k.spill_bytes_per_thread,
+                compute.regs_per_sm,
+                compute.max_threads_per_sm,
+                max_concurrent_threads.min(compute.max_threads_per_block)
+            ),
+        });
+    } else if max_concurrent_threads < compute.max_threads_per_sm {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            title: "register-limited occupancy".into(),
+            recommendation: format!(
+                "{} regs/thread limit the SM to {} of {} threads",
+                k.regs_per_thread, max_concurrent_threads, compute.max_threads_per_sm
+            ),
+        });
+    }
+
+    // --- L1 hit rate vs L1 size (the Fig. 4 headline join).
+    let l1_kind = if report.element(CacheKind::L1).is_some() {
+        CacheKind::L1
+    } else {
+        CacheKind::VL1
+    };
+    if let Some(l1_size) = report.element(l1_kind).and_then(|e| e.size.value()) {
+        if k.l1_hit_rate < 0.5 {
+            let fits = k.working_set_bytes <= *l1_size;
+            findings.push(Finding {
+                severity: if fits { Severity::Warning } else { Severity::Critical },
+                title: format!("low {} hit rate", l1_kind.label()),
+                recommendation: if fits {
+                    format!(
+                        "hit rate {:.0}% although the {} B working set fits the \
+                         {} B {} — check the access pattern for conflicting strides",
+                        k.l1_hit_rate * 100.0,
+                        k.working_set_bytes,
+                        l1_size,
+                        l1_kind.label()
+                    )
+                } else {
+                    format!(
+                        "hit rate {:.0}%: the {} B working set exceeds the {} B {} — \
+                         re-block the problem to tiles of at most {} B",
+                        k.l1_hit_rate * 100.0,
+                        k.working_set_bytes,
+                        l1_size,
+                        l1_kind.label(),
+                        l1_size
+                    )
+                },
+            });
+        }
+    }
+
+    // --- L2 fit (tied to the *visible segment*, not the API total).
+    if let Some(e) = report.element(CacheKind::L2) {
+        if let (Some(&seg), Some(amount)) = (e.size.value(), e.amount.value()) {
+            let visible = if amount.count > 0 && matches!(e.size, mt4g_core::report::Attribute::FromApi { .. }) {
+                seg / amount.count as u64
+            } else {
+                seg
+            };
+            if k.l2_hit_rate < 0.5 && k.working_set_bytes > visible {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    title: "L2 capacity exceeded".into(),
+                    recommendation: format!(
+                        "working set {} B exceeds the {} B L2 visible to one SM \
+                         ({} segment(s)) — expect device-memory bandwidth beyond it",
+                        k.working_set_bytes, visible, amount.count
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Shared-memory occupancy.
+    let scratch_kind = if report.element(CacheKind::SharedMemory).is_some() {
+        CacheKind::SharedMemory
+    } else {
+        CacheKind::Lds
+    };
+    if let Some(total) = report.element(scratch_kind).and_then(|e| e.size.value()) {
+        if k.shared_bytes_per_block > 0 {
+            let blocks = total / k.shared_bytes_per_block.max(1);
+            if blocks < compute.max_blocks_per_sm as u64 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    title: format!("{}-limited occupancy", scratch_kind.label()),
+                    recommendation: format!(
+                        "{} B/block of {} caps residency at {} blocks/SM (hardware \
+                         allows {})",
+                        k.shared_bytes_per_block,
+                        scratch_kind.label(),
+                        blocks,
+                        compute.max_blocks_per_sm
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity));
+    findings
+}
+
+/// Renders the GPUscout-GUI Memory-Graph component (Fig. 4) as text:
+/// boxes for the memory elements annotated with MT4G sizes, arrows with
+/// profiler traffic.
+pub fn memory_graph(report: &Report, k: &KernelCounters) -> String {
+    let size_of = |kind: CacheKind| -> String {
+        report
+            .element(kind)
+            .and_then(|e| e.size.value())
+            .map(|&s| mt4g_core::report::format_bytes(s))
+            .unwrap_or_else(|| "?".into())
+    };
+    let l1 = if report.element(CacheKind::L1).is_some() {
+        CacheKind::L1
+    } else {
+        CacheKind::VL1
+    };
+    let scratch = if report.element(CacheKind::SharedMemory).is_some() {
+        CacheKind::SharedMemory
+    } else {
+        CacheKind::Lds
+    };
+    format!(
+        "Kernel\n  |\n  v\n[{l1_label} {l1_size}]  hit {l1_hit:.0}%   [{sc_label} {sc_size}]\n  |  {l1l2} B\n  v\n[L2 {l2_size}]  hit {l2_hit:.0}%\n  |  {l2d} B\n  v\n[Device {dram_size}]\n",
+        l1_label = l1.label(),
+        l1_size = size_of(l1),
+        l1_hit = k.l1_hit_rate * 100.0,
+        sc_label = scratch.label(),
+        sc_size = size_of(scratch),
+        l1l2 = k.l1_l2_traffic_bytes,
+        l2_size = size_of(CacheKind::L2),
+        l2_hit = k.l2_hit_rate * 100.0,
+        l2d = k.l2_dram_traffic_bytes,
+        dram_size = size_of(CacheKind::DeviceMemory),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_core::report::{
+        AmountReport, AmountScope, Attribute, ComputeInfo, DeviceInfo, RuntimeInfo,
+    };
+    use mt4g_sim::device::Vendor;
+
+    fn report() -> Report {
+        let mut r = Report {
+            device: DeviceInfo {
+                name: "H100".into(),
+                vendor: Vendor::Nvidia,
+                compute_capability: "9.0".into(),
+                clock_mhz: 1980,
+                mem_clock_mhz: 2619,
+                bus_width_bits: 5120,
+            },
+            compute: ComputeInfo {
+                num_sms: 132,
+                cores_per_sm: 128,
+                warp_size: 32,
+                warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                max_threads_per_sm: 2048,
+                regs_per_block: 65536,
+                regs_per_sm: 65536,
+                cu_physical_ids: None,
+            },
+            memory: Vec::new(),
+            compute_throughput: Vec::new(),
+            runtime: RuntimeInfo::default(),
+        };
+        r.element_mut(CacheKind::L1).size = Attribute::Measured {
+            value: 243712,
+            confidence: 0.99,
+        };
+        r.element_mut(CacheKind::L2).size = Attribute::FromApi {
+            value: 50 * 1024 * 1024,
+        };
+        r.element_mut(CacheKind::L2).amount = Attribute::Measured {
+            value: AmountReport {
+                count: 2,
+                scope: AmountScope::PerGpu,
+            },
+            confidence: 0.95,
+        };
+        r.element_mut(CacheKind::SharedMemory).size = Attribute::FromApi { value: 233472 };
+        r.element_mut(CacheKind::DeviceMemory).size = Attribute::FromApi {
+            value: 80 * (1 << 30),
+        };
+        r
+    }
+
+    fn healthy_counters() -> KernelCounters {
+        KernelCounters {
+            l1_hit_rate: 0.92,
+            l2_hit_rate: 0.85,
+            l1_l2_traffic_bytes: 1 << 24,
+            l2_dram_traffic_bytes: 1 << 20,
+            regs_per_thread: 32,
+            spill_bytes_per_thread: 0,
+            threads_per_block: 256,
+            shared_bytes_per_block: 0,
+            working_set_bytes: 64 * 1024,
+        }
+    }
+
+    #[test]
+    fn healthy_kernel_has_no_critical_findings() {
+        let findings = analyze(&report(), &healthy_counters());
+        assert!(findings.iter().all(|f| f.severity != Severity::Critical));
+    }
+
+    #[test]
+    fn spilling_is_critical_and_cites_register_file() {
+        let k = KernelCounters {
+            spill_bytes_per_thread: 64,
+            regs_per_thread: 255,
+            ..healthy_counters()
+        };
+        let findings = analyze(&report(), &k);
+        let f = findings
+            .iter()
+            .find(|f| f.title.contains("spill"))
+            .expect("spill finding");
+        assert_eq!(f.severity, Severity::Critical);
+        assert!(f.recommendation.contains("65536"));
+    }
+
+    #[test]
+    fn oversized_working_set_cites_the_true_l1_size() {
+        let k = KernelCounters {
+            l1_hit_rate: 0.2,
+            working_set_bytes: 1 << 20, // 1 MiB >> 238 KiB
+            ..healthy_counters()
+        };
+        let findings = analyze(&report(), &k);
+        let f = findings
+            .iter()
+            .find(|f| f.title.contains("hit rate"))
+            .expect("L1 finding");
+        assert_eq!(f.severity, Severity::Critical);
+        assert!(f.recommendation.contains("243712"));
+    }
+
+    #[test]
+    fn fitting_working_set_downgrades_to_pattern_warning() {
+        let k = KernelCounters {
+            l1_hit_rate: 0.2,
+            working_set_bytes: 100 * 1024, // fits 238 KiB
+            ..healthy_counters()
+        };
+        let findings = analyze(&report(), &k);
+        let f = findings.iter().find(|f| f.title.contains("hit rate")).unwrap();
+        assert_eq!(f.severity, Severity::Warning);
+        assert!(f.recommendation.contains("access pattern"));
+    }
+
+    #[test]
+    fn l2_segment_visibility_is_used_not_api_total() {
+        // Working set of 30 MiB: below the 50 MiB API total but above the
+        // 25 MiB segment one SM can reach.
+        let k = KernelCounters {
+            l2_hit_rate: 0.3,
+            working_set_bytes: 30 * 1024 * 1024,
+            ..healthy_counters()
+        };
+        let findings = analyze(&report(), &k);
+        let f = findings
+            .iter()
+            .find(|f| f.title.contains("L2"))
+            .expect("L2 finding");
+        assert!(f.recommendation.contains("26214400")); // 25 MiB segment
+    }
+
+    #[test]
+    fn shared_memory_occupancy_finding() {
+        let k = KernelCounters {
+            shared_bytes_per_block: 48 * 1024,
+            ..healthy_counters()
+        };
+        let findings = analyze(&report(), &k);
+        let f = findings
+            .iter()
+            .find(|f| f.title.contains("occupancy"))
+            .expect("occupancy finding");
+        assert!(f.recommendation.contains("4 blocks/SM"));
+    }
+
+    #[test]
+    fn memory_graph_contains_sizes_and_rates() {
+        let g = memory_graph(&report(), &healthy_counters());
+        assert!(g.contains("238KiB"));
+        assert!(g.contains("50MiB"));
+        assert!(g.contains("hit 92%"));
+    }
+}

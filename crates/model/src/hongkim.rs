@@ -1,0 +1,269 @@
+//! The Hong–Kim analytical GPU performance model (paper Sec. VI-A).
+//!
+//! The model's two key indicators are **CWP** (compute warp parallelism —
+//! how many warps can execute while one waits on memory) and **MWP**
+//! (memory warp parallelism — how many warps can access memory
+//! concurrently), Eqs. (3)–(4) of the MT4G paper:
+//!
+//! ```text
+//! CWP' = (mem_cycles + comp_cycles) / comp_cycles
+//! CWP  = min(CWP', N)
+//! MWP' = mem_latency / departure_delay
+//! MWP'' = mem_bandwidth / (BW_per_warp × #SMs),
+//!         BW_per_warp = freq × load_bytes_per_warp / mem_latency
+//! MWP  = min(MWP', MWP'', N)
+//! ```
+//!
+//! with `N` the number of active warps per SM. If CWP exceeds MWP the
+//! application is memory-bound, otherwise compute-bound. The GPU-side
+//! parameters — `mem_latency`, `mem_bandwidth`, `mem_freq` and the launch
+//! bounds that cap `N` — come straight from an MT4G [`Report`], which is
+//! exactly the integration the paper demonstrates; the original model only
+//! covers main-memory transfers, but because MT4G reports the full
+//! hierarchy the parameters can equally be taken at L1 or L2
+//! ([`GpuParams::from_report`]'s `level`).
+
+use mt4g_core::report::Report;
+use mt4g_sim::device::CacheKind;
+use serde::{Deserialize, Serialize};
+
+/// GPU-specific model parameters, obtainable from an MT4G report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuParams {
+    /// Memory latency in core cycles at the modeled level.
+    pub mem_latency: f64,
+    /// Achieved memory bandwidth in bytes/cycle (whole GPU).
+    pub mem_bandwidth_bytes_per_cycle: f64,
+    /// Departure delay between consecutive memory warps on one SM
+    /// (cycles); coalesced accesses pipeline tightly.
+    pub departure_delay: f64,
+    /// Number of SMs.
+    pub num_sms: u32,
+    /// Bytes one warp's memory instruction moves (warp_size × 4 B for
+    /// 32-bit loads).
+    pub load_bytes_per_warp: f64,
+    /// Maximum active warps per SM (caps both CWP and MWP).
+    pub max_warps_per_sm: f64,
+}
+
+impl GpuParams {
+    /// Extracts the model parameters from an MT4G report at the given
+    /// memory level ([`CacheKind::DeviceMemory`] for the original model;
+    /// `L2` or `L1` for the hierarchy-extended variant).
+    ///
+    /// Returns `None` when the report lacks the latency for that level
+    /// (e.g. AMD L3, one of the paper's declared gaps).
+    pub fn from_report(report: &Report, level: CacheKind) -> Option<GpuParams> {
+        let element = report.element(level)?;
+        let latency = element.load_latency.value()?.mean;
+        // Bandwidth: the level's own measured bandwidth if present (L2,
+        // L3, device memory), otherwise fall back to device memory.
+        let bw_gibs = element
+            .read_bandwidth_gibs
+            .value()
+            .copied()
+            .or_else(|| {
+                report
+                    .element(CacheKind::DeviceMemory)?
+                    .read_bandwidth_gibs
+                    .value()
+                    .copied()
+            })?;
+        let clock_hz = report.device.clock_mhz as f64 * 1e6;
+        let bytes_per_cycle = bw_gibs * (1u64 << 30) as f64 / clock_hz;
+        let c = &report.compute;
+        Some(GpuParams {
+            mem_latency: latency,
+            mem_bandwidth_bytes_per_cycle: bytes_per_cycle,
+            departure_delay: 4.0, // coalesced departure delay (Hong–Kim)
+            num_sms: c.num_sms,
+            load_bytes_per_warp: c.warp_size as f64 * 4.0,
+            max_warps_per_sm: (c.max_threads_per_sm / c.warp_size.max(1)) as f64,
+        })
+    }
+}
+
+/// Application-specific model parameters (from profiling — Nsight Compute
+/// or rocprof in the paper's workflow).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppParams {
+    /// Computation cycles of one warp between memory periods
+    /// (`comp_cycles`).
+    pub comp_cycles: f64,
+    /// Memory waiting cycles of one warp (`mem_cycles`); for a single
+    /// level this is `#mem_insts × mem_latency`.
+    pub mem_insts: f64,
+    /// Active warps per SM the launch actually achieves (`N`), before the
+    /// hardware cap.
+    pub active_warps_per_sm: f64,
+    /// Total warps the kernel executes per SM (repetitions).
+    pub total_warps_per_sm: f64,
+}
+
+/// Whether the kernel is limited by memory or compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// `CWP > MWP`: warps pile up behind the memory system.
+    MemoryBound,
+    /// `CWP <= MWP`: the memory system keeps up; ALUs dominate.
+    ComputeBound,
+}
+
+/// Full model output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelOutput {
+    /// Compute warp parallelism after the `N` cap.
+    pub cwp: f64,
+    /// Memory warp parallelism after all three caps.
+    pub mwp: f64,
+    /// Raw MWP from latency/departure-delay.
+    pub mwp_parallelism: f64,
+    /// Raw MWP from peak bandwidth.
+    pub mwp_bandwidth: f64,
+    /// Bottleneck classification.
+    pub bound: Bound,
+    /// Estimated execution cycles per SM.
+    pub estimated_cycles: f64,
+}
+
+/// Evaluates the model.
+pub fn evaluate(gpu: &GpuParams, app: &AppParams) -> ModelOutput {
+    let n = app.active_warps_per_sm.min(gpu.max_warps_per_sm).max(1.0);
+    let mem_cycles = app.mem_insts * gpu.mem_latency;
+    let comp_cycles = app.comp_cycles.max(1.0);
+
+    // Eq. (3)
+    let cwp_prime = (mem_cycles + comp_cycles) / comp_cycles;
+    let cwp = cwp_prime.min(n);
+
+    // Eq. (4)
+    let mwp_parallelism = gpu.mem_latency / gpu.departure_delay.max(1.0);
+    let bw_per_warp = gpu.load_bytes_per_warp / gpu.mem_latency; // bytes/cycle/warp
+    let mwp_bandwidth =
+        gpu.mem_bandwidth_bytes_per_cycle / (bw_per_warp * gpu.num_sms as f64).max(1e-9);
+    let mwp = mwp_parallelism.min(mwp_bandwidth).min(n).max(1.0);
+
+    let bound = if cwp > mwp {
+        Bound::MemoryBound
+    } else {
+        Bound::ComputeBound
+    };
+
+    // Execution-cycle estimate, the three Hong–Kim cases. `comp_p` is the
+    // computation between two memory periods.
+    let reps = (app.total_warps_per_sm / n).max(1.0);
+    let comp_p = comp_cycles / app.mem_insts.max(1.0);
+    let cycles_one_batch = if (mwp - n).abs() < f64::EPSILON && (cwp - n).abs() < f64::EPSILON {
+        // Case 3: not enough warps to hide anything.
+        mem_cycles + comp_cycles + comp_p * (mwp - 1.0)
+    } else if cwp >= mwp {
+        // Case 1: memory bound — memory periods serialise in groups of MWP.
+        mem_cycles * (n / mwp) + comp_p * (mwp - 1.0)
+    } else {
+        // Case 2: compute bound — one memory latency exposed.
+        gpu.mem_latency + comp_cycles * n
+    };
+    ModelOutput {
+        cwp,
+        mwp,
+        mwp_parallelism,
+        mwp_bandwidth,
+        bound,
+        estimated_cycles: cycles_one_batch * reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h100_like() -> GpuParams {
+        GpuParams {
+            mem_latency: 843.0,
+            mem_bandwidth_bytes_per_cycle: 1380.0, // ~2.5 TiB/s at 1.98 GHz
+            departure_delay: 4.0,
+            num_sms: 132,
+            load_bytes_per_warp: 128.0,
+            max_warps_per_sm: 64.0,
+        }
+    }
+
+    #[test]
+    fn streaming_kernel_is_memory_bound() {
+        let app = AppParams {
+            comp_cycles: 40.0,
+            mem_insts: 32.0,
+            active_warps_per_sm: 48.0,
+            total_warps_per_sm: 480.0,
+        };
+        // A stream kernel issues 128-bit vector loads: 512 B per warp and
+        // memory instruction, which pushes the bandwidth cap (MWP'') below
+        // the warp count.
+        let gpu = GpuParams {
+            load_bytes_per_warp: 512.0,
+            ..h100_like()
+        };
+        let out = evaluate(&gpu, &app);
+        assert_eq!(out.bound, Bound::MemoryBound);
+        assert!(out.cwp > out.mwp);
+        assert!(out.estimated_cycles > 0.0);
+    }
+
+    #[test]
+    fn arithmetic_kernel_is_compute_bound() {
+        let app = AppParams {
+            comp_cycles: 100_000.0,
+            mem_insts: 2.0,
+            active_warps_per_sm: 16.0,
+            total_warps_per_sm: 64.0,
+        };
+        let out = evaluate(&h100_like(), &app);
+        assert_eq!(out.bound, Bound::ComputeBound);
+    }
+
+    #[test]
+    fn cwp_and_mwp_are_capped_by_active_warps() {
+        let app = AppParams {
+            comp_cycles: 1.0,
+            mem_insts: 1000.0,
+            active_warps_per_sm: 8.0,
+            total_warps_per_sm: 8.0,
+        };
+        let out = evaluate(&h100_like(), &app);
+        assert!(out.cwp <= 8.0);
+        assert!(out.mwp <= 8.0);
+    }
+
+    #[test]
+    fn more_bandwidth_raises_mwp() {
+        let app = AppParams {
+            comp_cycles: 10.0,
+            mem_insts: 50.0,
+            active_warps_per_sm: 64.0,
+            total_warps_per_sm: 64.0,
+        };
+        let mut fast = h100_like();
+        fast.mem_bandwidth_bytes_per_cycle *= 4.0;
+        let slow_out = evaluate(&h100_like(), &app);
+        let fast_out = evaluate(&fast, &app);
+        assert!(fast_out.mwp_bandwidth > slow_out.mwp_bandwidth);
+    }
+
+    #[test]
+    fn memory_bound_kernel_slows_with_higher_latency() {
+        let app = AppParams {
+            comp_cycles: 20.0,
+            mem_insts: 64.0,
+            active_warps_per_sm: 64.0,
+            total_warps_per_sm: 640.0,
+        };
+        let near = GpuParams {
+            mem_latency: 220.0, // L2-resident working set
+            ..h100_like()
+        };
+        let far = h100_like(); // DRAM
+        let near_out = evaluate(&near, &app);
+        let far_out = evaluate(&far, &app);
+        assert!(near_out.estimated_cycles < far_out.estimated_cycles);
+    }
+}

@@ -1,0 +1,154 @@
+//! Roofline model fed by MT4G bandwidths (paper Sec. VI-A closing remark:
+//! "these parameters obtained via MT4G can also support ... the Roofline
+//! model").
+
+use mt4g_core::report::Report;
+use mt4g_sim::device::CacheKind;
+use serde::{Deserialize, Serialize};
+
+/// One bandwidth ceiling of the roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ceiling {
+    /// Which memory level provides this ceiling.
+    pub level: CacheKind,
+    /// Bandwidth in GiB/s.
+    pub bandwidth_gibs: f64,
+    /// Arithmetic intensity (FLOP/byte) where this ceiling meets the
+    /// compute roof.
+    pub ridge_point: f64,
+}
+
+/// A roofline: one compute roof plus one ceiling per measured level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak FP32 throughput in GFLOP/s (cores × 2 (FMA) × clock).
+    pub peak_gflops: f64,
+    /// Bandwidth ceilings, fastest level first.
+    pub ceilings: Vec<Ceiling>,
+}
+
+impl Roofline {
+    /// Builds the roofline from an MT4G report.
+    pub fn from_report(report: &Report) -> Roofline {
+        let c = &report.compute;
+        let peak_gflops =
+            c.num_sms as f64 * c.cores_per_sm as f64 * 2.0 * report.device.clock_mhz as f64 / 1e3;
+        let mut ceilings = Vec::new();
+        for level in [CacheKind::L2, CacheKind::L3, CacheKind::DeviceMemory] {
+            if let Some(e) = report.element(level) {
+                if let Some(&bw) = e.read_bandwidth_gibs.value() {
+                    ceilings.push(Ceiling {
+                        level,
+                        bandwidth_gibs: bw,
+                        ridge_point: peak_gflops / (bw * 1.073_741_824), // GiB -> GB
+                    });
+                }
+            }
+        }
+        ceilings.sort_by(|a, b| b.bandwidth_gibs.total_cmp(&a.bandwidth_gibs));
+        Roofline {
+            peak_gflops,
+            ceilings,
+        }
+    }
+
+    /// Attainable GFLOP/s at arithmetic intensity `ai` (FLOP/byte) when
+    /// the working set is served by `level`.
+    pub fn attainable(&self, level: CacheKind, ai: f64) -> Option<f64> {
+        let ceiling = self.ceilings.iter().find(|c| c.level == level)?;
+        Some(
+            self.peak_gflops
+                .min(ai * ceiling.bandwidth_gibs * 1.073_741_824),
+        )
+    }
+
+    /// Whether a kernel at intensity `ai` against `level` is memory-bound.
+    pub fn is_memory_bound(&self, level: CacheKind, ai: f64) -> Option<bool> {
+        let ceiling = self.ceilings.iter().find(|c| c.level == level)?;
+        Some(ai < ceiling.ridge_point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_core::report::{Attribute, ComputeInfo, DeviceInfo, RuntimeInfo};
+    use mt4g_sim::device::Vendor;
+
+    fn synthetic_report() -> Report {
+        let mut r = Report {
+            device: DeviceInfo {
+                name: "X".into(),
+                vendor: Vendor::Nvidia,
+                compute_capability: "9.0".into(),
+                clock_mhz: 2000,
+                mem_clock_mhz: 2619,
+                bus_width_bits: 5120,
+            },
+            compute: ComputeInfo {
+                num_sms: 100,
+                cores_per_sm: 128,
+                warp_size: 32,
+                warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                max_threads_per_sm: 2048,
+                regs_per_block: 65536,
+                regs_per_sm: 65536,
+                cu_physical_ids: None,
+            },
+            memory: Vec::new(),
+            compute_throughput: Vec::new(),
+            runtime: RuntimeInfo::default(),
+        };
+        r.element_mut(CacheKind::L2).read_bandwidth_gibs = Attribute::Measured {
+            value: 4000.0,
+            confidence: 0.9,
+        };
+        r.element_mut(CacheKind::DeviceMemory).read_bandwidth_gibs = Attribute::Measured {
+            value: 2500.0,
+            confidence: 0.9,
+        };
+        r
+    }
+
+    #[test]
+    fn peak_and_ceilings_from_report() {
+        let rl = Roofline::from_report(&synthetic_report());
+        // 100 SMs * 128 cores * 2 * 2 GHz = 51200 GFLOP/s
+        assert!((rl.peak_gflops - 51_200.0).abs() < 1.0);
+        assert_eq!(rl.ceilings.len(), 2);
+        assert_eq!(rl.ceilings[0].level, CacheKind::L2);
+    }
+
+    #[test]
+    fn attainable_is_bandwidth_limited_below_ridge() {
+        let rl = Roofline::from_report(&synthetic_report());
+        let low_ai = rl.attainable(CacheKind::DeviceMemory, 0.5).unwrap();
+        assert!(low_ai < rl.peak_gflops * 0.1);
+        let high_ai = rl.attainable(CacheKind::DeviceMemory, 1e4).unwrap();
+        assert_eq!(high_ai, rl.peak_gflops);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let rl = Roofline::from_report(&synthetic_report());
+        let ridge = rl.ceilings[1].ridge_point;
+        assert_eq!(
+            rl.is_memory_bound(CacheKind::DeviceMemory, ridge * 0.5),
+            Some(true)
+        );
+        assert_eq!(
+            rl.is_memory_bound(CacheKind::DeviceMemory, ridge * 2.0),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn l2_ceiling_beats_dram_ceiling() {
+        let rl = Roofline::from_report(&synthetic_report());
+        let at_l2 = rl.attainable(CacheKind::L2, 1.0).unwrap();
+        let at_dram = rl.attainable(CacheKind::DeviceMemory, 1.0).unwrap();
+        assert!(at_l2 > at_dram);
+    }
+}

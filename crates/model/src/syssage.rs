@@ -1,0 +1,306 @@
+//! sys-sage-style dynamic topology representation (paper Sec. VI-C).
+//!
+//! sys-sage manages HPC system topologies as attribute-annotated component
+//! trees; MT4G integration is what extends it to GPUs. This module builds
+//! such a tree from an MT4G [`Report`] (the *static* context) and overlays
+//! *dynamic* configuration — NVIDIA MIG partitioning, queried via
+//! nvml in the real system — to answer the question Fig. 5 poses: *what
+//! L2 capacity and bandwidth does a kernel actually see right now?*
+
+use std::collections::BTreeMap;
+
+use mt4g_core::report::{AmountScope, Report};
+use mt4g_sim::device::{CacheKind, Vendor};
+use mt4g_sim::mig::MigProfile;
+use serde::{Deserialize, Serialize};
+
+/// Component type of a topology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// The GPU itself.
+    Gpu,
+    /// A streaming multiprocessor / compute unit group node.
+    SmGroup,
+    /// A memory element (cache, scratchpad, device memory).
+    Memory(CacheKind),
+}
+
+/// One node of the topology tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Display name.
+    pub name: String,
+    /// Component type.
+    pub kind: ComponentKind,
+    /// Free-form attributes (sizes in bytes, latencies in cycles, ...).
+    pub attributes: BTreeMap<String, f64>,
+    /// Children.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    fn new(name: impl Into<String>, kind: ComponentKind) -> Node {
+        Node {
+            name: name.into(),
+            kind,
+            attributes: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth-first search for the first node satisfying `pred`.
+    pub fn find(&self, pred: &dyn Fn(&Node) -> bool) -> Option<&Node> {
+        if pred(self) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(pred))
+    }
+
+    /// Total node count (tree size).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Node::count).sum::<usize>()
+    }
+}
+
+/// The static topology plus the currently applied dynamic configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuTopology {
+    /// Component tree root.
+    pub root: Node,
+    /// The MIG profile in effect (`None` = full GPU / not NVIDIA).
+    pub mig: Option<String>,
+}
+
+impl GpuTopology {
+    /// Builds the static topology tree from an MT4G report.
+    pub fn from_report(report: &Report) -> GpuTopology {
+        let mut root = Node::new(report.device.name.clone(), ComponentKind::Gpu);
+        root.attributes
+            .insert("clock_mhz".into(), report.device.clock_mhz as f64);
+        root.attributes
+            .insert("num_sms".into(), report.compute.num_sms as f64);
+
+        // Per-SM subtree (one representative node — sys-sage stores one per
+        // SM; a count attribute keeps this reproduction's trees small).
+        let mut sm = Node::new(
+            if report.device.vendor == Vendor::Nvidia {
+                "SM"
+            } else {
+                "CU"
+            },
+            ComponentKind::SmGroup,
+        );
+        sm.attributes
+            .insert("count".into(), report.compute.num_sms as f64);
+        sm.attributes
+            .insert("cores".into(), report.compute.cores_per_sm as f64);
+        sm.attributes
+            .insert("warp_size".into(), report.compute.warp_size as f64);
+
+        let per_sm = [
+            CacheKind::L1,
+            CacheKind::Texture,
+            CacheKind::Readonly,
+            CacheKind::ConstL1,
+            CacheKind::SharedMemory,
+            CacheKind::VL1,
+            CacheKind::SL1D,
+            CacheKind::Lds,
+        ];
+        for m in &report.memory {
+            let mut node = Node::new(m.kind.label(), ComponentKind::Memory(m.kind));
+            if let Some(&size) = m.size.value() {
+                node.attributes.insert("size_bytes".into(), size as f64);
+                // For segmented GPU-level caches the report's size is the
+                // API total; what one SM can address is a single segment —
+                // the quantity Fig. 5 is about.
+                if let Some(amount) = m.amount.value() {
+                    if amount.scope == AmountScope::PerGpu && amount.count > 1 {
+                        node.attributes.insert(
+                            "segment_bytes".into(),
+                            size as f64 / amount.count as f64,
+                        );
+                    }
+                }
+            }
+            if let Some(lat) = m.load_latency.value() {
+                node.attributes.insert("load_latency_cycles".into(), lat.mean);
+            }
+            if let Some(&bw) = m.read_bandwidth_gibs.value() {
+                node.attributes.insert("read_bw_gibs".into(), bw);
+            }
+            if let Some(&line) = m.cache_line_bytes.value() {
+                node.attributes.insert("line_bytes".into(), line as f64);
+            }
+            if let Some(amount) = m.amount.value() {
+                node.attributes
+                    .insert("amount".into(), amount.count as f64);
+            }
+            if per_sm.contains(&m.kind) {
+                sm.children.push(node);
+            } else {
+                root.children.push(node);
+            }
+        }
+        root.children.push(sm);
+        GpuTopology { root, mig: None }
+    }
+
+    /// Applies a MIG profile: scales the SM count, L2 and device-memory
+    /// capacities/bandwidths — what sys-sage does when it combines static
+    /// MT4G data with a dynamic `nvml` query.
+    pub fn apply_mig(&mut self, profile: &MigProfile) {
+        let mem_frac = profile.memory_fraction();
+        let compute_frac = profile.compute_slices as f64 / profile.compute_total as f64;
+        self.mig = Some(profile.name.to_string());
+        if let Some(sms) = self.root.attributes.get_mut("num_sms") {
+            *sms = (*sms * compute_frac).floor().max(1.0);
+        }
+        for child in &mut self.root.children {
+            match child.kind {
+                ComponentKind::Memory(CacheKind::L2) => {
+                    // The instance owns `mem_frac` of the total L2; one SM
+                    // still sees at most one physical segment of it.
+                    let total = child.attributes.get("size_bytes").copied().unwrap_or(0.0);
+                    let segment = child
+                        .attributes
+                        .get("segment_bytes")
+                        .copied()
+                        .unwrap_or(total);
+                    let own_total = total * mem_frac;
+                    child.attributes.insert("size_bytes".into(), own_total);
+                    child
+                        .attributes
+                        .insert("segment_bytes".into(), own_total.min(segment));
+                    if let Some(bw) = child.attributes.get_mut("read_bw_gibs") {
+                        *bw *= mem_frac;
+                    }
+                }
+                ComponentKind::Memory(CacheKind::DeviceMemory) => {
+                    for key in ["size_bytes", "read_bw_gibs"] {
+                        if let Some(v) = child.attributes.get_mut(key) {
+                            *v *= mem_frac;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The L2 capacity one SM can currently address — the vertical lines
+    /// of Fig. 5. On the full GPU this is one *segment* (total/amount);
+    /// inside a MIG slice it is the slice's L2, capped at one segment.
+    pub fn visible_l2_bytes(&self) -> Option<u64> {
+        let l2 = self
+            .root
+            .find(&|n| n.kind == ComponentKind::Memory(CacheKind::L2))?;
+        let size = l2
+            .attributes
+            .get("segment_bytes")
+            .or_else(|| l2.attributes.get("size_bytes"))?;
+        Some(*size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_core::report::{
+        AmountReport, AmountScope, Attribute, ComputeInfo, DeviceInfo, RuntimeInfo,
+    };
+
+    fn a100_like_report() -> Report {
+        let mut r = Report {
+            device: DeviceInfo {
+                name: "A100".into(),
+                vendor: Vendor::Nvidia,
+                compute_capability: "8.0".into(),
+                clock_mhz: 1410,
+                mem_clock_mhz: 1215,
+                bus_width_bits: 5120,
+            },
+            compute: ComputeInfo {
+                num_sms: 108,
+                cores_per_sm: 64,
+                warp_size: 32,
+                warps_per_sm: 64,
+                max_blocks_per_sm: 32,
+                max_threads_per_block: 1024,
+                max_threads_per_sm: 2048,
+                regs_per_block: 65536,
+                regs_per_sm: 65536,
+                cu_physical_ids: None,
+            },
+            memory: Vec::new(),
+            compute_throughput: Vec::new(),
+            runtime: RuntimeInfo::default(),
+        };
+        // L2: the suite reports the API total (40 MiB) as the size and the
+        // measured segmentation (2) as the per-GPU amount.
+        r.element_mut(CacheKind::L2).size = Attribute::FromApi {
+            value: 40 * 1024 * 1024,
+        };
+        r.element_mut(CacheKind::L2).amount = Attribute::Measured {
+            value: AmountReport {
+                count: 2,
+                scope: AmountScope::PerGpu,
+            },
+            confidence: 0.99,
+        };
+        r.element_mut(CacheKind::L2).read_bandwidth_gibs = Attribute::Measured {
+            value: 3600.0,
+            confidence: 0.9,
+        };
+        r.element_mut(CacheKind::L1).size = Attribute::Measured {
+            value: 128 * 1024,
+            confidence: 0.99,
+        };
+        r.element_mut(CacheKind::DeviceMemory).size = Attribute::FromApi {
+            value: 40 * (1 << 30),
+        };
+        r
+    }
+
+    #[test]
+    fn tree_places_l1_under_sm_and_l2_at_gpu_level() {
+        let topo = GpuTopology::from_report(&a100_like_report());
+        let sm = topo
+            .root
+            .find(&|n| n.kind == ComponentKind::SmGroup)
+            .unwrap();
+        assert!(sm
+            .children
+            .iter()
+            .any(|c| c.kind == ComponentKind::Memory(CacheKind::L1)));
+        assert!(topo
+            .root
+            .children
+            .iter()
+            .any(|c| c.kind == ComponentKind::Memory(CacheKind::L2)));
+        assert!(topo.root.count() > 4);
+    }
+
+    #[test]
+    fn full_gpu_visible_l2_is_one_segment() {
+        let topo = GpuTopology::from_report(&a100_like_report());
+        assert_eq!(topo.visible_l2_bytes(), Some(20 * 1024 * 1024));
+    }
+
+    #[test]
+    fn fig5_key_case_4g20gb_keeps_visible_l2() {
+        let mut topo = GpuTopology::from_report(&a100_like_report());
+        topo.apply_mig(&MigProfile::A100_4G_20GB);
+        assert_eq!(topo.visible_l2_bytes(), Some(20 * 1024 * 1024));
+        assert_eq!(topo.mig.as_deref(), Some("4g.20gb"));
+    }
+
+    #[test]
+    fn smaller_mig_shrinks_visible_l2_and_sms() {
+        let mut topo = GpuTopology::from_report(&a100_like_report());
+        topo.apply_mig(&MigProfile::A100_1G_5GB);
+        assert_eq!(topo.visible_l2_bytes(), Some(5 * 1024 * 1024));
+        let sms = topo.root.attributes["num_sms"];
+        assert_eq!(sms, 15.0); // floor(108 / 7)
+    }
+}

@@ -1,0 +1,178 @@
+//! Emulated vendor query APIs.
+//!
+//! MT4G "integrates these interfaces wherever possible to avoid unnecessary
+//! benchmarking of information available elsewhere" (paper Sec. II-D). The
+//! emulation reproduces the *availability matrix* of Table I:
+//!
+//! | Information                  | NVIDIA            | AMD                |
+//! |------------------------------|-------------------|--------------------|
+//! | Device properties            | `cudaDeviceProp`  | `hipDeviceProp_t`  |
+//! | L2 total size                | API               | API                |
+//! | Shared Memory / LDS size     | API               | API                |
+//! | Device memory size           | API               | API                |
+//! | L2/L3 cache line size        | —                 | KFD driver files   |
+//! | L2/L3 size & amount (XCDs)   | —                 | HSA runtime        |
+//! | Logical→physical CU ids      | —                 | API                |
+//! | Everything else              | *benchmarked*     | *benchmarked*      |
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{CacheKind, Vendor};
+use crate::gpu::Gpu;
+
+/// The `hipDeviceProp_t` / `cudaDeviceProp` analogue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProps {
+    /// Marketing name.
+    pub name: String,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Compute capability (NVIDIA, e.g. "9.0") or gfx arch (AMD).
+    pub compute_capability: String,
+    /// Core clock in MHz.
+    pub clock_mhz: u32,
+    /// Memory clock in MHz.
+    pub mem_clock_mhz: u32,
+    /// Memory bus width in bits.
+    pub bus_width_bits: u32,
+    /// Device memory size in bytes.
+    pub total_mem_bytes: u64,
+    /// Total L2 size in bytes (across all segments — the API hides the
+    /// segmentation, which is exactly why the L2-segment benchmark exists).
+    pub l2_size_bytes: u64,
+    /// Shared Memory (NVIDIA) / LDS (AMD) size per SM/CU in bytes.
+    pub shared_mem_per_sm_bytes: u64,
+    /// Number of SMs / CUs.
+    pub num_sms: u32,
+    /// Warp / wavefront size.
+    pub warp_size: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM/CU.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM/CU.
+    pub max_blocks_per_sm: u32,
+    /// Registers per block.
+    pub regs_per_block: u32,
+    /// Registers per SM/CU.
+    pub regs_per_sm: u32,
+}
+
+/// `hipGetDeviceProperties` — available on both vendors.
+pub fn device_props(gpu: &Gpu) -> DeviceProps {
+    let c = &gpu.config;
+    DeviceProps {
+        name: c.name.clone(),
+        vendor: c.vendor,
+        compute_capability: c.chip.compute_capability.clone(),
+        clock_mhz: c.chip.clock_mhz,
+        mem_clock_mhz: c.chip.mem_clock_mhz,
+        bus_width_bits: c.chip.bus_width_bits,
+        total_mem_bytes: c.dram.size,
+        l2_size_bytes: c.l2_total_size().unwrap_or(0),
+        shared_mem_per_sm_bytes: c.scratchpad.size,
+        num_sms: c.chip.num_sms,
+        warp_size: c.chip.warp_size,
+        max_threads_per_block: c.chip.max_threads_per_block,
+        max_threads_per_sm: c.chip.max_threads_per_sm,
+        max_blocks_per_sm: c.chip.max_blocks_per_sm,
+        regs_per_block: c.chip.regs_per_block,
+        regs_per_sm: c.chip.regs_per_sm,
+    }
+}
+
+/// HSA runtime cache sizes — AMD only. Reports the GPU-level caches (L2
+/// per-XCD size and L3 if present); the CU-level vL1/sL1d are *not* in the
+/// HSA tables with useful granularity, so MT4G benchmarks them (Table I).
+pub fn hsa_cache_sizes(gpu: &Gpu) -> Option<Vec<(CacheKind, u64)>> {
+    if gpu.vendor() != Vendor::Amd {
+        return None;
+    }
+    let mut out = Vec::new();
+    if let Some(l2) = gpu.config.cache(CacheKind::L2) {
+        out.push((CacheKind::L2, l2.size));
+    }
+    if let Some(l3) = gpu.config.cache(CacheKind::L3) {
+        out.push((CacheKind::L3, l3.size * l3.segments as u64));
+    }
+    Some(out)
+}
+
+/// KFD driver-file cache line sizes — AMD only (L2 and L3).
+pub fn kfd_cache_line_sizes(gpu: &Gpu) -> Option<Vec<(CacheKind, u32)>> {
+    if gpu.vendor() != Vendor::Amd {
+        return None;
+    }
+    let mut out = Vec::new();
+    if let Some(l2) = gpu.config.cache(CacheKind::L2) {
+        out.push((CacheKind::L2, l2.line_size));
+    }
+    if let Some(l3) = gpu.config.cache(CacheKind::L3) {
+        out.push((CacheKind::L3, l3.line_size));
+    }
+    Some(out)
+}
+
+/// Number of XCDs (accelerator complex dies) — AMD only. MT4G assumes one
+/// L2 segment per XCD (paper Sec. IV-F1).
+pub fn xcd_count(gpu: &Gpu) -> Option<u32> {
+    gpu.config.xcd_count()
+}
+
+/// Logical→physical CU id mapping — AMD only (paper Sec. III-B).
+pub fn logical_to_physical_cu(gpu: &Gpu) -> Option<Vec<u32>> {
+    gpu.config
+        .cu_layout
+        .as_ref()
+        .map(|l| l.physical_ids.clone())
+}
+
+/// Number of L3 instances — AMD only, via API (Table I).
+pub fn l3_amount(gpu: &Gpu) -> Option<u32> {
+    if gpu.vendor() != Vendor::Amd {
+        return None;
+    }
+    gpu.config.cache(CacheKind::L3).map(|s| s.segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn nvidia_props_hide_amd_interfaces() {
+        let gpu = presets::h100_80();
+        let props = device_props(&gpu);
+        assert_eq!(props.vendor, Vendor::Nvidia);
+        assert_eq!(props.l2_size_bytes, 50 * 1024 * 1024);
+        assert!(hsa_cache_sizes(&gpu).is_none());
+        assert!(kfd_cache_line_sizes(&gpu).is_none());
+        assert!(xcd_count(&gpu).is_none());
+        assert!(logical_to_physical_cu(&gpu).is_none());
+    }
+
+    #[test]
+    fn amd_interfaces_report_l2_info() {
+        let gpu = presets::mi210();
+        let props = device_props(&gpu);
+        assert_eq!(props.vendor, Vendor::Amd);
+        assert_eq!(props.warp_size, 64);
+        let sizes = hsa_cache_sizes(&gpu).unwrap();
+        assert!(sizes.contains(&(CacheKind::L2, 8 * 1024 * 1024)));
+        let lines = kfd_cache_line_sizes(&gpu).unwrap();
+        assert!(lines.iter().any(|&(k, sz)| k == CacheKind::L2 && sz == 128));
+        assert_eq!(xcd_count(&gpu), Some(1));
+        let map = logical_to_physical_cu(&gpu).unwrap();
+        assert_eq!(map.len(), 104);
+    }
+
+    #[test]
+    fn mi300x_reports_multiple_xcds_and_l3() {
+        let gpu = presets::mi300x();
+        assert_eq!(xcd_count(&gpu), Some(8));
+        assert_eq!(l3_amount(&gpu), Some(1));
+        let sizes = hsa_cache_sizes(&gpu).unwrap();
+        assert!(sizes.iter().any(|&(k, _)| k == CacheKind::L3));
+    }
+}

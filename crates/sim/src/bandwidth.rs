@@ -1,0 +1,249 @@
+//! Analytic bandwidth / streaming model.
+//!
+//! The bandwidth benchmarks (paper Sec. IV-I) are the one family that does
+//! not use the p-chase pattern: they run a STREAM-like kernel with 128-bit
+//! vector loads (`ld.global.v4.u32` / `flat_load_dwordx4`) across many
+//! blocks and threads, timed with `hipEventRecord`. Cycle-accurate
+//! simulation of thousands of concurrent threads is out of scope, so the
+//! substrate models the *achieved throughput* analytically:
+//!
+//! `achieved = planted_peak × η(blocks) × η(threads) × (1 + jitter)`
+//!
+//! where the efficiency factors peak at the heuristic launch configuration
+//! the paper found optimal (`num_SMs × max_blocks_per_SM` blocks, maximum
+//! threads per block) and fall off away from it — so MT4G's launch-config
+//! sweep actually has something to find.
+
+use rand::Rng;
+
+use crate::device::{CacheKind, DeviceConfig};
+use crate::gpu::Gpu;
+
+/// Direction of a stream benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Load-only stream.
+    Read,
+    /// Store-only stream.
+    Write,
+}
+
+/// Bytes moved per 128-bit vector instruction.
+pub const VECTOR_WIDTH_BYTES: u64 = 16;
+
+/// Block-count efficiency: ramps up to 1.0 at the optimal block count and
+/// decays gently beyond it (oversubscription costs scheduling overhead).
+fn block_efficiency(blocks: u32, optimal: u32) -> f64 {
+    if blocks == 0 {
+        return 0.0;
+    }
+    let x = blocks as f64 / optimal.max(1) as f64;
+    if x <= 1.0 {
+        // Concave ramp: half the blocks already reach ~84% of peak.
+        x.powf(0.25)
+    } else {
+        1.0 / (1.0 + 0.08 * (x - 1.0))
+    }
+}
+
+/// Thread-count efficiency: the memory pipeline needs the full thread
+/// complement to cover latency.
+fn thread_efficiency(threads: u32, max_threads: u32) -> f64 {
+    if threads == 0 {
+        return 0.0;
+    }
+    (threads as f64 / max_threads.max(1) as f64).min(1.0).powf(0.5)
+}
+
+/// Planted peak bandwidth (GiB/s) of a level, if it is benchmarkable.
+pub fn level_peak_gibs(cfg: &DeviceConfig, level: CacheKind, op: StreamOp) -> Option<f64> {
+    match level {
+        CacheKind::DeviceMemory => Some(match op {
+            StreamOp::Read => cfg.dram.read_bw_gibs,
+            StreamOp::Write => cfg.dram.write_bw_gibs,
+        }),
+        _ => {
+            let spec = cfg.cache(level)?;
+            match op {
+                StreamOp::Read => spec.read_bw_gibs,
+                StreamOp::Write => spec.write_bw_gibs,
+            }
+        }
+    }
+}
+
+/// Runs one simulated stream kernel against `level` and returns the
+/// achieved bandwidth in GiB/s.
+///
+/// `blocks`/`threads_per_block` are the launch configuration; `bytes` the
+/// working-set size (it must fit the level being measured — the *caller*,
+/// i.e. the MT4G bandwidth benchmark, picks it that way, just like the real
+/// tool sizes its arrays). Returns `None` if the level has no planted
+/// bandwidth (lower-level caches are not bandwidth-benchmarked, Table I).
+pub fn stream_bandwidth_gibs(
+    gpu: &mut Gpu,
+    level: CacheKind,
+    op: StreamOp,
+    bytes: u64,
+    blocks: u32,
+    threads_per_block: u32,
+) -> Option<f64> {
+    let cfg = &gpu.config;
+    let peak = level_peak_gibs(cfg, level, op)?;
+    let optimal_blocks = cfg.chip.num_sms * cfg.chip.max_blocks_per_sm;
+    let eff = block_efficiency(blocks, optimal_blocks)
+        * thread_efficiency(threads_per_block, cfg.chip.max_threads_per_block);
+    // Kernel-launch overhead makes tiny transfers look slow.
+    let clock_hz = cfg.chip.clock_mhz as f64 * 1e6;
+    let launch_overhead_s = 2e-6;
+    let gib = bytes as f64 / (1u64 << 30) as f64;
+    let transfer_s = gib / (peak * eff).max(1e-9);
+    let jitter: f64 = gpu.rng_mut().gen_range(-0.01..0.01);
+    let total_s = (transfer_s + launch_overhead_s) * (1.0 + jitter);
+    let cycles = (total_s * clock_hz) as u64;
+    gpu.account_analytic_kernel(cycles, bytes / VECTOR_WIDTH_BYTES);
+    Some(gib / total_s)
+}
+
+/// Streaming-read cost in ns/B for an array of `bytes`, read repeatedly by
+/// a *single SM* — the measurement of the paper's Fig. 5.
+///
+/// Below the visible L2 capacity the stream is served at the single-SM L2
+/// rate; above it, the miss fraction is served by DRAM. Single-SM rates
+/// are a fixed fraction of the planted aggregate bandwidths (one SM cannot
+/// saturate the fabric).
+pub fn single_sm_stream_ns_per_byte(gpu: &mut Gpu, bytes: u64) -> f64 {
+    // A single SM's achievable rate is concurrency-limited (Little's law):
+    // bytes in flight / load latency. It therefore does NOT scale with MIG
+    // partitioning — which is exactly why Fig. 5's full-GPU and 4g.20gb
+    // curves coincide.
+    let clock_hz = gpu.config.chip.clock_mhz as f64 * 1e6;
+    let in_flight_bytes = gpu.config.chip.max_threads_per_sm as f64 * VECTOR_WIDTH_BYTES as f64;
+    let l2 = *gpu.config.cache(CacheKind::L2).expect("device has an L2");
+    let dram_latency = gpu.config.dram.load_latency;
+    let rate_at = |latency_cycles: u32| -> f64 {
+        let latency_s = latency_cycles as f64 / clock_hz;
+        in_flight_bytes / latency_s / (1u64 << 30) as f64 // GiB/s
+    };
+    let l2_rate = rate_at(l2.load_latency);
+    let dram_rate = rate_at(dram_latency);
+    // One SM sees exactly one L2 segment (paper Sec. VI-C observation 2).
+    let visible = l2.size;
+    let hit_fraction = if bytes <= visible {
+        1.0
+    } else {
+        visible as f64 / bytes as f64
+    };
+    let gibps = hit_fraction * l2_rate + (1.0 - hit_fraction) * dram_rate;
+    let jitter: f64 = gpu.rng_mut().gen_range(-0.015..0.015);
+    let ns_per_byte = 1e9 / (gibps * (1u64 << 30) as f64) * (1.0 + jitter);
+    let cycles = (bytes as f64 * ns_per_byte * 1e-9 * clock_hz) as u64;
+    gpu.account_analytic_kernel(cycles, bytes / VECTOR_WIDTH_BYTES);
+    ns_per_byte
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mig::{mig_view, MigProfile};
+    use crate::presets;
+
+    #[test]
+    fn optimal_launch_achieves_planted_peak() {
+        let mut gpu = presets::h100_80();
+        let cfg = gpu.config.clone();
+        let blocks = cfg.chip.num_sms * cfg.chip.max_blocks_per_sm;
+        // `bytes` is the total volume moved (the real benchmark loops a
+        // cache-resident array many times) — large enough to amortise the
+        // launch overhead.
+        let bw = stream_bandwidth_gibs(
+            &mut gpu,
+            CacheKind::L2,
+            StreamOp::Read,
+            8 << 30,
+            blocks,
+            cfg.chip.max_threads_per_block,
+        )
+        .unwrap();
+        let peak = cfg.cache(CacheKind::L2).unwrap().read_bw_gibs.unwrap();
+        assert!((bw / peak - 1.0).abs() < 0.1, "bw {bw} vs peak {peak}");
+    }
+
+    #[test]
+    fn fewer_blocks_means_less_bandwidth() {
+        let mut gpu = presets::h100_80();
+        let cfg = gpu.config.clone();
+        let opt = cfg.chip.num_sms * cfg.chip.max_blocks_per_sm;
+        let full = stream_bandwidth_gibs(
+            &mut gpu,
+            CacheKind::DeviceMemory,
+            StreamOp::Read,
+            1 << 30,
+            opt,
+            1024,
+        )
+        .unwrap();
+        let tiny = stream_bandwidth_gibs(
+            &mut gpu,
+            CacheKind::DeviceMemory,
+            StreamOp::Read,
+            1 << 30,
+            cfg.chip.num_sms / 4,
+            1024,
+        )
+        .unwrap();
+        assert!(tiny < full * 0.7, "tiny {tiny} vs full {full}");
+    }
+
+    #[test]
+    fn write_bandwidth_differs_from_read() {
+        let mut gpu = presets::h100_80();
+        let cfg = gpu.config.clone();
+        let opt = cfg.chip.num_sms * cfg.chip.max_blocks_per_sm;
+        let r = stream_bandwidth_gibs(&mut gpu, CacheKind::L2, StreamOp::Read, 1 << 24, opt, 1024)
+            .unwrap();
+        let w = stream_bandwidth_gibs(&mut gpu, CacheKind::L2, StreamOp::Write, 1 << 24, opt, 1024)
+            .unwrap();
+        assert!(r > w, "H100 L2 read {r} should exceed write {w}");
+    }
+
+    #[test]
+    fn l1_has_no_planted_bandwidth() {
+        let mut gpu = presets::h100_80();
+        assert!(stream_bandwidth_gibs(
+            &mut gpu,
+            CacheKind::L1,
+            StreamOp::Read,
+            1 << 16,
+            128,
+            1024
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fig5_cliff_appears_beyond_visible_l2() {
+        let mut gpu = presets::a100();
+        let visible = gpu.config.cache(CacheKind::L2).unwrap().size;
+        let inside = single_sm_stream_ns_per_byte(&mut gpu, visible / 2);
+        let outside = single_sm_stream_ns_per_byte(&mut gpu, visible * 8);
+        assert!(
+            outside > inside * 1.5,
+            "beyond-L2 {outside} vs in-L2 {inside}"
+        );
+    }
+
+    #[test]
+    fn fig5_full_gpu_equals_4g20gb_for_one_sm() {
+        let full_cfg = presets::a100().config;
+        let mut full = crate::gpu::Gpu::new(full_cfg.clone());
+        let mut mig = crate::gpu::Gpu::new(mig_view(&full_cfg, &MigProfile::A100_4G_20GB));
+        let size = 16 * 1024 * 1024;
+        let a = single_sm_stream_ns_per_byte(&mut full, size);
+        let b = single_sm_stream_ns_per_byte(&mut mig, size);
+        assert!(
+            (a / b - 1.0).abs() < 0.1,
+            "full {a} vs 4g.20gb {b} must match"
+        );
+    }
+}

@@ -1,0 +1,545 @@
+//! Sectored cache model with true-LRU replacement.
+//!
+//! This is the structure whose performance cliffs every MT4G benchmark
+//! exploits:
+//!
+//! * **capacity**: a p-chase array larger than the cache evicts itself
+//!   between the warm-up and the timed pass (size benchmark),
+//! * **sectors**: a line is fetched one *fetch-granularity* sector at a
+//!   time, so touching an unfetched sector of a present line still misses
+//!   (fetch-granularity benchmark),
+//! * **line granularity**: strides above the line size touch fewer lines
+//!   than the capacity, turning the post-capacity miss plateau back into
+//!   hits (cache-line-size benchmark),
+//! * **sharing**: two actors filling the *same* physical instance evict
+//!   each other; actors on distinct instances do not (amount / physical
+//!   sharing benchmarks).
+//!
+//! Two organisations are provided. The **fully associative** one (what the
+//! device presets use) produces the textbook sharp capacity cliff: a
+//! cyclically-chased array one line larger than the cache misses on *every*
+//! access. The **set-associative** one reproduces the paper's Fig. 1
+//! boundary behaviour, where sizes just past the capacity see a *mix* of
+//! hits and misses because only the overflowing sets thrash.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::device::CacheSpec;
+
+/// Associativity value that requests the fully-associative organisation.
+pub const FULLY_ASSOCIATIVE: u32 = u32::MAX;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Line present and the requested sector is valid.
+    Hit,
+    /// Line present but the requested sector has not been fetched yet.
+    SectorMiss,
+    /// Line absent entirely.
+    LineMiss,
+}
+
+impl Access {
+    /// Whether the access was served by this cache level.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Access::Hit)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    /// Valid bit per sector. Lines have at most 64 sectors by construction.
+    valid_sectors: u64,
+    /// Monotonic timestamp of last use, for LRU.
+    last_use: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FaLine {
+    valid_sectors: u64,
+    last_use: u64,
+}
+
+#[derive(Debug)]
+enum Organization {
+    SetAssociative {
+        sets: Vec<Vec<Line>>,
+        num_sets: u64,
+        ways: u32,
+    },
+    FullyAssociative {
+        /// line address -> state
+        lines: HashMap<u64, FaLine>,
+        /// last_use tick -> line address (LRU order; ticks are unique)
+        lru: BTreeMap<u64, u64>,
+        capacity_lines: u64,
+    },
+}
+
+/// A sectored cache with LRU replacement (see module docs for the two
+/// organisations).
+#[derive(Debug)]
+pub struct SectoredCache {
+    line_size: u64,
+    sector_size: u64,
+    sectors_per_line: u32,
+    org: Organization,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SectoredCache {
+    /// Builds a cache from a [`CacheSpec`]. A spec associativity of
+    /// [`FULLY_ASSOCIATIVE`] — or any value at/above the line count —
+    /// selects the fully-associative organisation.
+    pub fn from_spec(spec: &CacheSpec) -> Self {
+        Self::new(
+            spec.size,
+            spec.line_size as u64,
+            spec.fetch_granularity as u64,
+            spec.associativity,
+        )
+    }
+
+    /// Builds a cache with explicit geometry. `size` must be a multiple of
+    /// `line_size`, and `sector_size` must divide `line_size`. If `ways`
+    /// does not divide the line count, the largest divisor below it is
+    /// used (capacity is the invariant MT4G measures).
+    pub fn new(size: u64, line_size: u64, sector_size: u64, ways: u32) -> Self {
+        assert!(size > 0 && line_size > 0 && sector_size > 0);
+        assert_eq!(
+            size % line_size,
+            0,
+            "cache size {size} must be a multiple of the line size {line_size}"
+        );
+        assert_eq!(
+            line_size % sector_size,
+            0,
+            "line size {line_size} must be a multiple of the sector size {sector_size}"
+        );
+        let sectors_per_line = (line_size / sector_size) as u32;
+        assert!(
+            sectors_per_line <= 64,
+            "at most 64 sectors per line supported"
+        );
+        let total_lines = size / line_size;
+        let org = if ways as u64 >= total_lines {
+            Organization::FullyAssociative {
+                lines: HashMap::new(),
+                lru: BTreeMap::new(),
+                capacity_lines: total_lines,
+            }
+        } else {
+            let mut ways = ways.max(1) as u64;
+            while total_lines % ways != 0 {
+                ways -= 1;
+            }
+            let num_sets = total_lines / ways;
+            Organization::SetAssociative {
+                sets: vec![Vec::new(); num_sets as usize],
+                num_sets,
+                ways: ways as u32,
+            }
+        };
+        SectoredCache {
+            line_size,
+            sector_size,
+            sectors_per_line,
+            org,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        match &self.org {
+            Organization::SetAssociative { num_sets, ways, .. } => {
+                num_sets * *ways as u64 * self.line_size
+            }
+            Organization::FullyAssociative { capacity_lines, .. } => {
+                capacity_lines * self.line_size
+            }
+        }
+    }
+
+    /// Effective associativity (the line count when fully associative).
+    pub fn ways(&self) -> u32 {
+        match &self.org {
+            Organization::SetAssociative { ways, .. } => *ways,
+            Organization::FullyAssociative { capacity_lines, .. } => {
+                (*capacity_lines).min(u32::MAX as u64) as u32
+            }
+        }
+    }
+
+    /// Number of sets (1 when fully associative).
+    pub fn num_sets(&self) -> u64 {
+        match &self.org {
+            Organization::SetAssociative { num_sets, .. } => *num_sets,
+            Organization::FullyAssociative { .. } => 1,
+        }
+    }
+
+    /// (hits, misses) counters since construction or [`Self::reset_stats`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clears the hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidates all contents (and keeps the counters).
+    pub fn flush(&mut self) {
+        match &mut self.org {
+            Organization::SetAssociative { sets, .. } => {
+                for set in sets {
+                    set.clear();
+                }
+            }
+            Organization::FullyAssociative { lines, lru, .. } => {
+                lines.clear();
+                lru.clear();
+            }
+        }
+    }
+
+    /// Performs an access at byte address `addr`, allocating on miss.
+    ///
+    /// A [`Access::LineMiss`] allocates the line (evicting the LRU victim
+    /// if full) and fetches exactly the sector containing `addr` — one
+    /// fetch transaction. A [`Access::SectorMiss`] fetches the missing
+    /// sector into the already-present line.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.tick += 1;
+        let tick = self.tick;
+        let line_addr = addr / self.line_size;
+        let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
+
+        let result = match &mut self.org {
+            Organization::SetAssociative {
+                sets, num_sets, ways, ..
+            } => {
+                let set_idx = (line_addr % *num_sets) as usize;
+                let tag = line_addr / *num_sets;
+                let set = &mut sets[set_idx];
+                if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+                    line.last_use = tick;
+                    if line.valid_sectors & sector_bit != 0 {
+                        Access::Hit
+                    } else {
+                        line.valid_sectors |= sector_bit;
+                        Access::SectorMiss
+                    }
+                } else {
+                    if set.len() >= *ways as usize {
+                        let lru = set
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.last_use)
+                            .map(|(i, _)| i)
+                            .expect("non-empty set");
+                        set.swap_remove(lru);
+                    }
+                    set.push(Line {
+                        tag,
+                        valid_sectors: sector_bit,
+                        last_use: tick,
+                    });
+                    Access::LineMiss
+                }
+            }
+            Organization::FullyAssociative {
+                lines,
+                lru,
+                capacity_lines,
+            } => {
+                if let Some(state) = lines.get_mut(&line_addr) {
+                    lru.remove(&state.last_use);
+                    state.last_use = tick;
+                    lru.insert(tick, line_addr);
+                    if state.valid_sectors & sector_bit != 0 {
+                        Access::Hit
+                    } else {
+                        state.valid_sectors |= sector_bit;
+                        Access::SectorMiss
+                    }
+                } else {
+                    if lines.len() as u64 >= *capacity_lines {
+                        let (&victim_tick, &victim_line) =
+                            lru.iter().next().expect("cache full implies LRU entry");
+                        lru.remove(&victim_tick);
+                        lines.remove(&victim_line);
+                    }
+                    lines.insert(
+                        line_addr,
+                        FaLine {
+                            valid_sectors: sector_bit,
+                            last_use: tick,
+                        },
+                    );
+                    lru.insert(tick, line_addr);
+                    Access::LineMiss
+                }
+            }
+        };
+        if result.is_hit() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        result
+    }
+
+    /// Peeks whether `addr`'s sector is resident without touching LRU or
+    /// allocating.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / self.line_size;
+        let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
+        match &self.org {
+            Organization::SetAssociative { sets, num_sets, .. } => {
+                let set_idx = (line_addr % *num_sets) as usize;
+                let tag = line_addr / *num_sets;
+                sets[set_idx]
+                    .iter()
+                    .any(|l| l.tag == tag && l.valid_sectors & sector_bit != 0)
+            }
+            Organization::FullyAssociative { lines, .. } => lines
+                .get(&line_addr)
+                .map(|s| s.valid_sectors & sector_bit != 0)
+                .unwrap_or(false),
+        }
+    }
+
+    /// Sector (fetch-transaction) size in bytes.
+    pub fn sector_size(&self) -> u64 {
+        self.sector_size
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Sectors per line.
+    pub fn sectors_per_line(&self) -> u32 {
+        self.sectors_per_line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 KiB, 64 B lines, 32 B sectors, fully associative.
+    fn fa_cache() -> SectoredCache {
+        SectoredCache::new(1024, 64, 32, FULLY_ASSOCIATIVE)
+    }
+
+    /// Same geometry, 4-way set associative (4 sets).
+    fn sa_cache() -> SectoredCache {
+        SectoredCache::new(1024, 64, 32, 4)
+    }
+
+    #[test]
+    fn geometry_is_derived_correctly() {
+        let c = sa_cache();
+        assert_eq!(c.capacity(), 1024);
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.ways(), 4);
+        assert_eq!(c.sectors_per_line(), 2);
+        let f = fa_cache();
+        assert_eq!(f.capacity(), 1024);
+        assert_eq!(f.num_sets(), 1);
+        assert_eq!(f.ways(), 16);
+    }
+
+    #[test]
+    fn associativity_shrinks_to_divisor() {
+        // 3 lines total with requested 2 ways -> falls back to 1 way.
+        let c = SectoredCache::new(192, 64, 64, 2);
+        assert_eq!(c.ways(), 1);
+        assert_eq!(c.capacity(), 192);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        for mut c in [fa_cache(), sa_cache()] {
+            assert_eq!(c.access(0), Access::LineMiss);
+            assert_eq!(c.access(0), Access::Hit);
+            assert_eq!(c.access(4), Access::Hit); // same sector
+        }
+    }
+
+    #[test]
+    fn sector_miss_on_untouched_sector_of_present_line() {
+        for mut c in [fa_cache(), sa_cache()] {
+            assert_eq!(c.access(0), Access::LineMiss);
+            // Same line (64 B), other sector (offset 32).
+            assert_eq!(c.access(32), Access::SectorMiss);
+            assert_eq!(c.access(32), Access::Hit);
+        }
+    }
+
+    #[test]
+    fn sequential_array_within_capacity_hits_after_warmup() {
+        for mut c in [fa_cache(), sa_cache()] {
+            let addrs: Vec<u64> = (0..1024 / 32).map(|i| i * 32).collect();
+            for &a in &addrs {
+                c.access(a); // warm-up
+            }
+            for &a in &addrs {
+                assert_eq!(c.access(a), Access::Hit, "addr {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_associative_array_beyond_capacity_misses_every_access() {
+        // Classic LRU thrashing: array of capacity + one line, accessed
+        // cyclically, misses on every single access — the sharp cliff the
+        // size benchmark keys on.
+        let mut c = fa_cache();
+        let n_sectors = (1024 + 64) / 32;
+        let addrs: Vec<u64> = (0..n_sectors).map(|i| i * 32).collect();
+        for &a in &addrs {
+            c.access(a); // warm-up
+        }
+        c.reset_stats();
+        for &a in &addrs {
+            assert!(!c.access(a).is_hit(), "addr {a} unexpectedly hit");
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, n_sectors);
+    }
+
+    #[test]
+    fn set_associative_boundary_mixes_hits_and_misses() {
+        // The paper's Fig. 1 middle case: just past the capacity, only the
+        // overflowing sets thrash; the rest still hit.
+        let mut c = sa_cache();
+        let n_sectors = (1024 + 64) / 32;
+        let addrs: Vec<u64> = (0..n_sectors).map(|i| i * 32).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        c.reset_stats();
+        for &a in &addrs {
+            c.access(a);
+        }
+        let (hits, misses) = c.stats();
+        assert!(hits > 0, "non-overflowing sets should hit");
+        assert!(misses > 0, "the overflowing set should thrash");
+    }
+
+    #[test]
+    fn stride_above_line_size_defeats_capacity_miss() {
+        // Array of 2x capacity but stride 2x line size: only half the lines
+        // are touched, which fits -> hits after warm-up. This is the
+        // premise of the cache-line-size benchmark (Sec. IV-E).
+        let mut c = fa_cache();
+        let stride = 128u64; // 2 * line
+        let array = 2048u64; // 2 * capacity
+        let addrs: Vec<u64> = (0..array / stride).map(|i| i * stride).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        c.reset_stats();
+        for &a in &addrs {
+            assert!(c.access(a).is_hit());
+        }
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        for mut c in [fa_cache(), sa_cache()] {
+            c.access(0);
+            assert!(c.probe(0));
+            c.flush();
+            assert!(!c.probe(0));
+            assert_eq!(c.access(0), Access::LineMiss);
+        }
+    }
+
+    #[test]
+    fn cold_cache_stride_classification() {
+        // The fetch-granularity benchmark's signal: on a cold cache, stride
+        // below the sector size produces a mix of hits and misses; stride
+        // at/above it produces only misses.
+        let run = |stride: u64| -> (u64, u64) {
+            let mut c = fa_cache();
+            for i in 0..16 {
+                c.access(i * stride);
+            }
+            c.stats()
+        };
+        let (h4, m4) = run(4);
+        assert!(h4 > 0 && m4 > 0, "stride 4 should mix hits and misses");
+        let (h32, m32) = run(32);
+        assert_eq!(h32, 0, "stride = sector size -> all misses");
+        assert_eq!(m32, 16);
+        let (h64, _) = run(64);
+        assert_eq!(h64, 0, "stride above sector size -> all misses");
+    }
+
+    #[test]
+    fn two_interleaved_arrays_evict_each_other() {
+        // Amount/sharing benchmark core: arrays A and B each nearly the
+        // capacity; warming B after A evicts A.
+        let mut c = fa_cache();
+        let a_base = 0u64;
+        let b_base = 1 << 20;
+        let sectors = 1024 / 32;
+        for i in 0..sectors {
+            c.access(a_base + i * 32);
+        }
+        for i in 0..sectors {
+            c.access(b_base + i * 32);
+        }
+        c.reset_stats();
+        for i in 0..sectors {
+            assert!(!c.access(a_base + i * 32).is_hit());
+        }
+    }
+
+    #[test]
+    fn lru_prefers_evicting_oldest() {
+        // 2-line fully-associative cache.
+        let mut c = SectoredCache::new(128, 64, 64, FULLY_ASSOCIATIVE);
+        c.access(0); // line 0
+        c.access(64); // line 1
+        c.access(0); // refresh line 0
+        c.access(128); // evicts line 1 (LRU), not line 0
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn fa_capacity_is_respected_exactly() {
+        let mut c = fa_cache(); // 16 lines
+        for i in 0..16u64 {
+            c.access(i * 64);
+        }
+        for i in 0..16u64 {
+            assert!(c.probe(i * 64), "line {i} must be resident");
+        }
+        c.access(16 * 64); // one over
+        let resident = (0..17u64).filter(|&i| c.probe(i * 64)).count();
+        assert_eq!(resident, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the line size")]
+    fn bad_geometry_panics() {
+        SectoredCache::new(1000, 64, 32, 4);
+    }
+}

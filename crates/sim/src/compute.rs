@@ -1,0 +1,217 @@
+//! Analytic compute-throughput model — the substrate for the paper's
+//! *future work*: "we also plan to incorporate compute capability metrics,
+//! such as FLOPS for INT and FP datatypes of different precisions ... and
+//! to characterize specialized engines, like tensor cores".
+//!
+//! Peak FP32 throughput follows from first principles
+//! (`SMs × cores × 2 (FMA) × clock`); the other datatypes scale by
+//! microarchitecture-specific ratios (datacenter parts run FP64 at half
+//! rate, consumer parts at 1/32; tensor/matrix engines multiply FP16
+//! throughput by 8–16×). Achieved throughput additionally depends on the
+//! launch configuration and instruction-level parallelism, which is what
+//! the FLOPS microbenchmark has to sweep.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceConfig, Microarch};
+use crate::gpu::Gpu;
+
+/// Datatypes whose arithmetic throughput MT4G (extended) characterises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE double precision on the vector/CUDA cores.
+    Fp64,
+    /// Single precision on the vector/CUDA cores.
+    Fp32,
+    /// Half precision on the vector/CUDA cores.
+    Fp16,
+    /// 32-bit integer multiply-add.
+    Int32,
+    /// FP16 on the tensor / matrix engines (dense).
+    TensorFp16,
+}
+
+impl DType {
+    /// All datatypes, report order.
+    pub const ALL: [DType; 5] = [
+        DType::Fp64,
+        DType::Fp32,
+        DType::Fp16,
+        DType::Int32,
+        DType::TensorFp16,
+    ];
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DType::Fp64 => "FP64",
+            DType::Fp32 => "FP32",
+            DType::Fp16 => "FP16",
+            DType::Int32 => "INT32",
+            DType::TensorFp16 => "TensorFP16",
+        }
+    }
+}
+
+/// Throughput of `dtype` relative to vector FP32 for a microarchitecture.
+/// `None` = the engine does not exist (no tensor cores on Pascal, no
+/// FP16-double-rate on GP102).
+pub fn rate_ratio(arch: Microarch, dtype: DType) -> Option<f64> {
+    use DType::*;
+    use Microarch::*;
+    Some(match (arch, dtype) {
+        (_, Fp32) => 1.0,
+        // FP64: datacenter halves, consumer 1/32.
+        (Volta | Ampere | Hopper, Fp64) => 0.5,
+        (Cdna1, Fp64) => 0.5,
+        (Cdna2 | Cdna3, Fp64) => 1.0, // CDNA2+ full-rate FP64 vector
+        (Pascal | Turing, Fp64) => 1.0 / 32.0,
+        // FP16 vector rate.
+        (Pascal, Fp16) => 1.0 / 64.0, // GP102's crippled FP16
+        (Volta | Turing | Hopper, Fp16) => 2.0,
+        (Ampere, Fp16) => 4.0,
+        (Cdna1 | Cdna2 | Cdna3, Fp16) => 2.0,
+        // INT32 runs at FP32 rate on everything in scope.
+        (_, Int32) => 1.0,
+        // Tensor / matrix engines (dense FP16).
+        (Pascal, TensorFp16) => return None,
+        (Volta | Turing, TensorFp16) => 8.0,
+        (Ampere, TensorFp16) => 16.0,
+        (Hopper, TensorFp16) => 14.8,
+        (Cdna1 | Cdna2, TensorFp16) => 8.0,
+        (Cdna3, TensorFp16) => 16.0,
+    })
+}
+
+/// Peak throughput of `dtype` in GFLOP/s (GOP/s for INT32), from first
+/// principles plus the ratio table.
+pub fn peak_gflops(cfg: &DeviceConfig, dtype: DType) -> Option<f64> {
+    let fp32 = cfg.chip.num_sms as f64
+        * cfg.chip.cores_per_sm as f64
+        * 2.0 // FMA = 2 FLOP
+        * cfg.chip.clock_mhz as f64
+        / 1e3;
+    Some(fp32 * rate_ratio(cfg.microarch, dtype)?)
+}
+
+/// Pipeline depth the FLOPS kernel must cover with `threads × ilp`
+/// independent operations per SM to reach peak.
+const ALU_PIPELINE_DEPTH: f64 = 4.0;
+
+/// Achieved throughput of one FLOPS-kernel launch, in GFLOP/s.
+///
+/// `ilp` is the number of independent accumulator chains per thread; low
+/// ILP with low occupancy cannot cover the ALU pipeline latency, which is
+/// exactly the cliff the FLOPS microbenchmark sweeps to find the optimum.
+/// Returns `None` when the engine does not exist on this device.
+pub fn run_flops_kernel(
+    gpu: &mut Gpu,
+    dtype: DType,
+    blocks: u32,
+    threads_per_block: u32,
+    ilp: u32,
+) -> Option<f64> {
+    let cfg = &gpu.config;
+    let peak = peak_gflops(cfg, dtype)?;
+    // Occupancy: resident warps per SM relative to the maximum.
+    let warps_per_block = (threads_per_block.max(1)).div_ceil(cfg.chip.warp_size.max(1));
+    let blocks_per_sm = (blocks as f64 / cfg.chip.num_sms as f64)
+        .min(cfg.chip.max_blocks_per_sm as f64)
+        .max(0.0);
+    let resident_warps = (blocks_per_sm * warps_per_block as f64)
+        .min((cfg.chip.max_threads_per_sm / cfg.chip.warp_size.max(1)) as f64);
+    let max_warps = (cfg.chip.max_threads_per_sm / cfg.chip.warp_size.max(1)) as f64;
+    let occupancy = (resident_warps / max_warps).clamp(0.0, 1.0);
+    // Latency coverage: the scheduler needs `ALU_PIPELINE_DEPTH`
+    // independent operations in flight per issue slot; warps × ILP supply
+    // them. Even at full occupancy, ILP 1 only covers 1/DEPTH of the
+    // pipeline — the knee the sweep exists to find.
+    let coverage = ((resident_warps * ilp as f64) / (max_warps * ALU_PIPELINE_DEPTH)).min(1.0);
+    // Tensor engines additionally demand full tiles: below half occupancy
+    // they starve faster than the vector pipelines.
+    let engine_factor = match dtype {
+        DType::TensorFp16 => occupancy.powf(1.5).min(1.0),
+        _ => occupancy.sqrt().min(1.0),
+    };
+    let eff = 0.93 * coverage * engine_factor;
+    let clock_hz = cfg.chip.clock_mhz as f64 * 1e6;
+    let jitter: f64 = gpu.rng_mut().gen_range(-0.01..0.01);
+    let achieved = peak * eff * (1.0 + jitter);
+    // Account simulated time: fixed op count / achieved rate.
+    let ops = 1e9;
+    let cycles = (ops / (achieved * 1e9).max(1.0) * clock_hz) as u64;
+    gpu.account_analytic_kernel(cycles, 0);
+    Some(achieved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn h100_peaks_match_public_numbers() {
+        let cfg = presets::h100_80().config;
+        // 132 × 128 × 2 × 1.98 GHz ≈ 66.9 TFLOPS FP32.
+        let fp32 = peak_gflops(&cfg, DType::Fp32).unwrap();
+        assert!((fp32 / 66_900.0 - 1.0).abs() < 0.01, "{fp32}");
+        let fp64 = peak_gflops(&cfg, DType::Fp64).unwrap();
+        assert!((fp64 / fp32 - 0.5).abs() < 1e-9);
+        let tc = peak_gflops(&cfg, DType::TensorFp16).unwrap();
+        assert!(tc > 900_000.0, "H100 dense FP16 TC ≈ 990 TFLOPS, got {tc}");
+    }
+
+    #[test]
+    fn mi210_fp64_is_full_rate() {
+        let cfg = presets::mi210().config;
+        let fp32 = peak_gflops(&cfg, DType::Fp32).unwrap();
+        let fp64 = peak_gflops(&cfg, DType::Fp64).unwrap();
+        assert_eq!(fp32, fp64, "CDNA2 vector FP64 runs at FP32 rate");
+        // 104 × 64 × 2 × 1.7 GHz ≈ 22.6 TFLOPS.
+        assert!((fp32 / 22_630.0 - 1.0).abs() < 0.01, "{fp32}");
+    }
+
+    #[test]
+    fn pascal_has_no_tensor_cores_and_weak_fp16() {
+        let cfg = presets::p6000().config;
+        assert!(peak_gflops(&cfg, DType::TensorFp16).is_none());
+        let fp16 = peak_gflops(&cfg, DType::Fp16).unwrap();
+        let fp32 = peak_gflops(&cfg, DType::Fp32).unwrap();
+        assert!(fp16 < fp32 / 32.0);
+    }
+
+    #[test]
+    fn achieved_flops_peak_at_full_launch_with_ilp() {
+        let mut gpu = presets::h100_80();
+        let cfg = gpu.config.clone();
+        let opt_blocks = cfg.chip.num_sms * cfg.chip.max_blocks_per_sm;
+        let full = run_flops_kernel(&mut gpu, DType::Fp32, opt_blocks, 1024, 8).unwrap();
+        let peak = peak_gflops(&cfg, DType::Fp32).unwrap();
+        assert!(full > 0.85 * peak, "{full} vs peak {peak}");
+        assert!(full <= peak * 1.02);
+    }
+
+    #[test]
+    fn low_ilp_low_occupancy_starves_the_pipeline() {
+        let mut gpu = presets::h100_80();
+        let cfg = gpu.config.clone();
+        let starved = run_flops_kernel(&mut gpu, DType::Fp32, cfg.chip.num_sms, 64, 1).unwrap();
+        let opt_blocks = cfg.chip.num_sms * cfg.chip.max_blocks_per_sm;
+        let full = run_flops_kernel(&mut gpu, DType::Fp32, opt_blocks, 1024, 8).unwrap();
+        assert!(starved < full * 0.3, "starved {starved} vs full {full}");
+    }
+
+    #[test]
+    fn every_preset_reports_vector_rates() {
+        for gpu in presets::all() {
+            for dtype in [DType::Fp64, DType::Fp32, DType::Fp16, DType::Int32] {
+                assert!(
+                    peak_gflops(&gpu.config, dtype).is_some(),
+                    "{} lacks {dtype:?}",
+                    gpu.config.name
+                );
+            }
+        }
+    }
+}

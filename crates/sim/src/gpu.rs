@@ -1,0 +1,511 @@
+//! The simulated GPU: device memory allocation, kernel execution with a
+//! cycle clock, and measurement noise.
+//!
+//! [`Gpu`] is the object the MT4G tool drives. It deliberately exposes only
+//! what real hardware exposes: buffer allocation, kernel launch (of
+//! [`crate::isa::Kernel`]s), and the vendor query APIs in [`crate::api`].
+//! Ground truth lives in [`crate::device::DeviceConfig`], which tests and
+//! benches use for validation — the discovery pipeline itself must never
+//! read it (beyond what the API layer legitimately reports).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::device::{
+    DeviceConfig, LoadFlags, MemorySpace, Vendor, CONSTANT_ARRAY_LIMIT,
+};
+use crate::hierarchy::{LoadResolution, MemorySubsystem};
+use crate::isa::{Instr, Kernel};
+use crate::noise::NoiseModel;
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+#[derive(Debug)]
+struct Buffer {
+    base: u64,
+    data: Vec<u32>,
+}
+
+/// Cycle cost of simple ALU instructions.
+const ALU_COST: u64 = 1;
+/// Cycle cost of a shared-memory store inside the timed step.
+const STORE_SHARED_COST: u64 = 2;
+
+/// Outcome of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchResult {
+    /// Values recorded via [`Instr::Record`] (at most the launch's record
+    /// cap — the "first N results" of the paper).
+    pub records: Vec<u32>,
+    /// GPU cycles the kernel took.
+    pub cycles: u64,
+}
+
+/// Aggregate counters, used for the run-time accounting of Sec. V-A.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpuStats {
+    /// Kernels launched since construction.
+    pub kernels_launched: u64,
+    /// Loads executed (timed + warm-up).
+    pub loads_executed: u64,
+    /// Total simulated GPU cycles across launches.
+    pub total_cycles: u64,
+}
+
+/// Error returned by allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Constant-memory arrays are limited to 64 KiB on NVIDIA.
+    ConstantLimitExceeded {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// The device memory is exhausted.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::ConstantLimitExceeded { requested } => write!(
+                f,
+                "constant array of {requested} B exceeds the 64 KiB limit"
+            ),
+            AllocError::OutOfMemory => write!(f, "device memory exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A simulated GPU device.
+#[derive(Debug)]
+pub struct Gpu {
+    /// The ground-truth configuration (presets plant the paper's values).
+    pub config: DeviceConfig,
+    mem: MemorySubsystem,
+    noise: NoiseModel,
+    rng: ChaCha8Rng,
+    buffers: Vec<Buffer>,
+    next_base: u64,
+    allocated: u64,
+    cycle: u64,
+    stats: GpuStats,
+}
+
+impl Gpu {
+    /// Creates a GPU with the default noise model and a fixed seed.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self::with_seed(config, 0x4d54_3447) // "MT4G"
+    }
+
+    /// Creates a GPU with an explicit RNG seed (noise reproducibility).
+    pub fn with_seed(config: DeviceConfig, seed: u64) -> Self {
+        let mem = MemorySubsystem::new(&config);
+        Gpu {
+            mem,
+            noise: NoiseModel::DEFAULT,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            buffers: Vec::new(),
+            next_base: 0x1_0000, // leave a null guard page
+            allocated: 0,
+            cycle: 0,
+            stats: GpuStats::default(),
+            config,
+        }
+    }
+
+    /// Replaces the noise model (e.g. [`NoiseModel::NONE`] in unit tests).
+    pub fn set_noise(&mut self, noise: NoiseModel) {
+        self.noise = noise;
+    }
+
+    /// The GPU's vendor.
+    pub fn vendor(&self) -> Vendor {
+        self.config.vendor
+    }
+
+    /// Launch / load / cycle counters.
+    pub fn stats(&self) -> GpuStats {
+        self.stats
+    }
+
+    /// Allocates `bytes` of device memory for loads through `space`.
+    ///
+    /// Allocation in [`MemorySpace::Constant`] is capped at 64 KiB, which
+    /// is what stops MT4G from sizing the Constant L1.5 cache (Table III's
+    /// ">64KiB" entry).
+    pub fn alloc(&mut self, space: MemorySpace, bytes: u64) -> Result<BufferId, AllocError> {
+        if space == MemorySpace::Constant && bytes > CONSTANT_ARRAY_LIMIT {
+            return Err(AllocError::ConstantLimitExceeded { requested: bytes });
+        }
+        if self.allocated + bytes > self.config.dram.size {
+            return Err(AllocError::OutOfMemory);
+        }
+        let words = bytes.div_ceil(4) as usize;
+        let base = self.next_base;
+        // Page-align the next allocation so buffers never share a line.
+        self.next_base += bytes.div_ceil(4096) * 4096 + 4096;
+        self.allocated += bytes;
+        self.buffers.push(Buffer {
+            base,
+            data: vec![0u32; words],
+        });
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Frees all buffers (keeps cache state).
+    pub fn free_all(&mut self) {
+        self.buffers.clear();
+        self.next_base = 0x1_0000;
+        self.allocated = 0;
+    }
+
+    /// Device base address of a buffer.
+    pub fn buffer_base(&self, id: BufferId) -> u64 {
+        self.buffers[id.0].base
+    }
+
+    /// Writes 32-bit words into a buffer starting at word index `offset`.
+    pub fn write_words(&mut self, id: BufferId, offset: usize, words: &[u32]) {
+        let buf = &mut self.buffers[id.0];
+        buf.data[offset..offset + words.len()].copy_from_slice(words);
+    }
+
+    /// Initialises `id` as a p-chase ring: element `i` (spaced
+    /// `stride_bytes` apart) holds the element index of its successor, with
+    /// the last element pointing back to 0. Returns the element count.
+    pub fn init_pchase(&mut self, id: BufferId, array_bytes: u64, stride_bytes: u64) -> u64 {
+        assert!(stride_bytes >= 4 && stride_bytes % 4 == 0);
+        let n = (array_bytes / stride_bytes).max(1);
+        let stride_words = (stride_bytes / 4) as usize;
+        let buf = &mut self.buffers[id.0];
+        for i in 0..n {
+            let next = (i + 1) % n;
+            // The stored value is the *element index* of the successor; the
+            // kernel scales it by the stride to form the next address.
+            buf.data[i as usize * stride_words] = next as u32;
+        }
+        n
+    }
+
+    fn read_mem(&self, addr: u64) -> u32 {
+        for buf in &self.buffers {
+            let end = buf.base + (buf.data.len() as u64) * 4;
+            if addr >= buf.base && addr + 4 <= end {
+                return buf.data[((addr - buf.base) / 4) as usize];
+            }
+        }
+        0 // unmapped reads return zero, like a zero page
+    }
+
+    /// Invalidates all caches (a new benchmark's pristine state).
+    pub fn flush_caches(&mut self) {
+        self.mem.flush_all();
+    }
+
+    /// Executes a raw load outside any kernel (used by a few benchmarks
+    /// that classify hit/miss directly). Advances the clock like a kernel
+    /// load would and returns the resolution plus the noisy latency.
+    pub fn raw_load(
+        &mut self,
+        sm: usize,
+        core: usize,
+        space: MemorySpace,
+        flags: LoadFlags,
+        addr: u64,
+    ) -> (LoadResolution, u32) {
+        let res = self.mem.load(sm, core, space, flags, addr);
+        let lat = self.noise.sample(&mut self.rng, res.latency);
+        self.cycle += lat as u64;
+        self.stats.loads_executed += 1;
+        (res, lat)
+    }
+
+    /// Launches `kernel` on (`sm`, `core`), recording at most `max_records`
+    /// values (the paper's "first N results").
+    pub fn launch(
+        &mut self,
+        sm: usize,
+        core: usize,
+        kernel: &Kernel,
+        max_records: usize,
+    ) -> LaunchResult {
+        let start_cycle = self.cycle;
+        let mut regs = vec![0u64; kernel.num_regs];
+        let mut records = Vec::with_capacity(max_records.min(4096));
+        let mut pc = 0usize;
+        self.stats.kernels_launched += 1;
+
+        while pc < kernel.instrs.len() {
+            match kernel.instrs[pc] {
+                Instr::ReadClock(dst) => {
+                    self.cycle += self.config.clock_overhead_cycles as u64;
+                    regs[dst] = self.cycle;
+                }
+                Instr::Load {
+                    dst,
+                    addr,
+                    space,
+                    flags,
+                } => {
+                    let a = regs[addr];
+                    let res = self.mem.load(sm, core, space, flags, a);
+                    let lat = self.noise.sample(&mut self.rng, res.latency);
+                    self.cycle += lat as u64;
+                    self.stats.loads_executed += 1;
+                    regs[dst] = self.read_mem(a) as u64;
+                }
+                Instr::StoreShared { .. } => self.cycle += STORE_SHARED_COST,
+                Instr::Fence => self.cycle += ALU_COST,
+                Instr::MovImm { dst, imm } => {
+                    regs[dst] = imm;
+                    self.cycle += ALU_COST;
+                }
+                Instr::Mov { dst, src } => {
+                    regs[dst] = regs[src];
+                    self.cycle += ALU_COST;
+                }
+                Instr::Add { dst, a, b } => {
+                    regs[dst] = regs[a].wrapping_add(regs[b]);
+                    self.cycle += ALU_COST;
+                }
+                Instr::MulImm { dst, src, imm } => {
+                    regs[dst] = regs[src].wrapping_mul(imm);
+                    self.cycle += ALU_COST;
+                }
+                Instr::Sub { dst, a, b } => {
+                    regs[dst] = regs[a].wrapping_sub(regs[b]);
+                    self.cycle += ALU_COST;
+                }
+                Instr::Record { src } => {
+                    if records.len() < max_records {
+                        records.push(regs[src] as u32);
+                    }
+                }
+                Instr::BranchDecNz { counter, target } => {
+                    regs[counter] = regs[counter].saturating_sub(1);
+                    self.cycle += ALU_COST;
+                    if regs[counter] > 0 {
+                        pc = target;
+                        continue;
+                    }
+                }
+            }
+            pc += 1;
+        }
+        let cycles = self.cycle - start_cycle;
+        self.stats.total_cycles += cycles;
+        LaunchResult { records, cycles }
+    }
+
+    /// Total simulated cycles so far.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Mutable access to the RNG, for the analytic bandwidth model.
+    pub(crate) fn rng_mut(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+
+    /// Adds kernel-launch bookkeeping for analytic (non-ISA) kernels, such
+    /// as the bandwidth stream kernels.
+    pub(crate) fn account_analytic_kernel(&mut self, cycles: u64, loads: u64) {
+        self.stats.kernels_launched += 1;
+        self.stats.loads_executed += loads;
+        self.stats.total_cycles += cycles;
+        self.cycle += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::CacheKind;
+    use crate::isa::KernelBuilder;
+    use crate::presets;
+
+    fn quiet_gpu() -> Gpu {
+        let mut gpu = Gpu::new(presets::h100_80().config);
+        gpu.set_noise(NoiseModel::NONE);
+        gpu
+    }
+
+    #[test]
+    fn alloc_and_write_round_trip() {
+        let mut gpu = quiet_gpu();
+        let buf = gpu.alloc(MemorySpace::Global, 4096).unwrap();
+        gpu.write_words(buf, 0, &[7, 8, 9]);
+        let base = gpu.buffer_base(buf);
+        assert_eq!(gpu.read_mem(base), 7);
+        assert_eq!(gpu.read_mem(base + 4), 8);
+        assert_eq!(gpu.read_mem(base + 8), 9);
+    }
+
+    #[test]
+    fn constant_alloc_enforces_64kib_limit() {
+        let mut gpu = quiet_gpu();
+        assert!(gpu.alloc(MemorySpace::Constant, 64 * 1024).is_ok());
+        let err = gpu.alloc(MemorySpace::Constant, 64 * 1024 + 1).unwrap_err();
+        assert!(matches!(err, AllocError::ConstantLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let mut gpu = quiet_gpu();
+        let too_much = gpu.config.dram.size + 1;
+        assert_eq!(
+            gpu.alloc(MemorySpace::Global, too_much),
+            Err(AllocError::OutOfMemory)
+        );
+    }
+
+    #[test]
+    fn pchase_ring_is_circular() {
+        let mut gpu = quiet_gpu();
+        let buf = gpu.alloc(MemorySpace::Global, 1024).unwrap();
+        let n = gpu.init_pchase(buf, 1024, 32);
+        assert_eq!(n, 32);
+        let base = gpu.buffer_base(buf);
+        // Follow the chain n steps and come back to element 0.
+        let mut idx = 0u64;
+        for _ in 0..n {
+            idx = gpu.read_mem(base + idx * 32) as u64;
+        }
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn pchase_kernel_measures_l1_hit_latency_exactly_without_noise() {
+        let mut gpu = quiet_gpu();
+        let l1 = *gpu.config.cache(CacheKind::L1).unwrap();
+        let buf = gpu.alloc(MemorySpace::Global, 4096).unwrap();
+        let n = gpu.init_pchase(buf, 4096, l1.fetch_granularity as u64);
+        let kernel = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            gpu.buffer_base(buf),
+            l1.fetch_granularity as u64,
+            n,
+            n,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            true,
+        );
+        let run = gpu.launch(0, 0, &kernel, 64);
+        assert_eq!(run.records.len(), 64);
+        // All hits: measured latency = L1 latency + clock overhead + the
+        // shared store between the two clock reads.
+        let expected = l1.load_latency as u64
+            + gpu.config.clock_overhead_cycles as u64
+            + STORE_SHARED_COST;
+        for &r in &run.records {
+            assert_eq!(r as u64, expected, "records: {:?}", &run.records[..8]);
+        }
+    }
+
+    #[test]
+    fn pchase_kernel_sees_misses_beyond_l1_capacity() {
+        let mut gpu = quiet_gpu();
+        let l1 = *gpu.config.cache(CacheKind::L1).unwrap();
+        let l2 = *gpu.config.cache(CacheKind::L2).unwrap();
+        let bytes = l1.size + 4 * l1.line_size as u64; // just beyond capacity
+        let buf = gpu.alloc(MemorySpace::Global, bytes).unwrap();
+        let n = gpu.init_pchase(buf, bytes, l1.fetch_granularity as u64);
+        let kernel = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            gpu.buffer_base(buf),
+            l1.fetch_granularity as u64,
+            n,
+            256,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            true,
+        );
+        let run = gpu.launch(0, 0, &kernel, 256);
+        let expected_miss = l2.load_latency as u64
+            + gpu.config.clock_overhead_cycles as u64
+            + STORE_SHARED_COST;
+        let misses = run
+            .records
+            .iter()
+            .filter(|&&r| r as u64 >= expected_miss)
+            .count();
+        assert!(
+            misses as f64 > 0.9 * run.records.len() as f64,
+            "{misses}/{} misses",
+            run.records.len()
+        );
+    }
+
+    #[test]
+    fn launch_statistics_accumulate() {
+        let mut gpu = quiet_gpu();
+        let buf = gpu.alloc(MemorySpace::Global, 1024).unwrap();
+        let n = gpu.init_pchase(buf, 1024, 32);
+        let kernel = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            gpu.buffer_base(buf),
+            32,
+            n,
+            n,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            true,
+        );
+        gpu.launch(0, 0, &kernel, 8);
+        let s = gpu.stats();
+        assert_eq!(s.kernels_launched, 1);
+        assert_eq!(s.loads_executed, 2 * n); // warm-up + timed
+        assert!(s.total_cycles > 0);
+    }
+
+    #[test]
+    fn record_cap_limits_stored_results() {
+        let mut gpu = quiet_gpu();
+        let buf = gpu.alloc(MemorySpace::Global, 2048).unwrap();
+        let n = gpu.init_pchase(buf, 2048, 32);
+        let kernel = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            gpu.buffer_base(buf),
+            32,
+            n,
+            n,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            true,
+        );
+        let run = gpu.launch(0, 0, &kernel, 5);
+        assert_eq!(run.records.len(), 5);
+    }
+
+    #[test]
+    fn noisy_measurements_fluctuate_but_stay_centred() {
+        let mut gpu = Gpu::new(presets::h100_80().config);
+        let l1 = *gpu.config.cache(CacheKind::L1).unwrap();
+        let buf = gpu.alloc(MemorySpace::Global, 4096).unwrap();
+        let n = gpu.init_pchase(buf, 4096, l1.fetch_granularity as u64);
+        let kernel = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            gpu.buffer_base(buf),
+            l1.fetch_granularity as u64,
+            n,
+            512,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            true,
+        );
+        let run = gpu.launch(0, 0, &kernel, 512);
+        let mean: f64 =
+            run.records.iter().map(|&r| r as f64).sum::<f64>() / run.records.len() as f64;
+        let expected = l1.load_latency as f64
+            + gpu.config.clock_overhead_cycles as f64
+            + STORE_SHARED_COST as f64;
+        assert!(
+            (mean - expected).abs() < 6.0,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! A minimal kernel ISA mirroring the PTX / AMDGCN snippets the real MT4G
+//! inlines into its HIP kernels (paper Listings 1 and 2).
+//!
+//! The p-chase step the paper shows is literally:
+//!
+//! ```text
+//! mov.u32  %0, %%clock;            // start = clock()
+//! ld.global.ca.u32 %1, [%3];       // index = *addr
+//! st.shared.u32 [smem_ptr64], %1;  // shared-mem store of the result
+//! mov.u32  %2, %%clock;            // end = clock()
+//! ```
+//!
+//! (and the AMDGCN equivalent with `s_memtime` and `s_waitcnt` fences).
+//! The [`KernelBuilder`] emits exactly this structure; the executor in
+//! [`crate::gpu`] interprets it against the simulated memory hierarchy with
+//! a cycle-accurate clock register.
+
+use crate::device::{LoadFlags, MemorySpace, Vendor};
+use serde::{Deserialize, Serialize};
+
+/// A virtual register index. Like PTX, the register file is unbounded.
+pub type Reg = usize;
+
+/// One instruction of the mini ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = clock()` — `mov.u32 %r, %%clock` / `s_memtime`.
+    ReadClock(Reg),
+    /// Dependent load: `dst = *[addr]` through `space` with `flags`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the byte address.
+        addr: Reg,
+        /// Logical memory space of the access.
+        space: MemorySpace,
+        /// Cache-policy flags (`.ca`/`.cg`/GLC...).
+        flags: LoadFlags,
+    },
+    /// `st.shared` of a register — costs a couple of cycles, no cache
+    /// interaction (the scratchpad is not modeled as a cache).
+    StoreShared {
+        /// Register whose value is stored.
+        src: Reg,
+    },
+    /// `s_waitcnt`-style memory fence; timing no-op in our in-order model.
+    Fence,
+    /// `dst = imm`.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = a + b`.
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `dst = src * imm` — used to scale a p-chase index to a byte offset.
+    MulImm {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Immediate multiplier.
+        imm: u64,
+    },
+    /// `dst = end - start`; the measured latency of one load.
+    Sub {
+        /// Destination register.
+        dst: Reg,
+        /// Minuend register.
+        a: Reg,
+        /// Subtrahend register.
+        b: Reg,
+    },
+    /// Appends the value of `src` to the kernel's record buffer, up to the
+    /// executor's record cap (the paper stores only the first N latencies).
+    Record {
+        /// Register whose value is recorded.
+        src: Reg,
+    },
+    /// Decrements `counter`; jumps to absolute instruction index `target`
+    /// while it stays non-zero. The only control flow the benchmarks need.
+    BranchDecNz {
+        /// Loop counter register.
+        counter: Reg,
+        /// Absolute jump target (instruction index).
+        target: usize,
+    },
+}
+
+/// A compiled kernel: a flat instruction sequence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Number of registers used (executor allocates this many).
+    pub num_regs: usize,
+}
+
+/// Builds the benchmark kernels, hiding vendor differences exactly the way
+/// HIP + inline assembly does in the real tool.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    vendor: Vendor,
+    instrs: Vec<Instr>,
+    next_reg: Reg,
+}
+
+impl KernelBuilder {
+    /// A builder targeting `vendor` (controls fence emission).
+    pub fn new(vendor: Vendor) -> Self {
+        KernelBuilder {
+            vendor,
+            instrs: Vec::new(),
+            next_reg: 0,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        self.next_reg += 1;
+        self.next_reg - 1
+    }
+
+    /// Emits `dst = imm`.
+    pub fn mov_imm(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.instrs.push(Instr::MovImm { dst, imm });
+        self
+    }
+
+    /// Current instruction index — a branch target for loops.
+    pub fn label(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Emits one *timed* p-chase step (paper Listings 1/2):
+    /// `start=clock(); idx=*[addr]; st.shared idx; end=clock();
+    /// lat=end-start; record lat; addr=base+idx*stride`.
+    ///
+    /// `idx_reg` receives the loaded index; `addr_reg` is updated for the
+    /// next step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pchase_timed_step(
+        &mut self,
+        addr_reg: Reg,
+        idx_reg: Reg,
+        base_reg: Reg,
+        elem_bytes: u64,
+        space: MemorySpace,
+        flags: LoadFlags,
+        scratch: &mut PchaseScratch,
+    ) -> &mut Self {
+        if self.vendor == Vendor::Amd {
+            // s_waitcnt lgkmcnt(0); s_waitcnt vmcnt(0)
+            self.instrs.push(Instr::Fence);
+            self.instrs.push(Instr::Fence);
+        }
+        self.instrs.push(Instr::ReadClock(scratch.start));
+        self.instrs.push(Instr::Load {
+            dst: idx_reg,
+            addr: addr_reg,
+            space,
+            flags,
+        });
+        match self.vendor {
+            Vendor::Nvidia => self.instrs.push(Instr::StoreShared { src: idx_reg }),
+            Vendor::Amd => {
+                self.instrs.push(Instr::Fence);
+                self.instrs.push(Instr::Fence);
+            }
+        }
+        self.instrs.push(Instr::ReadClock(scratch.end));
+        self.instrs.push(Instr::Sub {
+            dst: scratch.lat,
+            a: scratch.end,
+            b: scratch.start,
+        });
+        self.instrs.push(Instr::Record { src: scratch.lat });
+        self.advance_pchase_addr(addr_reg, idx_reg, base_reg, elem_bytes);
+        self
+    }
+
+    /// Emits one *untimed* p-chase step (warm-up pass).
+    pub fn pchase_untimed_step(
+        &mut self,
+        addr_reg: Reg,
+        idx_reg: Reg,
+        base_reg: Reg,
+        elem_bytes: u64,
+        space: MemorySpace,
+        flags: LoadFlags,
+    ) -> &mut Self {
+        self.instrs.push(Instr::Load {
+            dst: idx_reg,
+            addr: addr_reg,
+            space,
+            flags,
+        });
+        self.advance_pchase_addr(addr_reg, idx_reg, base_reg, elem_bytes);
+        self
+    }
+
+    fn advance_pchase_addr(&mut self, addr_reg: Reg, idx_reg: Reg, base_reg: Reg, elem: u64) {
+        // addr = base + idx * elem_bytes
+        self.instrs.push(Instr::MulImm {
+            dst: addr_reg,
+            src: idx_reg,
+            imm: elem,
+        });
+        self.instrs.push(Instr::Add {
+            dst: addr_reg,
+            a: addr_reg,
+            b: base_reg,
+        });
+    }
+
+    /// Emits a decrement-and-branch back to `target`.
+    pub fn loop_back(&mut self, counter: Reg, target: usize) -> &mut Self {
+        self.instrs.push(Instr::BranchDecNz { counter, target });
+        self
+    }
+
+    /// Finalises the kernel.
+    pub fn build(self) -> Kernel {
+        Kernel {
+            instrs: self.instrs,
+            num_regs: self.next_reg,
+        }
+    }
+
+    /// Builds a warm-up-only kernel: one untimed pass over the whole chase
+    /// array. The amount / physical-sharing benchmarks use this to let two
+    /// different actors populate caches before a timed observation pass.
+    pub fn pchase_warm_kernel(
+        vendor: Vendor,
+        base: u64,
+        elem_bytes: u64,
+        n_elems: u64,
+        space: MemorySpace,
+        flags: LoadFlags,
+    ) -> Kernel {
+        assert!(n_elems > 0);
+        let mut b = KernelBuilder::new(vendor);
+        let base_reg = b.reg();
+        let addr_reg = b.reg();
+        let idx_reg = b.reg();
+        let counter = b.reg();
+        b.mov_imm(base_reg, base);
+        b.mov_imm(addr_reg, base);
+        b.mov_imm(counter, n_elems);
+        let top = b.label();
+        b.pchase_untimed_step(addr_reg, idx_reg, base_reg, elem_bytes, space, flags);
+        b.loop_back(counter, top);
+        b.build()
+    }
+
+    /// Builds a timed-only kernel: `timed_steps` timed p-chase steps with
+    /// no warm-up (the observation pass of the amount / sharing
+    /// benchmarks, and the cold pass of the fetch-granularity benchmark).
+    pub fn pchase_timed_kernel(
+        vendor: Vendor,
+        base: u64,
+        elem_bytes: u64,
+        timed_steps: u64,
+        space: MemorySpace,
+        flags: LoadFlags,
+    ) -> Kernel {
+        assert!(timed_steps > 0);
+        let mut b = KernelBuilder::new(vendor);
+        let base_reg = b.reg();
+        let addr_reg = b.reg();
+        let idx_reg = b.reg();
+        let counter = b.reg();
+        let start = b.reg();
+        let end = b.reg();
+        let lat = b.reg();
+        let mut scratch = PchaseScratch { start, end, lat };
+        b.mov_imm(base_reg, base);
+        b.mov_imm(addr_reg, base);
+        b.mov_imm(counter, timed_steps);
+        let top = b.label();
+        b.pchase_timed_step(
+            addr_reg, idx_reg, base_reg, elem_bytes, space, flags, &mut scratch,
+        );
+        b.loop_back(counter, top);
+        b.build()
+    }
+
+    /// Builds a complete p-chase kernel: an untimed warm-up loop over the
+    /// whole array followed by a timed loop of `timed_steps` steps, both
+    /// starting from element 0.
+    ///
+    /// `base` is the array's device base address, `elem_bytes` the stride
+    /// between consecutive p-chase elements, `n_elems` the array length in
+    /// elements. When `warmup` is false the warm-up loop is skipped (used
+    /// by the fetch-granularity benchmark, which must observe cold misses).
+    pub fn pchase_kernel(
+        vendor: Vendor,
+        base: u64,
+        elem_bytes: u64,
+        n_elems: u64,
+        timed_steps: u64,
+        space: MemorySpace,
+        flags: LoadFlags,
+        warmup: bool,
+    ) -> Kernel {
+        assert!(n_elems > 0 && timed_steps > 0);
+        let mut b = KernelBuilder::new(vendor);
+        let base_reg = b.reg();
+        let addr_reg = b.reg();
+        let idx_reg = b.reg();
+        let counter = b.reg();
+        let start = b.reg();
+        let end = b.reg();
+        let lat = b.reg();
+        let mut scratch = PchaseScratch { start, end, lat };
+
+        b.mov_imm(base_reg, base);
+        if warmup {
+            b.mov_imm(addr_reg, base);
+            b.mov_imm(counter, n_elems);
+            let top = b.label();
+            b.pchase_untimed_step(addr_reg, idx_reg, base_reg, elem_bytes, space, flags);
+            b.loop_back(counter, top);
+        }
+        b.mov_imm(addr_reg, base);
+        b.mov_imm(counter, timed_steps);
+        let top = b.label();
+        b.pchase_timed_step(
+            addr_reg, idx_reg, base_reg, elem_bytes, space, flags, &mut scratch,
+        );
+        b.loop_back(counter, top);
+        b.build()
+    }
+}
+
+/// Registers used inside a timed p-chase step.
+#[derive(Debug, Clone, Copy)]
+pub struct PchaseScratch {
+    /// Start-clock register.
+    pub start: Reg,
+    /// End-clock register.
+    pub end: Reg,
+    /// Latency (end - start) register.
+    pub lat: Reg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_distinct_registers() {
+        let mut b = KernelBuilder::new(Vendor::Nvidia);
+        let r1 = b.reg();
+        let r2 = b.reg();
+        assert_ne!(r1, r2);
+        assert_eq!(b.build().num_regs, 2);
+    }
+
+    #[test]
+    fn nvidia_timed_step_matches_listing_1_shape() {
+        let mut b = KernelBuilder::new(Vendor::Nvidia);
+        let base = b.reg();
+        let addr = b.reg();
+        let idx = b.reg();
+        let mut scratch = PchaseScratch {
+            start: b.reg(),
+            end: b.reg(),
+            lat: b.reg(),
+        };
+        b.pchase_timed_step(
+            addr,
+            idx,
+            base,
+            4,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            &mut scratch,
+        );
+        let k = b.build();
+        // clock; load; st.shared; clock; sub; record; mul; add
+        assert!(matches!(k.instrs[0], Instr::ReadClock(_)));
+        assert!(matches!(k.instrs[1], Instr::Load { .. }));
+        assert!(matches!(k.instrs[2], Instr::StoreShared { .. }));
+        assert!(matches!(k.instrs[3], Instr::ReadClock(_)));
+    }
+
+    #[test]
+    fn amd_timed_step_emits_fences() {
+        let mut b = KernelBuilder::new(Vendor::Amd);
+        let base = b.reg();
+        let addr = b.reg();
+        let idx = b.reg();
+        let mut scratch = PchaseScratch {
+            start: b.reg(),
+            end: b.reg(),
+            lat: b.reg(),
+        };
+        b.pchase_timed_step(
+            addr,
+            idx,
+            base,
+            4,
+            MemorySpace::Vector,
+            LoadFlags::CACHE_ALL,
+            &mut scratch,
+        );
+        let k = b.build();
+        // s_waitcnt; s_waitcnt; s_memtime; flat_load; s_waitcnt; s_waitcnt;
+        // s_memtime; ...
+        assert!(matches!(k.instrs[0], Instr::Fence));
+        assert!(matches!(k.instrs[1], Instr::Fence));
+        assert!(matches!(k.instrs[2], Instr::ReadClock(_)));
+        assert!(matches!(k.instrs[3], Instr::Load { .. }));
+        assert!(matches!(k.instrs[4], Instr::Fence));
+    }
+
+    #[test]
+    fn full_pchase_kernel_has_warmup_and_timed_loops() {
+        let k = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            0x1000,
+            4,
+            128,
+            32,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            true,
+        );
+        let branches = k
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::BranchDecNz { .. }))
+            .count();
+        assert_eq!(branches, 2, "one warm-up loop + one timed loop");
+    }
+
+    #[test]
+    fn cold_pchase_kernel_skips_warmup() {
+        let k = KernelBuilder::pchase_kernel(
+            Vendor::Nvidia,
+            0x1000,
+            4,
+            128,
+            32,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            false,
+        );
+        let branches = k
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::BranchDecNz { .. }))
+            .count();
+        assert_eq!(branches, 1);
+    }
+}

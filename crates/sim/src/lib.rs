@@ -1,0 +1,40 @@
+//! # mt4g-sim — the GPU simulator substrate
+//!
+//! MT4G is a measurement tool for physical GPUs; this crate is the
+//! substitute substrate that lets the *entire* tool run — and be validated
+//! against planted ground truth — without hardware. It simulates exactly
+//! the mechanisms the paper's microbenchmarks exploit:
+//!
+//! * [`cache`] — sectored set-associative caches with LRU replacement
+//!   (capacity cliffs, sector misses, stride aliasing, mutual eviction),
+//! * [`hierarchy`] — physical cache instances and the per-memory-space
+//!   routing of both vendors (unified NVIDIA L1/TEX/RO, constant L1/L1.5,
+//!   segmented L2; AMD vL1 / CU-group-shared sL1d / per-XCD L2 / L3),
+//! * [`isa`] + [`gpu`] — a mini kernel ISA mirroring the paper's PTX and
+//!   AMDGCN listings, executed with a cycle clock and a measurement
+//!   [`noise`] model,
+//! * [`bandwidth`] — an analytic stream-throughput model,
+//! * [`api`] — emulated vendor query APIs with the paper's Table I
+//!   availability matrix,
+//! * [`mig`] — NVIDIA Multi-Instance-GPU partitioning views,
+//! * [`presets`] — ground-truth configurations for the ten GPUs of the
+//!   paper's Table II, with their documented quirks ([`quirks`]).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bandwidth;
+pub mod cache;
+pub mod compute;
+pub mod device;
+pub mod gpu;
+pub mod hierarchy;
+pub mod isa;
+pub mod mig;
+pub mod noise;
+pub mod presets;
+pub mod quirks;
+
+pub use device::{CacheKind, DeviceConfig, LoadFlags, MemorySpace, Vendor};
+pub use gpu::{Gpu, LaunchResult};
+pub use noise::NoiseModel;

@@ -1,0 +1,184 @@
+//! NVIDIA Multi-Instance GPU (MIG) partitioning.
+//!
+//! MIG slices an A100/H100 into GPU instances (GIs), each with a fraction
+//! of the SMs, L2 slices, memory capacity and bandwidth. The paper's
+//! Sec. VI-C / Fig. 5 use case combines static MT4G topology with dynamic
+//! MIG queries (via `nvml`) in sys-sage; [`mig_view`] produces the device
+//! configuration an application inside a given GI actually observes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{CacheKind, DeviceConfig, Vendor};
+
+/// One MIG profile (an A100-40GB nomenclature, e.g. `4g.20gb`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigProfile {
+    /// Profile name, e.g. "4g.20gb".
+    pub name: &'static str,
+    /// Compute slices out of [`Self::compute_total`].
+    pub compute_slices: u32,
+    /// Total compute slices of the full GPU (7 on A100).
+    pub compute_total: u32,
+    /// Memory slices out of [`Self::memory_total`].
+    pub memory_slices: u32,
+    /// Total memory slices of the full GPU (8 on A100).
+    pub memory_total: u32,
+}
+
+impl MigProfile {
+    /// The full (non-partitioned) A100 as a pseudo-profile.
+    pub const A100_FULL: MigProfile = MigProfile {
+        name: "full",
+        compute_slices: 7,
+        compute_total: 7,
+        memory_slices: 8,
+        memory_total: 8,
+    };
+    /// 4 compute slices, 20 GB / 20 MB L2 — the profile Fig. 5 highlights
+    /// as indistinguishable (for one SM) from the full GPU.
+    pub const A100_4G_20GB: MigProfile = MigProfile {
+        name: "4g.20gb",
+        compute_slices: 4,
+        compute_total: 7,
+        memory_slices: 4,
+        memory_total: 8,
+    };
+    /// 3 compute slices, 20 GB.
+    pub const A100_3G_20GB: MigProfile = MigProfile {
+        name: "3g.20gb",
+        compute_slices: 3,
+        compute_total: 7,
+        memory_slices: 4,
+        memory_total: 8,
+    };
+    /// 2 compute slices, 10 GB.
+    pub const A100_2G_10GB: MigProfile = MigProfile {
+        name: "2g.10gb",
+        compute_slices: 2,
+        compute_total: 7,
+        memory_slices: 2,
+        memory_total: 8,
+    };
+    /// 1 compute slice, 5 GB.
+    pub const A100_1G_5GB: MigProfile = MigProfile {
+        name: "1g.5gb",
+        compute_slices: 1,
+        compute_total: 7,
+        memory_slices: 1,
+        memory_total: 8,
+    };
+
+    /// All A100 profiles used in the Fig. 5 reproduction.
+    pub const A100_ALL: [MigProfile; 5] = [
+        Self::A100_FULL,
+        Self::A100_4G_20GB,
+        Self::A100_3G_20GB,
+        Self::A100_2G_10GB,
+        Self::A100_1G_5GB,
+    ];
+
+    /// Memory fraction of the full GPU this profile owns.
+    pub fn memory_fraction(&self) -> f64 {
+        self.memory_slices as f64 / self.memory_total as f64
+    }
+}
+
+/// The device configuration visible *inside* a MIG instance: fewer SMs,
+/// a smaller L2 (as one segment once the slice no longer spans both
+/// physical segments), less memory, and proportionally less bandwidth.
+///
+/// # Panics
+/// Panics when called for an AMD device (MIG is NVIDIA-only).
+pub fn mig_view(full: &DeviceConfig, profile: &MigProfile) -> DeviceConfig {
+    assert_eq!(
+        full.vendor,
+        Vendor::Nvidia,
+        "MIG partitioning exists on NVIDIA only"
+    );
+    let mut cfg = full.clone();
+    cfg.name = format!("{} [MIG {}]", full.name, profile.name);
+
+    let mem_frac = profile.memory_fraction();
+    let compute_frac = profile.compute_slices as f64 / profile.compute_total as f64;
+
+    cfg.chip.num_sms =
+        ((full.chip.num_sms as f64 * compute_frac).floor() as u32).max(1);
+    cfg.dram.size = (full.dram.size as f64 * mem_frac) as u64;
+    cfg.dram.read_bw_gibs = full.dram.read_bw_gibs * mem_frac;
+    cfg.dram.write_bw_gibs = full.dram.write_bw_gibs * mem_frac;
+
+    for (kind, spec) in cfg.caches.iter_mut() {
+        if *kind == CacheKind::L2 {
+            let total = spec.size * spec.segments as u64;
+            let own_total = (total as f64 * mem_frac) as u64;
+            // A slice owning at most one physical segment's worth of L2
+            // sees a single segment; the full GPU keeps its segmentation.
+            if own_total <= spec.size {
+                spec.segments = 1;
+                spec.size = own_total;
+            }
+            if let Some(bw) = spec.read_bw_gibs.as_mut() {
+                *bw *= mem_frac;
+            }
+            if let Some(bw) = spec.write_bw_gibs.as_mut() {
+                *bw *= mem_frac;
+            }
+        }
+    }
+    cfg
+}
+
+/// What one SM can address of the L2: the size of a single visible segment.
+/// This is the quantity whose cliff Fig. 5 plots.
+pub fn visible_l2_bytes(cfg: &DeviceConfig) -> u64 {
+    cfg.cache(CacheKind::L2).map(|s| s.size).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn full_profile_is_identity_for_l2() {
+        let full = presets::a100().config;
+        let v = mig_view(&full, &MigProfile::A100_FULL);
+        assert_eq!(v.chip.num_sms, full.chip.num_sms);
+        assert_eq!(visible_l2_bytes(&v), visible_l2_bytes(&full));
+    }
+
+    #[test]
+    fn fig5_key_observation_4g20gb_matches_full_gpu() {
+        // 4g.20gb owns 20 MB of L2; one SM of the full GPU also only sees a
+        // 20 MB segment -> identical visible capacity (paper Sec. VI-C).
+        let full = presets::a100().config;
+        let v = mig_view(&full, &MigProfile::A100_4G_20GB);
+        assert_eq!(visible_l2_bytes(&v), visible_l2_bytes(&full));
+        assert_eq!(v.cache(CacheKind::L2).unwrap().segments, 1);
+    }
+
+    #[test]
+    fn smaller_profiles_shrink_visible_l2_and_memory() {
+        let full = presets::a100().config;
+        let half = mig_view(&full, &MigProfile::A100_2G_10GB);
+        let eighth = mig_view(&full, &MigProfile::A100_1G_5GB);
+        assert_eq!(visible_l2_bytes(&half), 10 * 1024 * 1024);
+        assert_eq!(visible_l2_bytes(&eighth), 5 * 1024 * 1024);
+        assert_eq!(eighth.dram.size, full.dram.size / 8);
+        assert!(eighth.dram.read_bw_gibs < full.dram.read_bw_gibs / 7.0);
+    }
+
+    #[test]
+    fn compute_slices_scale_sms() {
+        let full = presets::a100().config;
+        let v = mig_view(&full, &MigProfile::A100_1G_5GB);
+        assert_eq!(v.chip.num_sms, full.chip.num_sms / 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "NVIDIA only")]
+    fn mig_on_amd_panics() {
+        let amd = presets::mi210().config;
+        mig_view(&amd, &MigProfile::A100_FULL);
+    }
+}

@@ -1,0 +1,144 @@
+//! Measurement-noise model.
+//!
+//! Real GPU clock reads and load latencies jitter — and occasionally spike
+//! by hundreds of cycles (interrupts, DVFS, TLB walks, refresh). MT4G's
+//! whole reason for using the K-S test is robustness against exactly these
+//! artifacts, so the simulator must produce them: Gaussian-ish jitter on
+//! every timed load plus rare heavy-tailed outliers. The RNG is seedable
+//! (ChaCha8) so every experiment is reproducible.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the latency-noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Standard deviation of the per-load jitter, in cycles.
+    pub jitter_sd: f64,
+    /// Probability of an outlier spike on any timed load.
+    pub outlier_prob: f64,
+    /// Outlier magnitude range (uniform), in cycles.
+    pub outlier_min: u32,
+    /// Upper bound of the outlier magnitude range.
+    pub outlier_max: u32,
+}
+
+impl NoiseModel {
+    /// A realistic default: ~2 cycles of jitter, 1 in 2000 loads spiking by
+    /// 200–1500 cycles.
+    pub const DEFAULT: NoiseModel = NoiseModel {
+        jitter_sd: 2.0,
+        outlier_prob: 0.0005,
+        outlier_min: 200,
+        outlier_max: 1500,
+    };
+
+    /// Noise disabled — for debugging and for tests that need exact cycle
+    /// counts.
+    pub const NONE: NoiseModel = NoiseModel {
+        jitter_sd: 0.0,
+        outlier_prob: 0.0,
+        outlier_min: 0,
+        outlier_max: 0,
+    };
+
+    /// Samples a noisy latency around `base` cycles. The result is at least
+    /// 1 cycle — hardware clocks never run backwards.
+    pub fn sample(&self, rng: &mut ChaCha8Rng, base: u32) -> u32 {
+        let mut lat = base as f64;
+        if self.jitter_sd > 0.0 {
+            lat += gaussian(rng) * self.jitter_sd;
+        }
+        if self.outlier_prob > 0.0 && rng.gen_bool(self.outlier_prob) {
+            lat += rng.gen_range(self.outlier_min..=self.outlier_max) as f64;
+        }
+        lat.round().max(1.0) as u32
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Standard normal variate via Box–Muller (we only need one per call; the
+/// discarded second variate keeps the code branch-free).
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for base in [1u32, 38, 843] {
+            assert_eq!(NoiseModel::NONE.sample(&mut rng, base), base);
+        }
+    }
+
+    #[test]
+    fn jitter_is_centred_on_base() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let model = NoiseModel {
+            jitter_sd: 2.0,
+            outlier_prob: 0.0,
+            outlier_min: 0,
+            outlier_max: 0,
+        };
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| model.sample(&mut rng, 100) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 100.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn outliers_occur_at_roughly_configured_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = NoiseModel {
+            jitter_sd: 0.0,
+            outlier_prob: 0.01,
+            outlier_min: 500,
+            outlier_max: 500,
+        };
+        let n = 50_000;
+        let spikes = (0..n)
+            .filter(|_| model.sample(&mut rng, 100) > 300)
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((0.005..0.02).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn latency_never_below_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = NoiseModel {
+            jitter_sd: 50.0,
+            outlier_prob: 0.0,
+            outlier_min: 0,
+            outlier_max: 0,
+        };
+        for _ in 0..1000 {
+            assert!(model.sample(&mut rng, 2) >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let model = NoiseModel::DEFAULT;
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(model.sample(&mut a, 120), model.sample(&mut b, 120));
+        }
+    }
+}

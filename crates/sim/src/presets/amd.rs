@@ -1,0 +1,240 @@
+//! AMD CDNA presets: MI100 (CDNA1), MI210 (CDNA2), MI300X (CDNA3).
+
+use crate::device::{
+    gib, kib, mib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
+    ScratchpadSpec, SharingLayout, Vendor,
+};
+use crate::gpu::Gpu;
+use crate::quirks::Quirks;
+
+fn vl1(size: u64, lat: u32) -> CacheSpec {
+    CacheSpec {
+        size,
+        line_size: 64,
+        fetch_granularity: 64,
+        associativity: crate::cache::FULLY_ASSOCIATIVE,
+        load_latency: lat,
+        amount_per_sm: Some(1),
+        segments: 1,
+        read_bw_gibs: None,
+        write_bw_gibs: None,
+    }
+}
+
+fn sl1d(size: u64, lat: u32) -> CacheSpec {
+    CacheSpec {
+        size,
+        line_size: 64,
+        fetch_granularity: 64,
+        associativity: crate::cache::FULLY_ASSOCIATIVE,
+        load_latency: lat,
+        amount_per_sm: None,
+        segments: 1,
+        read_bw_gibs: None,
+        write_bw_gibs: None,
+    }
+}
+
+fn amd_l2(seg_size: u64, segments: u32, lat: u32, read_bw: f64, write_bw: f64) -> CacheSpec {
+    CacheSpec {
+        size: seg_size,
+        line_size: 128,
+        fetch_granularity: 64,
+        associativity: crate::cache::FULLY_ASSOCIATIVE,
+        load_latency: lat,
+        amount_per_sm: None,
+        segments,
+        read_bw_gibs: Some(read_bw),
+        write_bw_gibs: Some(write_bw),
+    }
+}
+
+/// Active-CU layout: `per_block` consecutive physical CUs, then
+/// `disabled_per_block` disabled ones, repeated until `active` CUs exist on
+/// a die of `physical_total`.
+fn cu_layout(
+    physical_total: u32,
+    active: u32,
+    disabled_ids: &[u32],
+    sl1d_group_size: u32,
+) -> CuLayout {
+    let physical_ids: Vec<u32> = (0..physical_total)
+        .filter(|id| !disabled_ids.contains(id))
+        .take(active as usize)
+        .collect();
+    assert_eq!(physical_ids.len(), active as usize);
+    CuLayout {
+        physical_ids,
+        sl1d_group_size,
+        physical_total,
+    }
+}
+
+/// AMD Instinct MI100 (CDNA1, gfx908): 120 of 128 CUs active, sL1d shared
+/// per 3 physical CUs.
+pub fn mi100() -> Gpu {
+    // One CU disabled per 16-CU block: 8 disabled total.
+    let disabled: Vec<u32> = (0..8).map(|b| b * 16 + 15).collect();
+    Gpu::new(DeviceConfig {
+        name: "Instinct MI100".into(),
+        vendor: Vendor::Amd,
+        microarch: Microarch::Cdna1,
+        chip: ChipSpec {
+            num_sms: 120,
+            cores_per_sm: 64,
+            warp_size: 64,
+            max_blocks_per_sm: 40,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2560,
+            regs_per_block: 65536,
+            regs_per_sm: 102400,
+            clock_mhz: 1502,
+            mem_clock_mhz: 1200,
+            bus_width_bits: 4096,
+            compute_capability: "gfx908".into(),
+        },
+        caches: vec![
+            (CacheKind::VL1, vl1(kib(16), 140)),
+            (CacheKind::SL1D, sl1d(kib(16), 60)),
+            (CacheKind::L2, amd_l2(mib(8), 1, 300, 2800.0, 2000.0)),
+        ],
+        scratchpad: ScratchpadSpec {
+            size: kib(64),
+            load_latency: 58,
+        },
+        dram: DramSpec {
+            size: gib(32),
+            load_latency: 730,
+            read_bw_gibs: 950.0,
+            write_bw_gibs: 900.0,
+        },
+        sharing: SharingLayout {
+            l1_tex_ro_unified: false,
+        },
+        cu_layout: Some(cu_layout(128, 120, &disabled, 3)),
+        quirks: Quirks::NONE,
+        clock_overhead_cycles: 10,
+    })
+}
+
+/// AMD Instinct MI210 (CDNA2, gfx90a) — the Table III reference GPU:
+/// 104 of 128 CUs active, sL1d shared per 2 physical CUs; some active CUs
+/// have their partner disabled and thus exclusive sL1d access.
+pub fn mi210() -> Gpu {
+    // 3 CUs disabled at the top of each of the 8 shader engines
+    // (16 physical CUs each): ids 13,14,15 within each block of 16.
+    let disabled: Vec<u32> = (0..8)
+        .flat_map(|se| [se * 16 + 13, se * 16 + 14, se * 16 + 15])
+        .collect();
+    Gpu::new(DeviceConfig {
+        name: "Instinct MI210".into(),
+        vendor: Vendor::Amd,
+        microarch: Microarch::Cdna2,
+        chip: ChipSpec {
+            num_sms: 104,
+            cores_per_sm: 64,
+            warp_size: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            regs_per_block: 65536,
+            regs_per_sm: 102400,
+            clock_mhz: 1700,
+            mem_clock_mhz: 1600,
+            bus_width_bits: 4096,
+            compute_capability: "gfx90a".into(),
+        },
+        // Table III MT4G column: vL1 16 KiB / 125 cyc / 64 B; sL1d ~16 KiB
+        // / 50 cyc / 64 B; L2 8 MB / 310 cyc / 128 B lines / 64 B fetch,
+        // 4.19/2.4 TiB/s; LDS 64 KiB / 55 cyc; DRAM 64 GB / 748 cyc.
+        caches: vec![
+            (CacheKind::VL1, vl1(kib(16), 125)),
+            (CacheKind::SL1D, sl1d(kib(16), 50)),
+            (CacheKind::L2, amd_l2(mib(8), 1, 310, 4290.0, 2458.0)),
+        ],
+        scratchpad: ScratchpadSpec {
+            size: kib(64),
+            load_latency: 55,
+        },
+        dram: DramSpec {
+            size: gib(64),
+            load_latency: 748,
+            read_bw_gibs: 1024.0,
+            write_bw_gibs: 922.0,
+        },
+        sharing: SharingLayout {
+            l1_tex_ro_unified: false,
+        },
+        cu_layout: Some(cu_layout(128, 104, &disabled, 2)),
+        quirks: Quirks::NONE,
+        clock_overhead_cycles: 10,
+    })
+}
+
+/// AMD Instinct MI300X VF (CDNA3, gfx942): 304 of 320 CUs across 8 XCDs
+/// (one L2 per XCD), 256 MB Infinity-Cache L3, virtualised — CU pinning
+/// unavailable (paper Sec. V non-result 1). L3 latency and fetch
+/// granularity are the paper's declared CDNA3 gaps (Table I "#").
+pub fn mi300x() -> Gpu {
+    // 2 CUs disabled per 40-CU XCD, in different sL1d pairs so both
+    // sharing situations exist.
+    let disabled: Vec<u32> = (0..8).flat_map(|x| [x * 40 + 19, x * 40 + 39]).collect();
+    Gpu::new(DeviceConfig {
+        name: "Instinct MI300X VF".into(),
+        vendor: Vendor::Amd,
+        microarch: Microarch::Cdna3,
+        chip: ChipSpec {
+            num_sms: 304,
+            cores_per_sm: 64,
+            warp_size: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            regs_per_block: 65536,
+            regs_per_sm: 102400,
+            clock_mhz: 2100,
+            mem_clock_mhz: 2525,
+            bus_width_bits: 8192,
+            compute_capability: "gfx942".into(),
+        },
+        caches: vec![
+            (CacheKind::VL1, vl1(kib(32), 116)),
+            (CacheKind::SL1D, sl1d(kib(16), 45)),
+            (CacheKind::L2, amd_l2(mib(4), 8, 320, 8000.0, 6000.0)),
+            (
+                CacheKind::L3,
+                CacheSpec {
+                    size: mib(256),
+                    line_size: 128,
+                    fetch_granularity: 128,
+                    associativity: crate::cache::FULLY_ASSOCIATIVE,
+                    load_latency: 480,
+                    amount_per_sm: None,
+                    segments: 1,
+                    read_bw_gibs: Some(12000.0),
+                    write_bw_gibs: Some(8000.0),
+                },
+            ),
+        ],
+        scratchpad: ScratchpadSpec {
+            size: kib(64),
+            load_latency: 50,
+        },
+        dram: DramSpec {
+            size: gib(192),
+            load_latency: 690,
+            read_bw_gibs: 3500.0,
+            write_bw_gibs: 3100.0,
+        },
+        sharing: SharingLayout {
+            l1_tex_ro_unified: false,
+        },
+        cu_layout: Some(cu_layout(320, 304, &disabled, 2)),
+        quirks: Quirks {
+            no_cu_pinning: true,
+            l1_amount_unschedulable: false,
+            flaky_l1_const_sharing: false,
+        },
+        clock_overhead_cycles: 10,
+    })
+}

@@ -1,0 +1,185 @@
+//! Device presets for the ten validation GPUs of the paper's Table II.
+//!
+//! Each preset plants the ground truth the MT4G pipeline must recover.
+//! Where the paper's Table III lists an MT4G-measured value (H100-80,
+//! MI210) we plant that; elsewhere we use vendor whitepapers and the
+//! reverse-engineering literature the paper cites (Jia et al. for
+//! Volta/Turing, chips-and-cheese for bandwidths), which is precisely the
+//! reference hierarchy the paper's validation uses.
+
+mod amd;
+mod nvidia;
+
+pub use amd::{mi100, mi210, mi300x};
+pub use nvidia::{a100, h100_80, h100_96, p6000, rtx2080, t1000, v100};
+
+use crate::gpu::Gpu;
+
+/// Names of all ten presets, in the paper's Table II order.
+pub const ALL_NAMES: [&str; 10] = [
+    "P6000", "V100", "T1000", "RTX2080", "A100", "H100-80", "H100-96", "MI100", "MI210", "MI300X",
+];
+
+/// Instantiates every preset, in Table II order.
+pub fn all() -> Vec<Gpu> {
+    vec![
+        p6000(),
+        v100(),
+        t1000(),
+        rtx2080(),
+        a100(),
+        h100_80(),
+        h100_96(),
+        mi100(),
+        mi210(),
+        mi300x(),
+    ]
+}
+
+/// Looks a preset up by its Table II short name (case-insensitive).
+pub fn by_name(name: &str) -> Option<Gpu> {
+    match name.to_ascii_uppercase().as_str() {
+        "P6000" => Some(p6000()),
+        "V100" => Some(v100()),
+        "T1000" => Some(t1000()),
+        "RTX2080" => Some(rtx2080()),
+        "A100" => Some(a100()),
+        "H100-80" | "H100" => Some(h100_80()),
+        "H100-96" => Some(h100_96()),
+        "MI100" => Some(mi100()),
+        "MI210" => Some(mi210()),
+        "MI300X" | "MI300" => Some(mi300x()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{CacheKind, Vendor};
+
+    #[test]
+    fn all_ten_presets_instantiate() {
+        let gpus = all();
+        assert_eq!(gpus.len(), 10);
+        let nvidia = gpus.iter().filter(|g| g.vendor() == Vendor::Nvidia).count();
+        let amd = gpus.iter().filter(|g| g.vendor() == Vendor::Amd).count();
+        assert_eq!((nvidia, amd), (7, 3), "7 NVIDIA + 3 AMD, per Table II");
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(by_name("mi210").is_some());
+        assert!(by_name("h100-80").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_cache_spec_is_geometrically_consistent() {
+        for gpu in all() {
+            for (kind, spec) in &gpu.config.caches {
+                assert_eq!(
+                    spec.size % spec.line_size as u64,
+                    0,
+                    "{}: {kind:?} size {} not a multiple of line {}",
+                    gpu.config.name,
+                    spec.size,
+                    spec.line_size
+                );
+                assert_eq!(
+                    spec.line_size % spec.fetch_granularity,
+                    0,
+                    "{}: {kind:?} line {} not a multiple of fetch granularity {}",
+                    gpu.config.name,
+                    spec.line_size,
+                    spec.fetch_granularity
+                );
+                assert!(spec.segments >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn nvidia_presets_have_the_nvidia_cache_set() {
+        for gpu in all().into_iter().filter(|g| g.vendor() == Vendor::Nvidia) {
+            for kind in [
+                CacheKind::L1,
+                CacheKind::Texture,
+                CacheKind::Readonly,
+                CacheKind::ConstL1,
+                CacheKind::ConstL15,
+                CacheKind::L2,
+            ] {
+                assert!(
+                    gpu.config.cache(kind).is_some(),
+                    "{} missing {kind:?}",
+                    gpu.config.name
+                );
+            }
+            assert!(gpu.config.cache(CacheKind::VL1).is_none());
+            assert!(gpu.config.cu_layout.is_none());
+        }
+    }
+
+    #[test]
+    fn amd_presets_have_the_amd_cache_set() {
+        for gpu in all().into_iter().filter(|g| g.vendor() == Vendor::Amd) {
+            for kind in [CacheKind::VL1, CacheKind::SL1D, CacheKind::L2] {
+                assert!(
+                    gpu.config.cache(kind).is_some(),
+                    "{} missing {kind:?}",
+                    gpu.config.name
+                );
+            }
+            assert!(gpu.config.cache(CacheKind::L1).is_none());
+            let layout = gpu.config.cu_layout.as_ref().expect("AMD needs CU layout");
+            assert_eq!(layout.physical_ids.len(), gpu.config.chip.num_sms as usize);
+            // Physical ids are strictly increasing and within the die.
+            for w in layout.physical_ids.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(*layout.physical_ids.last().unwrap() < layout.physical_total);
+        }
+    }
+
+    #[test]
+    fn mi210_has_104_of_128_cus() {
+        let gpu = mi210();
+        let layout = gpu.config.cu_layout.as_ref().unwrap();
+        assert_eq!(layout.physical_ids.len(), 104);
+        assert_eq!(layout.physical_total, 128);
+        // Some active CU must have lost its sL1d partner to a disabled CU.
+        let exclusive = (0..104).filter(|&cu| layout.sl1d_partners(cu).is_empty());
+        assert!(exclusive.count() > 0, "MI210 must have exclusive-sL1d CUs");
+    }
+
+    #[test]
+    fn h100_plants_table_iii_values() {
+        let gpu = h100_80();
+        let cfg = &gpu.config;
+        let l1 = cfg.cache(CacheKind::L1).unwrap();
+        assert_eq!(l1.size, 238 * 1024);
+        assert_eq!(l1.load_latency, 38);
+        assert_eq!(l1.line_size, 128);
+        assert_eq!(l1.fetch_granularity, 32);
+        let l2 = cfg.cache(CacheKind::L2).unwrap();
+        assert_eq!(l2.size * l2.segments as u64, 50 * 1024 * 1024);
+        assert_eq!(l2.segments, 2);
+        assert_eq!(l2.load_latency, 220);
+        let cl15 = cfg.cache(CacheKind::ConstL15).unwrap();
+        assert!(
+            cl15.size > crate::device::CONSTANT_ARRAY_LIMIT,
+            "CL1.5 must exceed the 64 KiB constant limit (Table III: >64KiB)"
+        );
+        assert_eq!(cfg.dram.load_latency, 843);
+    }
+
+    #[test]
+    fn quirks_match_section_v() {
+        assert!(p6000().config.quirks.l1_amount_unschedulable);
+        assert!(p6000().config.quirks.flaky_l1_const_sharing);
+        assert!(mi300x().config.quirks.no_cu_pinning);
+        assert!(!mi210().config.quirks.no_cu_pinning);
+        assert!(!h100_80().config.quirks.l1_amount_unschedulable);
+    }
+}

@@ -1,0 +1,51 @@
+//! Hardware / environment quirks that make specific benchmarks unable to
+//! produce a result.
+//!
+//! The paper's validation (Sec. V) documents exactly three such cases, all
+//! of which end in "no result or zero confidence, *not a wrong result*":
+//!
+//! 1. **MI300X** runs in a virtualised environment, so thread blocks cannot
+//!    be pinned to specific CU ids and the sL1d CU-sharing benchmark cannot
+//!    execute.
+//! 2. **P6000 (Pascal)** cannot schedule a benchmark thread on warp 3 of 4,
+//!    so the L1 Amount benchmark cannot be performed as planned.
+//! 3. **P6000** sometimes incorrectly indicates L1 / Constant-L1 physical
+//!    sharing — likely related to (2); our model surfaces it as an
+//!    inconclusive (zero-confidence) sharing result for that pair.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-device quirk flags (all default to "no quirk").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Quirks {
+    /// Thread blocks cannot be pinned to CU ids (virtualised pass-through,
+    /// e.g. MI300X VF). Disables the AMD sL1d CU-sharing benchmark.
+    pub no_cu_pinning: bool,
+    /// The warp scheduler refuses to place benchmark threads on the last
+    /// warp of an SM (observed on Pascal P6000). Disables the L1 Amount
+    /// benchmark.
+    pub l1_amount_unschedulable: bool,
+    /// The L1 vs Constant-L1 physical-sharing measurement is unreliable
+    /// (observed on Pascal P6000); the result is reported with zero
+    /// confidence.
+    pub flaky_l1_const_sharing: bool,
+}
+
+impl Quirks {
+    /// No quirks — the common case.
+    pub const NONE: Quirks = Quirks {
+        no_cu_pinning: false,
+        l1_amount_unschedulable: false,
+        flaky_l1_const_sharing: false,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(Quirks::default(), Quirks::NONE);
+    }
+}

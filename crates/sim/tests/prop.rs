@@ -1,0 +1,114 @@
+//! Property-based tests for the cache and hierarchy models — these are the
+//! invariants every MT4G benchmark implicitly relies on.
+
+use mt4g_sim::cache::{SectoredCache, FULLY_ASSOCIATIVE};
+use mt4g_sim::device::{LoadFlags, MemorySpace};
+use mt4g_sim::gpu::Gpu;
+use mt4g_sim::presets;
+use proptest::prelude::*;
+
+/// Strategy: coherent cache geometry (power-of-two line/sector, size a
+/// multiple of the line).
+fn geometry() -> impl Strategy<Value = (u64, u64, u64)> {
+    (1u32..6, 0u32..3, 4u64..64).prop_map(|(line_pow, sector_shift, lines)| {
+        let line = 32u64 << line_pow; // 64..=1024
+        let sector = line >> sector_shift.min(line_pow); // divides line
+        (lines * line, line, sector)
+    })
+}
+
+proptest! {
+    /// After a full warm-up, every in-capacity address hits.
+    #[test]
+    fn warmup_within_capacity_yields_all_hits((size, line, sector) in geometry()) {
+        let mut c = SectoredCache::new(size, line, sector, FULLY_ASSOCIATIVE);
+        let addrs: Vec<u64> = (0..size / sector).map(|i| i * sector).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        for &a in &addrs {
+            prop_assert!(c.access(a).is_hit());
+        }
+    }
+
+    /// A cyclic chase over capacity + one line misses on every access
+    /// (fully-associative LRU thrashing — the size benchmark's cliff).
+    #[test]
+    fn beyond_capacity_yields_all_misses((size, line, sector) in geometry()) {
+        let mut c = SectoredCache::new(size, line, sector, FULLY_ASSOCIATIVE);
+        let total = size + line;
+        let addrs: Vec<u64> = (0..total / sector).map(|i| i * sector).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        c.reset_stats();
+        for &a in &addrs {
+            c.access(a);
+        }
+        let (hits, misses) = c.stats();
+        prop_assert_eq!(hits, 0);
+        prop_assert_eq!(misses, addrs.len() as u64);
+    }
+
+    /// Residency never exceeds capacity, whatever the access pattern.
+    #[test]
+    fn residency_bounded_by_capacity(
+        (size, line, sector) in geometry(),
+        addrs in proptest::collection::vec(0u64..1 << 20, 1..400),
+    ) {
+        let mut c = SectoredCache::new(size, line, sector, FULLY_ASSOCIATIVE);
+        for a in addrs {
+            c.access(a);
+        }
+        let lines = size / line;
+        let resident = (0..(1u64 << 20) / line)
+            .filter(|&l| c.probe(l * line))
+            .count() as u64;
+        prop_assert!(resident <= lines);
+    }
+
+    /// Stride at or above the sector size on a cold cache produces only
+    /// misses; stride strictly below produces at least one hit (the
+    /// fetch-granularity benchmark's decision rule).
+    #[test]
+    fn cold_stride_rule((size, line, sector) in geometry(), stride_factor in 1u64..4) {
+        prop_assume!(size / (sector * stride_factor) >= 4);
+        let mut c = SectoredCache::new(size, line, sector, FULLY_ASSOCIATIVE);
+        let stride = sector * stride_factor;
+        for i in 0..size / stride {
+            c.access(i * stride);
+        }
+        let (hits, _) = c.stats();
+        prop_assert_eq!(hits, 0, "stride {} >= sector {}", stride, sector);
+
+        if sector >= 8 {
+            let mut c2 = SectoredCache::new(size, line, sector, FULLY_ASSOCIATIVE);
+            let small = sector / 2;
+            for i in 0..size / small {
+                c2.access(i * small);
+            }
+            let (h2, _) = c2.stats();
+            prop_assert!(h2 > 0, "stride {} < sector {}", small, sector);
+        }
+    }
+
+    /// The measured p-chase latency through any preset is always at least
+    /// the clock overhead plus one cycle, and loads never corrupt the
+    /// chase values (the chain stays circular).
+    #[test]
+    fn preset_load_latencies_are_sane(preset_idx in 0usize..10, addr in 0u64..65536) {
+        let mut gpus = presets::all();
+        let gpu: &mut Gpu = &mut gpus[preset_idx];
+        let space = match gpu.vendor() {
+            mt4g_sim::Vendor::Nvidia => MemorySpace::Global,
+            mt4g_sim::Vendor::Amd => MemorySpace::Vector,
+        };
+        let (res, lat) = gpu.raw_load(0, 0, space, LoadFlags::CACHE_ALL, addr);
+        prop_assert!(lat >= 1);
+        prop_assert!(res.latency >= 1);
+        // Second access to the same address must hit the first level.
+        let (res2, _) = gpu.raw_load(0, 0, space, LoadFlags::CACHE_ALL, addr);
+        prop_assert!(res2.first_level_hit);
+        prop_assert!(res2.latency <= res.latency);
+    }
+}

@@ -1,0 +1,113 @@
+//! Binary segmentation over a cost function.
+//!
+//! The simplest multiple-change-point strategy: find the single split that
+//! reduces the cost the most; if the gain exceeds the penalty, recurse into
+//! both halves. Approximate but fast and easy to reason about — the second
+//! comparison method of the CPD ablation.
+
+use super::cost::CostFunction;
+use super::MultiChangePointDetector;
+
+/// Binary-segmentation detector over a generic [`CostFunction`].
+#[derive(Debug, Clone)]
+pub struct BinarySegmentation<C: CostFunction> {
+    cost: C,
+    /// Minimum cost gain for a split to be accepted.
+    pub penalty: f64,
+    /// Minimal segment length.
+    pub min_segment: usize,
+}
+
+impl<C: CostFunction> BinarySegmentation<C> {
+    /// Creates a detector with the given cost and penalty.
+    pub fn new(cost: C, penalty: f64) -> Self {
+        Self {
+            cost,
+            penalty,
+            min_segment: 2,
+        }
+    }
+
+    /// Runs the recursion over `[start, end)`, appending accepted split
+    /// indices to `out`.
+    fn segment(&self, start: usize, end: usize, out: &mut Vec<usize>) {
+        if end - start < 2 * self.min_segment {
+            return;
+        }
+        let whole = self.cost.cost(start, end);
+        let mut best_gain = 0.0;
+        let mut best_split = None;
+        for split in (start + self.min_segment)..=(end - self.min_segment) {
+            let gain = whole - self.cost.cost(start, split) - self.cost.cost(split, end);
+            if gain > best_gain {
+                best_gain = gain;
+                best_split = Some(split);
+            }
+        }
+        if let Some(split) = best_split {
+            if best_gain > self.penalty {
+                self.segment(start, split, out);
+                out.push(split);
+                self.segment(split, end, out);
+            }
+        }
+    }
+
+    /// Returns all accepted change points, sorted by index.
+    pub fn run(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.segment(0, self.cost.len(), &mut out);
+        out
+    }
+}
+
+impl<C: CostFunction> MultiChangePointDetector for BinarySegmentation<C> {
+    fn detect_all(&self, _series: &[f64]) -> Vec<usize> {
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cost::CostL2;
+    use super::*;
+
+    #[test]
+    fn finds_single_step() {
+        let mut series = vec![0.0; 40];
+        series.extend(vec![8.0; 40]);
+        let bs = BinarySegmentation::new(CostL2::new(&series), 10.0);
+        assert_eq!(bs.run(), vec![40]);
+    }
+
+    #[test]
+    fn finds_nested_steps() {
+        let mut series = vec![0.0; 30];
+        series.extend(vec![10.0; 30]);
+        series.extend(vec![20.0; 30]);
+        let bs = BinarySegmentation::new(CostL2::new(&series), 10.0);
+        assert_eq!(bs.run(), vec![30, 60]);
+    }
+
+    #[test]
+    fn penalty_gates_small_steps() {
+        let mut series = vec![0.0; 20];
+        series.extend(vec![0.1; 20]);
+        let bs = BinarySegmentation::new(CostL2::new(&series), 100.0);
+        assert!(bs.run().is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted() {
+        let mut series = Vec::new();
+        for level in [0.0, 10.0, 3.0, 17.0] {
+            series.extend(vec![level; 25]);
+        }
+        let bs = BinarySegmentation::new(CostL2::new(&series), 10.0);
+        let cps = bs.run();
+        let mut sorted = cps.clone();
+        sorted.sort_unstable();
+        assert_eq!(cps, sorted);
+        assert_eq!(cps, vec![25, 50, 75]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Segment cost functions for penalised-cost change-point detection.
+//!
+//! Penalised-cost CPD (paper Sec. II-C) searches for the segmentation `tau`
+//! minimising `V(tau, S) = sum of per-segment costs + penalty * |tau|`.
+//! The cost measures the homogeneity of each segment; different choices
+//! detect different kinds of change.
+
+/// A cost over half-open index ranges `[start, end)` of a fixed series.
+///
+/// Implementations precompute prefix sums so that each `cost` query is O(1),
+/// which PELT and binary segmentation rely on.
+pub trait CostFunction {
+    /// Cost of the segment `series[start..end]`. `end > start`.
+    fn cost(&self, start: usize, end: usize) -> f64;
+    /// Length of the underlying series.
+    fn len(&self) -> usize;
+    /// Whether the underlying series is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// L2 cost: sum of squared deviations from the segment mean. Detects mean
+/// shifts; the classic CPD cost.
+#[derive(Debug, Clone)]
+pub struct CostL2 {
+    prefix: Vec<f64>,
+    prefix_sq: Vec<f64>,
+}
+
+impl CostL2 {
+    /// Precomputes prefix sums of `series`.
+    pub fn new(series: &[f64]) -> Self {
+        let mut prefix = Vec::with_capacity(series.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(series.len() + 1);
+        prefix.push(0.0);
+        prefix_sq.push(0.0);
+        for &x in series {
+            prefix.push(prefix.last().unwrap() + x);
+            prefix_sq.push(prefix_sq.last().unwrap() + x * x);
+        }
+        Self { prefix, prefix_sq }
+    }
+}
+
+impl CostFunction for CostL2 {
+    fn cost(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(end > start && end < self.prefix.len());
+        let n = (end - start) as f64;
+        let s = self.prefix[end] - self.prefix[start];
+        let sq = self.prefix_sq[end] - self.prefix_sq[start];
+        (sq - s * s / n).max(0.0)
+    }
+
+    fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+}
+
+/// Gaussian negative log-likelihood cost with segment-specific mean *and*
+/// variance: detects changes in either moment.
+#[derive(Debug, Clone)]
+pub struct CostNormalMeanVar {
+    l2: CostL2,
+}
+
+impl CostNormalMeanVar {
+    /// Precomputes prefix sums of `series`.
+    pub fn new(series: &[f64]) -> Self {
+        Self {
+            l2: CostL2::new(series),
+        }
+    }
+}
+
+impl CostFunction for CostNormalMeanVar {
+    fn cost(&self, start: usize, end: usize) -> f64 {
+        let n = (end - start) as f64;
+        // Variance floor keeps the log finite on constant segments.
+        let var = (self.l2.cost(start, end) / n).max(1e-12);
+        n * var.ln()
+    }
+
+    fn len(&self) -> usize {
+        self.l2.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_cost_of_constant_segment_is_zero() {
+        let c = CostL2::new(&[4.0; 10]);
+        assert!(c.cost(0, 10) < 1e-9);
+        assert!(c.cost(2, 7) < 1e-9);
+    }
+
+    #[test]
+    fn l2_cost_matches_direct_computation() {
+        let series = [1.0, 2.0, 3.0, 4.0];
+        let c = CostL2::new(&series);
+        // mean 2.5 -> SSE = 2.25+0.25+0.25+2.25 = 5
+        assert!((c.cost(0, 4) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_at_true_change_reduces_l2_cost() {
+        let mut series = vec![0.0; 20];
+        series.extend(vec![10.0; 20]);
+        let c = CostL2::new(&series);
+        let whole = c.cost(0, 40);
+        let split = c.cost(0, 20) + c.cost(20, 40);
+        assert!(split < whole * 0.01);
+    }
+
+    #[test]
+    fn normal_cost_prefers_variance_split() {
+        // Low-variance then high-variance with identical means.
+        let mut series: Vec<f64> = (0..30).map(|i| (i % 2) as f64 * 0.01).collect();
+        series.extend((0..30).map(|i| ((i % 2) as f64 * 2.0 - 1.0) * 10.0));
+        let c = CostNormalMeanVar::new(&series);
+        let whole = c.cost(0, 60);
+        let split = c.cost(0, 30) + c.cost(30, 60);
+        assert!(split < whole);
+    }
+
+    #[test]
+    fn len_reports_series_length() {
+        assert_eq!(CostL2::new(&[1.0, 2.0, 3.0]).len(), 3);
+        assert!(!CostL2::new(&[1.0]).is_empty());
+        assert!(CostL2::new(&[]).is_empty());
+    }
+}

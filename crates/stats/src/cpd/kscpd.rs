@@ -1,0 +1,187 @@
+//! The Kolmogorov–Smirnov change-point detector — MT4G's workhorse.
+//!
+//! Every index of the reduced series is considered a potential change point
+//! (the paper explicitly *omits* candidate shortlisting because the reduced
+//! series is small); at each candidate the two-sample K-S test compares the
+//! distribution on the lower side against the higher side. The winning
+//! split is the one with the largest Kolmogorov distance that also clears
+//! the critical value of Eq. (1); its significance is reported as the
+//! confidence metric.
+
+use super::{ChangePoint, ChangePointDetector};
+use crate::ks;
+
+/// Scans all candidate splits with the two-sample K-S test.
+#[derive(Debug, Clone, Copy)]
+pub struct KsChangePointDetector {
+    /// Significance level of the per-split test (default `0.05`).
+    pub alpha: f64,
+    /// Minimum number of observations on each side of a candidate split
+    /// (default 3; a K-S test on fewer points is meaningless).
+    pub min_segment: usize,
+}
+
+impl Default for KsChangePointDetector {
+    fn default() -> Self {
+        Self {
+            alpha: 0.05,
+            min_segment: 3,
+        }
+    }
+}
+
+impl KsChangePointDetector {
+    /// Creates a detector with the given significance level.
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            alpha,
+            ..Self::default()
+        }
+    }
+}
+
+impl ChangePointDetector for KsChangePointDetector {
+    fn detect(&self, series: &[f64]) -> Option<ChangePoint> {
+        let n = series.len();
+        if n < 2 * self.min_segment {
+            return None;
+        }
+        // Two selection rules, matching the two ways benchmark data can
+        // look:
+        //
+        // 1. If any split separates the two sides *completely* (D = 1)
+        //    with a substantial value gap, the earliest such split is the
+        //    regime boundary. (A later split whose left side swallowed the
+        //    first new-regime values can also reach D = 1 whenever those
+        //    happen to be the smallest of their cluster; and random noise
+        //    orderings create complete separations with *tiny* gaps inside
+        //    a single regime — the gap requirement rejects both.)
+        // 2. Otherwise rank by the margin above the Eq. (1) critical
+        //    value. An isolated outlier inside one regime caps D just
+        //    below 1 and tempts maximal-D selection into the unbalanced
+        //    split that excludes the outlier; the critical value penalises
+        //    exactly that imbalance.
+        let series_min = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let series_max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min_gap = 0.25 * (series_max - series_min);
+        let mut first_complete: Option<ChangePoint> = None;
+        let mut best_margin: Option<(f64, ChangePoint)> = None;
+        for split in self.min_segment..=(n - self.min_segment) {
+            let (lo, hi) = series.split_at(split);
+            let r = ks::ks_test(lo, hi, self.alpha);
+            if !r.reject {
+                continue;
+            }
+            let cand = ChangePoint {
+                index: split,
+                confidence: 1.0 - r.p_value,
+                statistic: r.statistic,
+            };
+            if r.statistic > 1.0 - 1e-9 && first_complete.is_none() {
+                let max_lo = lo.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let min_lo = lo.iter().copied().fold(f64::INFINITY, f64::min);
+                let max_hi = hi.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let min_hi = hi.iter().copied().fold(f64::INFINITY, f64::min);
+                let gap = (min_hi - max_lo).max(min_lo - max_hi);
+                if gap >= min_gap {
+                    first_complete = Some(cand);
+                }
+            }
+            let margin = r.statistic - r.critical_value;
+            if best_margin.as_ref().map_or(true, |&(m, _)| margin > m) {
+                best_margin = Some((margin, cand));
+            }
+        }
+        first_complete.or(best_margin.map(|(_, cp)| cp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::step_series;
+
+    #[test]
+    fn detects_planted_step() {
+        let series = step_series(40, 10.0, 40, 50.0);
+        let cp = KsChangePointDetector::default().detect(&series).unwrap();
+        assert_eq!(cp.index, 40);
+        assert!(cp.confidence > 0.99);
+        assert!(cp.statistic > 0.9);
+    }
+
+    #[test]
+    fn homogeneous_series_yields_none() {
+        let series: Vec<f64> = (0..100).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        assert!(KsChangePointDetector::default().detect(&series).is_none());
+    }
+
+    #[test]
+    fn too_short_series_yields_none() {
+        let series = vec![1.0, 100.0, 1.0];
+        assert!(KsChangePointDetector::default().detect(&series).is_none());
+    }
+
+    #[test]
+    fn asymmetric_step_position() {
+        let series = step_series(10, 5.0, 90, 25.0);
+        let cp = KsChangePointDetector::default().detect(&series).unwrap();
+        assert_eq!(cp.index, 10);
+    }
+
+    #[test]
+    fn robust_to_single_outlier() {
+        // A single spike inside the low regime must not masquerade as the
+        // change point — this is the whole reason MT4G uses K-S rather than
+        // a max/mean threshold.
+        let mut series = step_series(50, 10.0, 50, 60.0);
+        series[20] = 500.0;
+        let cp = KsChangePointDetector::default().detect(&series).unwrap();
+        assert_eq!(cp.index, 50, "outlier at 20 must not win");
+    }
+
+    #[test]
+    fn robust_to_multiple_outliers() {
+        let mut series = step_series(60, 10.0, 60, 42.0);
+        series[5] = 400.0;
+        series[33] = 380.0;
+        series[90] = 2.0;
+        let cp = KsChangePointDetector::default().detect(&series).unwrap();
+        assert!(
+            (59..=61).contains(&cp.index),
+            "expected ~60, got {}",
+            cp.index
+        );
+    }
+
+    #[test]
+    fn gradual_ramp_falls_back_to_balanced_margin_rule() {
+        // On a strictly increasing ramp every split separates the sides
+        // completely, but none with a substantial value gap — so the
+        // margin rule applies, and the best-supported (near-balanced)
+        // split wins.
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cp = KsChangePointDetector::default().detect(&series).unwrap();
+        assert!((40..=60).contains(&cp.index), "got {}", cp.index);
+        assert!((cp.statistic - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_with_minimal_new_regime_value_is_not_shifted() {
+        // The regression that motivated the tie-break: the first value of
+        // the new regime happens to be the smallest of its cluster, so the
+        // split one position later ALSO reaches D = 1. The earliest
+        // fully-separating split must win.
+        let mut series = vec![100.0; 9];
+        series.extend([3006.1, 3009.6, 3010.1, 3013.9, 3008.8, 3008.0, 3012.0, 3007.2]);
+        let cp = KsChangePointDetector::default().detect(&series).unwrap();
+        assert_eq!(cp.index, 9);
+    }
+
+    #[test]
+    fn stricter_alpha_still_detects_clear_step() {
+        let series = step_series(30, 1.0, 30, 9.0);
+        let cp = KsChangePointDetector::new(0.001).detect(&series).unwrap();
+        assert_eq!(cp.index, 30);
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline change-point detection (CPD).
+//!
+//! CPD searches a series `S = x_1 .. x_n` for the segmentation that best
+//! separates regions of homogeneous distribution (paper Sec. II-C). MT4G
+//! needs a *single* change point with a confidence metric and therefore uses
+//! the non-parametric two-sample K-S scan ([`KsChangePointDetector`]); the
+//! other detectors here (CUSUM, Cramér–von Mises, and the penalised-cost
+//! methods PELT / binary segmentation over pluggable cost functions) are the
+//! alternatives the paper's background section surveys, and they power this
+//! reproduction's CPD ablation benchmarks.
+
+mod binseg;
+mod cost;
+mod cusum;
+mod cvm;
+mod kscpd;
+mod pelt;
+
+pub use binseg::BinarySegmentation;
+pub use cost::{CostFunction, CostL2, CostNormalMeanVar};
+pub use cusum::CusumDetector;
+pub use cvm::CvmChangePointDetector;
+pub use kscpd::KsChangePointDetector;
+pub use pelt::Pelt;
+
+use serde::{Deserialize, Serialize};
+
+/// A detected change point in a one-dimensional series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangePoint {
+    /// Index of the first element of the *new* regime: the series is split
+    /// into `series[..index]` and `series[index..]`.
+    pub index: usize,
+    /// Detector-specific confidence in `[0, 1]` (for the K-S detector this
+    /// is `1 - p_value` of the winning split).
+    pub confidence: f64,
+    /// The raw test statistic at the winning split (e.g. the Kolmogorov
+    /// distance `D`).
+    pub statistic: f64,
+}
+
+/// A single-change-point detector over a one-dimensional series.
+pub trait ChangePointDetector {
+    /// Returns the most significant change point, or `None` when the series
+    /// is homogeneous at the detector's significance level.
+    fn detect(&self, series: &[f64]) -> Option<ChangePoint>;
+}
+
+/// A multiple-change-point detector returning all change points it finds,
+/// sorted by index.
+pub trait MultiChangePointDetector {
+    /// Detects all change points.
+    fn detect_all(&self, series: &[f64]) -> Vec<usize>;
+}
+
+#[cfg(test)]
+pub(crate) fn step_series(n_low: usize, low: f64, n_high: usize, high: f64) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n_low + n_high);
+    v.extend(std::iter::repeat(low).take(n_low));
+    v.extend(std::iter::repeat(high).take(n_high));
+    // add a small deterministic ripple so the samples are not fully ties
+    for (i, x) in v.iter_mut().enumerate() {
+        *x += (i % 5) as f64 * 0.01;
+    }
+    v
+}

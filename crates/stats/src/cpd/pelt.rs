@@ -1,0 +1,140 @@
+//! PELT — Pruned Exact Linear Time change-point detection (Killick et al.).
+//!
+//! Finds the exact minimiser of `sum segment costs + beta * #changepoints`
+//! with pruning that keeps the expected runtime linear. This is the
+//! parametric multiple-change-point method referenced in the paper's
+//! Sec. II-C; MT4G itself needs only one change point, but PELT serves as
+//! the comparison method in our CPD ablation.
+
+use super::cost::CostFunction;
+use super::MultiChangePointDetector;
+
+/// PELT detector over a generic [`CostFunction`].
+#[derive(Debug, Clone)]
+pub struct Pelt<C: CostFunction> {
+    cost: C,
+    /// Per-change-point penalty `beta`.
+    pub penalty: f64,
+    /// Minimal segment length.
+    pub min_segment: usize,
+}
+
+impl<C: CostFunction> Pelt<C> {
+    /// Creates a PELT detector with the given cost and penalty.
+    pub fn new(cost: C, penalty: f64) -> Self {
+        Self {
+            cost,
+            penalty,
+            min_segment: 2,
+        }
+    }
+
+    /// Runs the PELT recursion, returning the optimal change points
+    /// (indices of the first element of each new segment), sorted.
+    pub fn run(&self) -> Vec<usize> {
+        let n = self.cost.len();
+        if n < 2 * self.min_segment {
+            return Vec::new();
+        }
+        // f[t] = min cost of segmenting series[..t]
+        let mut f = vec![f64::INFINITY; n + 1];
+        f[0] = -self.penalty;
+        let mut prev = vec![0usize; n + 1];
+        // Candidate last-change positions, pruned as we go.
+        let mut candidates: Vec<usize> = vec![0];
+        for t in self.min_segment..=n {
+            let mut best = f64::INFINITY;
+            let mut best_s = 0usize;
+            for &s in &candidates {
+                if t - s < self.min_segment {
+                    continue;
+                }
+                let c = f[s] + self.cost.cost(s, t) + self.penalty;
+                if c < best {
+                    best = c;
+                    best_s = s;
+                }
+            }
+            f[t] = best;
+            prev[t] = best_s;
+            // Pruning: drop s that can never be optimal again.
+            candidates.retain(|&s| {
+                t - s < self.min_segment || f[s] + self.cost.cost(s, t) <= f[t]
+            });
+            candidates.push(t + 1 - self.min_segment.min(t));
+            candidates.dedup();
+            if t >= self.min_segment {
+                // standard PELT adds t as a candidate for future steps once
+                // a segment ending at t is feasible
+                candidates.push(t);
+                candidates.sort_unstable();
+                candidates.dedup();
+            }
+        }
+        // Backtrack.
+        let mut cps = Vec::new();
+        let mut t = n;
+        while t > 0 {
+            let s = prev[t];
+            if s == 0 {
+                break;
+            }
+            cps.push(s);
+            t = s;
+        }
+        cps.sort_unstable();
+        cps
+    }
+}
+
+impl<C: CostFunction> MultiChangePointDetector for Pelt<C> {
+    fn detect_all(&self, _series: &[f64]) -> Vec<usize> {
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cost::CostL2;
+    use super::*;
+
+    #[test]
+    fn finds_single_step() {
+        let mut series = vec![0.0; 30];
+        series.extend(vec![10.0; 30]);
+        let pelt = Pelt::new(CostL2::new(&series), 5.0);
+        let cps = pelt.run();
+        assert_eq!(cps, vec![30]);
+    }
+
+    #[test]
+    fn finds_two_steps() {
+        let mut series = vec![0.0; 25];
+        series.extend(vec![10.0; 25]);
+        series.extend(vec![-5.0; 25]);
+        let pelt = Pelt::new(CostL2::new(&series), 5.0);
+        let cps = pelt.run();
+        assert_eq!(cps, vec![25, 50]);
+    }
+
+    #[test]
+    fn high_penalty_suppresses_changes() {
+        let mut series = vec![0.0; 20];
+        series.extend(vec![0.5; 20]); // tiny step
+        let pelt = Pelt::new(CostL2::new(&series), 1e6);
+        assert!(pelt.run().is_empty());
+    }
+
+    #[test]
+    fn constant_series_has_no_changes() {
+        let series = vec![1.0; 50];
+        let pelt = Pelt::new(CostL2::new(&series), 1.0);
+        assert!(pelt.run().is_empty());
+    }
+
+    #[test]
+    fn short_series_is_handled() {
+        let pelt = Pelt::new(CostL2::new(&[1.0, 2.0]), 1.0);
+        assert!(pelt.run().is_empty());
+    }
+}

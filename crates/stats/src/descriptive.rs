@@ -1,0 +1,139 @@
+//! Descriptive statistics reported for latency measurements.
+//!
+//! The load-latency benchmarks (paper Sec. IV-C) report the average as the
+//! main result plus "a set of statistical values, such as p50, p95, or
+//! standard deviation"; [`Summary`] bundles exactly that.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes all summary statistics of `data`. Returns `None` when the
+    /// sample is empty.
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        })
+    }
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 100]`) of an unsorted sample.
+/// Returns `None` for an empty sample.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, q))
+}
+
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5.0; 10]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p50, 5.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // sample std dev of {1,2,3,4}: sqrt(5/3)
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert!((percentile(&data, 50.0).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(percentile(&data, 0.0).unwrap(), 0.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn percentile_of_single_value() {
+        assert_eq!(percentile(&[7.0], 95.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn percentile_order_independent() {
+        let a = [3.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&a, 50.0), percentile(&b, 50.0));
+    }
+
+    #[test]
+    fn single_observation_has_zero_std() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.n, 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The K-S test compares two independent samples following distribution
+//! functions `F(X)` and `G(X)` under the null hypothesis `H0: F(X) = G(X)`.
+//! The test statistic is the Kolmogorov distance
+//! `D = max_x |F_n(x) - G_m(x)|` between the two empirical CDFs; `H0` is
+//! rejected when `D` exceeds a critical value. MT4G (paper Sec. II-C1)
+//! approximates the critical value following Wilcox:
+//!
+//! ```text
+//! d_alpha = sqrt( -1/2 * (n+m)/(n*m) * ln(alpha/2) )        (Eq. 1)
+//! ```
+//!
+//! (the paper typesets the sign inside the logarithm; `ln(alpha/2)` is
+//! negative for any `alpha < 2`, so the radicand is positive).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The Kolmogorov distance `D = max |F(x) - G(x)|`, in `[0, 1]`.
+    pub statistic: f64,
+    /// Critical value `d_alpha` from Eq. (1) for the requested significance.
+    pub critical_value: f64,
+    /// Asymptotic two-sided p-value for the observed `D`.
+    pub p_value: f64,
+    /// Significance level the test was run at.
+    pub alpha: f64,
+    /// `true` iff `D > d_alpha`, i.e. the null hypothesis (equal
+    /// distributions) is rejected.
+    pub reject: bool,
+}
+
+/// Computes the two-sample Kolmogorov distance
+/// `D = max_x |F_a(x) - F_b(x)|` between the empirical CDFs of `a` and `b`.
+///
+/// Returns `0.0` for two empty samples and `1.0` when exactly one sample is
+/// empty (the degenerate maximal distance). Runs in `O(n log n + m log m)`.
+///
+/// # Examples
+/// ```
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [1.0, 2.0, 3.0];
+/// assert_eq!(mt4g_stats::ks_statistic(&a, &b), 0.0);
+/// ```
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut xs: Vec<f64> = a.to_vec();
+    let mut ys: Vec<f64> = b.to_vec();
+    xs.sort_unstable_by(f64::total_cmp);
+    ys.sort_unstable_by(f64::total_cmp);
+
+    let (n, m) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    // Merge-walk over the pooled sorted values, tracking both ECDFs.
+    while i < xs.len() && j < ys.len() {
+        let v = xs[i].min(ys[j]);
+        while i < xs.len() && xs[i] <= v {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= v {
+            j += 1;
+        }
+        let fa = i as f64 / n;
+        let fb = j as f64 / m;
+        d = d.max((fa - fb).abs());
+    }
+    // Once one sample is exhausted its ECDF is 1; the remaining steps of the
+    // other ECDF can only shrink the gap, so `d` is already final.
+    d
+}
+
+/// Critical value `d_alpha` of the two-sample K-S test (paper Eq. 1).
+///
+/// `n` and `m` are the two sample sizes; `alpha` the significance level
+/// (e.g. `0.05`).
+///
+/// # Panics
+/// Panics if `n == 0`, `m == 0`, or `alpha` is not in `(0, 1)`.
+pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0, "K-S critical value needs non-empty samples");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "significance level must lie in (0, 1), got {alpha}"
+    );
+    let (n, m) = (n as f64, m as f64);
+    (-0.5 * (n + m) / (n * m) * (alpha / 2.0).ln()).sqrt()
+}
+
+/// Asymptotic two-sided p-value of the Kolmogorov distribution for the
+/// observed two-sample statistic `d` with sample sizes `n`, `m`.
+///
+/// Uses the effective sample size `ne = n*m/(n+m)` with the standard
+/// small-sample continuity correction
+/// `lambda = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * d` and the series
+/// `Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)`.
+pub fn ks_p_value(d: f64, n: usize, m: usize) -> f64 {
+    if d <= 0.0 {
+        return 1.0;
+    }
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    kolmogorov_survival(lambda)
+}
+
+/// The Kolmogorov survival function `Q(lambda)`, clamped to `[0, 1]`.
+fn kolmogorov_survival(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100u32 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Runs the full two-sample K-S test at significance level `alpha`.
+///
+/// This is the test MT4G applies at every candidate change point of the
+/// reduced latency series: the sample on the lower side of the alleged
+/// change point is compared against the one on the higher side.
+///
+/// # Examples
+/// ```
+/// // Two clearly different distributions are told apart:
+/// let low: Vec<f64> = (0..100).map(|i| 100.0 + (i % 7) as f64).collect();
+/// let high: Vec<f64> = (0..100).map(|i| 400.0 + (i % 5) as f64).collect();
+/// let r = mt4g_stats::ks_test(&low, &high, 0.05);
+/// assert!(r.reject);
+/// assert!((r.statistic - 1.0).abs() < 1e-12);
+/// ```
+pub fn ks_test(a: &[f64], b: &[f64], alpha: f64) -> KsResult {
+    let d = ks_statistic(a, b);
+    let critical = ks_critical_value(a.len().max(1), b.len().max(1), alpha);
+    let p = ks_p_value(d, a.len().max(1), b.len().max(1));
+    KsResult {
+        statistic: d,
+        critical_value: critical,
+        p_value: p,
+        alpha,
+        reject: d > critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        let r = ks_test(&a, &a, 0.05);
+        assert!(!r.reject);
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [1.0, 5.0, 3.0, 9.0, 2.0];
+        let b = [2.0, 2.5, 8.0, 1.0];
+        assert_eq!(ks_statistic(&a, &b), ks_statistic(&b, &a));
+    }
+
+    #[test]
+    fn known_small_example() {
+        // F steps at {1,2}, G steps at {1.5,2.5}. At x=1: |1/2 - 0| = 0.5.
+        let a = [1.0, 2.0];
+        let b = [1.5, 2.5];
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_shifted_sample() {
+        // a = {1..8}, b = {5..12}: max gap of ECDFs is 0.5 at x=4 and x=8.
+        let a: Vec<f64> = (1..=8).map(f64::from).collect();
+        let b: Vec<f64> = (5..=12).map(f64::from).collect();
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_value_matches_closed_form() {
+        // n = m = 100, alpha = 0.05:
+        // sqrt(-0.5 * 200/10000 * ln(0.025)) = sqrt(0.01 * 3.6889) ≈ 0.19206
+        let d = ks_critical_value(100, 100, 0.05);
+        assert!((d - 0.192_06).abs() < 1e-4, "got {d}");
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        let small = ks_critical_value(10, 10, 0.05);
+        let large = ks_critical_value(1000, 1000, 0.05);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn critical_value_grows_as_alpha_shrinks() {
+        let loose = ks_critical_value(50, 50, 0.10);
+        let strict = ks_critical_value(50, 50, 0.01);
+        assert!(strict > loose);
+    }
+
+    #[test]
+    #[should_panic(expected = "significance level")]
+    fn critical_value_rejects_bad_alpha() {
+        ks_critical_value(10, 10, 1.5);
+    }
+
+    #[test]
+    fn p_value_monotone_in_d() {
+        let p1 = ks_p_value(0.1, 100, 100);
+        let p2 = ks_p_value(0.3, 100, 100);
+        let p3 = ks_p_value(0.8, 100, 100);
+        assert!(p1 > p2 && p2 > p3);
+    }
+
+    #[test]
+    fn p_value_at_zero_is_one() {
+        assert_eq!(ks_p_value(0.0, 10, 10), 1.0);
+    }
+
+    #[test]
+    fn empty_sample_edge_cases() {
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 1.0);
+        assert_eq!(ks_statistic(&[], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn shifted_distributions_rejected_at_reasonable_n() {
+        // Deterministic interleaved values: mean shift of 5 with spread 1.
+        let a: Vec<f64> = (0..200).map(|i| (i % 10) as f64 / 10.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| 5.0 + (i % 10) as f64 / 10.0).collect();
+        let r = ks_test(&a, &b, 0.05);
+        assert!(r.reject);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn same_distribution_not_rejected() {
+        // Same deterministic sawtooth in both samples.
+        let a: Vec<f64> = (0..300).map(|i| (i % 17) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| ((i + 9) % 17) as f64).collect();
+        let r = ks_test(&a, &b, 0.05);
+        assert!(!r.reject, "D = {}", r.statistic);
+    }
+}

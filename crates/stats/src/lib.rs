@@ -1,0 +1,35 @@
+//! # mt4g-stats — statistical substrate for MT4G
+//!
+//! MT4G's "auto-evaluation" contribution (C3 in the paper) is the automated,
+//! outlier-resistant interpretation of raw microbenchmark latencies. This
+//! crate implements every statistical building block the paper relies on:
+//!
+//! * the two-sample **Kolmogorov–Smirnov test** with the critical value of
+//!   the paper's Eq. (1) ([`ks`]),
+//! * the **geometric-mapping dimensionality reduction** of Eq. (2), due to
+//!   Grundy et al., which collapses the per-array-size latency vectors into a
+//!   single scalar series ([`reduction`]),
+//! * an offline **change-point detection** framework ([`cpd`]) with the K-S
+//!   based detector MT4G uses, plus CUSUM, Cramér–von Mises and
+//!   penalised-cost detectors (PELT, binary segmentation) that the paper's
+//!   Section II-C surveys — these power the CPD ablation benches,
+//! * **outlier detection** (median absolute deviation and interquartile
+//!   range) used by the size-benchmark workflow step (3) ([`outliers`]),
+//! * **descriptive statistics** (mean, p50, p95, standard deviation) reported
+//!   for every latency measurement ([`descriptive`]).
+//!
+//! Everything is `no_std`-agnostic pure Rust over `f64` slices, fully
+//! deterministic, and independently unit- and property-tested.
+
+#![warn(missing_docs)]
+
+pub mod cpd;
+pub mod descriptive;
+pub mod ks;
+pub mod outliers;
+pub mod reduction;
+
+pub use cpd::{ChangePoint, ChangePointDetector, KsChangePointDetector};
+pub use descriptive::Summary;
+pub use ks::{ks_critical_value, ks_statistic, ks_test, KsResult};
+pub use reduction::geometric_reduction;

@@ -1,0 +1,138 @@
+//! Outlier detection for the benchmark auto-evaluation workflow.
+//!
+//! Step (3) of the size-benchmark workflow (paper Sec. IV-B1) checks raw
+//! results for outliers — "especially ones caused by cache sizes close to
+//! one of the boundaries or unexpected disturbances" — and, when they are
+//! found, widens the search interval and re-measures. We provide the two
+//! classic robust detectors (MAD and IQR) plus winsorisation used to tame
+//! residual spikes before reduction.
+
+/// Scale factor that makes the MAD a consistent estimator of the standard
+/// deviation under normality.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Flags each observation as an outlier using the median-absolute-deviation
+/// rule: `|x - median| > threshold * MAD * 1.4826`.
+///
+/// A `threshold` of 3.5 is the conventional choice. When the MAD is zero
+/// (at least half the sample is identical), any value different from the
+/// median is flagged.
+pub fn mad_outliers(data: &[f64], threshold: f64) -> Vec<bool> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let med = crate::descriptive::percentile(data, 50.0).expect("non-empty");
+    let deviations: Vec<f64> = data.iter().map(|&x| (x - med).abs()).collect();
+    let mad = crate::descriptive::percentile(&deviations, 50.0).expect("non-empty");
+    if mad == 0.0 {
+        return data.iter().map(|&x| x != med).collect();
+    }
+    let scale = mad * MAD_TO_SIGMA;
+    data.iter()
+        .map(|&x| (x - med).abs() / scale > threshold)
+        .collect()
+}
+
+/// Flags outliers by the Tukey interquartile-range fence:
+/// values outside `[q1 - k*IQR, q3 + k*IQR]` (conventionally `k = 1.5`).
+pub fn iqr_outliers(data: &[f64], k: f64) -> Vec<bool> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let q1 = crate::descriptive::percentile(data, 25.0).expect("non-empty");
+    let q3 = crate::descriptive::percentile(data, 75.0).expect("non-empty");
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - k * iqr, q3 + k * iqr);
+    data.iter().map(|&x| x < lo || x > hi).collect()
+}
+
+/// Returns `true` iff the MAD rule flags at least one observation.
+pub fn has_outliers(data: &[f64], threshold: f64) -> bool {
+    mad_outliers(data, threshold).iter().any(|&b| b)
+}
+
+/// Fraction of observations the MAD rule flags, in `[0, 1]`.
+pub fn outlier_fraction(data: &[f64], threshold: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let flagged = mad_outliers(data, threshold).iter().filter(|&&b| b).count();
+    flagged as f64 / data.len() as f64
+}
+
+/// Winsorises the sample in place: values below the `lo_q` percentile or
+/// above the `hi_q` percentile are clamped to those percentiles.
+pub fn winsorize(data: &mut [f64], lo_q: f64, hi_q: f64) {
+    if data.is_empty() {
+        return;
+    }
+    let lo = crate::descriptive::percentile(data, lo_q).expect("non-empty");
+    let hi = crate::descriptive::percentile(data, hi_q).expect("non-empty");
+    for x in data.iter_mut() {
+        *x = x.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sample_has_no_outliers() {
+        let data: Vec<f64> = (0..100).map(|i| 100.0 + (i % 5) as f64).collect();
+        assert!(!has_outliers(&data, 3.5));
+    }
+
+    #[test]
+    fn single_spike_is_flagged() {
+        let mut data = vec![100.0, 101.0, 99.0, 100.5, 99.5, 100.0, 101.0, 99.0];
+        data.push(1000.0);
+        let flags = mad_outliers(&data, 3.5);
+        assert!(flags[data.len() - 1]);
+        assert_eq!(flags.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn zero_mad_degenerate_case() {
+        // More than half the values identical -> MAD 0; the deviant value
+        // must still be flagged.
+        let data = vec![5.0, 5.0, 5.0, 5.0, 9.0];
+        let flags = mad_outliers(&data, 3.5);
+        assert_eq!(flags, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn iqr_flags_extremes() {
+        let mut data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        data.push(1000.0);
+        let flags = iqr_outliers(&data, 1.5);
+        assert!(flags[20]);
+        assert!(!flags[10]);
+    }
+
+    #[test]
+    fn outlier_fraction_counts() {
+        let data = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 50.0, 60.0, 1.0];
+        let f = outlier_fraction(&data, 3.5);
+        assert!((f - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winsorize_clamps_tails() {
+        let mut data: Vec<f64> = (0..100).map(f64::from).collect();
+        winsorize(&mut data, 5.0, 95.0);
+        let max = data.iter().copied().fold(f64::MIN, f64::max);
+        let min = data.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max <= 95.0 + 1e-9);
+        assert!(min >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mad_outliers(&[], 3.5).is_empty());
+        assert!(iqr_outliers(&[], 1.5).is_empty());
+        assert_eq!(outlier_fraction(&[], 3.5), 0.0);
+        let mut v: Vec<f64> = vec![];
+        winsorize(&mut v, 5.0, 95.0);
+    }
+}

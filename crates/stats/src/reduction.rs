@@ -1,0 +1,165 @@
+//! Dimensionality reduction of raw p-chase results.
+//!
+//! The size benchmark produces a 2-D array: one latency vector (the first
+//! `N` p-chase loads) per tested array size. Before change-point detection,
+//! MT4G reduces each vector to a scalar using the geometrically inspired
+//! mapping of Grundy et al. (paper Eq. 2):
+//!
+//! ```text
+//! S_i = sqrt( sum_j (r_ij - min(r))^2 )
+//! ```
+//!
+//! where `min(r)` is the *global* minimum latency over the whole 2-D array.
+//! A vector of pure cache hits maps near zero; as misses appear, `S_i` grows
+//! with the number and magnitude of slow loads, which makes the cache-size
+//! cliff maximally visible while staying robust to single outliers
+//! (unlike e.g. the maximum; see the paper's Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// How a latency vector is collapsed into one scalar per array size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reducer {
+    /// The geometric mapping of Eq. (2) — MT4G's default.
+    Geometric,
+    /// Arithmetic mean. Smooths the cliff; used in ablations.
+    Mean,
+    /// Median (p50). Very robust but can hide partial-miss regimes.
+    Median,
+    /// Maximum. Cheap but notoriously outlier-prone (cf. paper Fig. 2).
+    Max,
+}
+
+impl Reducer {
+    /// Reduces every row with this reducer. For [`Reducer::Geometric`] the
+    /// reference minimum is global across all rows, per Eq. (2).
+    pub fn reduce(self, rows: &[Vec<f64>]) -> Vec<f64> {
+        match self {
+            Reducer::Geometric => geometric_reduction(rows),
+            Reducer::Mean => rows
+                .iter()
+                .map(|r| {
+                    if r.is_empty() {
+                        0.0
+                    } else {
+                        r.iter().sum::<f64>() / r.len() as f64
+                    }
+                })
+                .collect(),
+            Reducer::Median => rows
+                .iter()
+                .map(|r| crate::descriptive::percentile(r, 50.0).unwrap_or(0.0))
+                .collect(),
+            Reducer::Max => rows
+                .iter()
+                .map(|r| r.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                .map(|v| if v.is_finite() { v } else { 0.0 })
+                .collect(),
+        }
+    }
+}
+
+/// Applies the geometric mapping of Eq. (2) to a 2-D latency array.
+///
+/// `rows[i]` holds the latencies measured for the `i`-th array size; the
+/// result has one scalar per row. The global minimum over all rows is used
+/// as the reference point, so a row of pure minimum-latency hits reduces to
+/// exactly `0.0`.
+///
+/// # Examples
+/// ```
+/// let rows = vec![vec![10.0, 10.0], vec![10.0, 14.0]];
+/// let s = mt4g_stats::geometric_reduction(&rows);
+/// assert_eq!(s[0], 0.0);
+/// assert!((s[1] - 4.0).abs() < 1e-12);
+/// ```
+pub fn geometric_reduction(rows: &[Vec<f64>]) -> Vec<f64> {
+    let global_min = rows
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    if !global_min.is_finite() {
+        return vec![0.0; rows.len()];
+    }
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|&r| (r - global_min) * (r - global_min))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_hits_reduce_to_zero() {
+        let rows = vec![vec![38.0; 16], vec![38.0; 16]];
+        let s = geometric_reduction(&rows);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn misses_increase_score() {
+        let hits = vec![38.0; 32];
+        let mut some_misses = vec![38.0; 32];
+        some_misses[3] = 220.0;
+        some_misses[17] = 220.0;
+        let mut all_misses = vec![220.0; 32];
+        all_misses[0] = 38.0; // global min must still be 38
+        let s = geometric_reduction(&[hits, some_misses, all_misses]);
+        assert_eq!(s[0], 0.0);
+        assert!(s[1] > 0.0);
+        assert!(s[2] > s[1]);
+    }
+
+    #[test]
+    fn global_minimum_is_shared_across_rows() {
+        // Row 1 has no 10.0 at all, but the reference is the global min 10.0.
+        let rows = vec![vec![10.0, 12.0], vec![12.0, 12.0]];
+        let s = geometric_reduction(&rows);
+        assert!((s[0] - 2.0).abs() < 1e-12);
+        assert!((s[1] - (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zeroes() {
+        let rows: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert_eq!(geometric_reduction(&rows), vec![0.0, 0.0]);
+        let none: Vec<Vec<f64>> = vec![];
+        assert!(geometric_reduction(&none).is_empty());
+    }
+
+    #[test]
+    fn single_outlier_perturbs_geometric_less_than_max() {
+        // Two rows of hits, one with a single large outlier. The max reducer
+        // jumps to the outlier value; the geometric score grows only by the
+        // outlier's contribution, which K-S CPD then treats as noise.
+        let clean = vec![40.0; 256];
+        let mut outlier = vec![40.0; 256];
+        outlier[100] = 900.0;
+        let rows = vec![clean, outlier];
+
+        let geo = Reducer::Geometric.reduce(&rows);
+        let max = Reducer::Max.reduce(&rows);
+        // Relative jump of max: 900/40 = 22.5x. Geometric: the outlier row
+        // scores 860, far below a genuine full-miss row measured against the
+        // same global minimum (sqrt(256 * 200^2) = 3200):
+        let with_miss_row = vec![vec![40.0; 256], vec![240.0; 256]];
+        let geo_miss = Reducer::Geometric.reduce(&with_miss_row);
+        assert!(geo[1] < geo_miss[1] / 3.0);
+        assert_eq!(max[1], 900.0);
+    }
+
+    #[test]
+    fn mean_and_median_reducers() {
+        let rows = vec![vec![1.0, 2.0, 3.0, 100.0]];
+        let mean = Reducer::Mean.reduce(&rows);
+        let median = Reducer::Median.reduce(&rows);
+        assert!((mean[0] - 26.5).abs() < 1e-12);
+        assert!((median[0] - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the statistical substrate.
+
+use mt4g_stats::cpd::{ChangePointDetector, KsChangePointDetector};
+use mt4g_stats::{geometric_reduction, ks_critical_value, ks_statistic};
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng as _};
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    /// The Kolmogorov distance is always a probability-scale value.
+    #[test]
+    fn ks_statistic_in_unit_interval(
+        a in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        b in proptest::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let d = ks_statistic(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    /// D(a, b) == D(b, a).
+    #[test]
+    fn ks_statistic_symmetric(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        prop_assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    /// A sample compared against itself has zero distance.
+    #[test]
+    fn ks_statistic_identity(a in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        prop_assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    /// Shifting one sample far beyond the other's range forces D = 1.
+    #[test]
+    fn ks_statistic_disjoint_is_one(
+        a in proptest::collection::vec(0f64..100.0, 1..50),
+        shift in 1000f64..1e6,
+    ) {
+        let b: Vec<f64> = a.iter().map(|&x| x + shift).collect();
+        prop_assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    /// The Eq. (1) critical value is positive and decreasing in sample size.
+    #[test]
+    fn critical_value_monotone(n in 2usize..500, alpha in 0.001f64..0.5) {
+        let d1 = ks_critical_value(n, n, alpha);
+        let d2 = ks_critical_value(4 * n, 4 * n, alpha);
+        prop_assert!(d1 > 0.0);
+        prop_assert!(d2 < d1);
+    }
+
+    /// Geometric reduction is zero exactly for rows of global-minimum values
+    /// and non-negative everywhere.
+    #[test]
+    fn reduction_nonnegative(rows in proptest::collection::vec(
+        proptest::collection::vec(0f64..1e4, 1..64), 1..32)) {
+        let s = geometric_reduction(&rows);
+        prop_assert_eq!(s.len(), rows.len());
+        prop_assert!(s.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Adding a constant to every value leaves the reduction unchanged
+    /// (matches the paper's claim that constant clock overhead is harmless).
+    #[test]
+    fn reduction_shift_invariant(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0f64..1e3, 4..32), 2..16),
+        c in 0f64..1e3,
+    ) {
+        let shifted: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&x| x + c).collect())
+            .collect();
+        let s1 = geometric_reduction(&rows);
+        let s2 = geometric_reduction(&shifted);
+        for (a, b) in s1.iter().zip(&s2) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// The K-S change-point detector recovers a planted step despite
+    /// uniform noise and a few gross outliers.
+    #[test]
+    fn kscpd_recovers_planted_step(
+        seed in 0u64..500,
+        cp_pos in 10usize..90,
+        low in 10f64..50.0,
+        jump in 20f64..200.0,
+        n_outliers in 0usize..4,
+    ) {
+        let n = 100;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut series: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = if i < cp_pos { low } else { low + jump };
+                base + rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        for _ in 0..n_outliers {
+            // Outliers land away from the boundary; an outlier *at* the
+            // change point is indistinguishable from shifting it by one.
+            let idx = rng.gen_range(0..n);
+            if idx.abs_diff(cp_pos) < 5 {
+                continue;
+            }
+            series[idx] += rng.gen_range(500.0..2000.0);
+        }
+        // Keep both segments long enough for the detector.
+        prop_assume!(cp_pos >= 5 && n - cp_pos >= 5);
+        let cp = KsChangePointDetector::default().detect(&series);
+        let cp = cp.expect("a 20+ sigma step must be detected");
+        let err = cp.index.abs_diff(cp_pos);
+        prop_assert!(err <= 3, "planted {cp_pos}, found {} (err {err})", cp.index);
+    }
+}

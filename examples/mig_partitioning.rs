@@ -1,0 +1,50 @@
+//! Dynamic-topology example (paper Sec. VI-C): combine one static MT4G
+//! report with dynamic MIG partitioning queries, sys-sage style, and show
+//! how the capacity a kernel can rely on changes — including the paper's
+//! punchline that `4g.20gb` looks identical to the full GPU from one SM.
+//!
+//! ```text
+//! cargo run --release --example mig_partitioning
+//! ```
+
+use mt4g::core::suite::{run_discovery, DiscoveryConfig};
+use mt4g::model::GpuTopology;
+use mt4g::sim::bandwidth::single_sm_stream_ns_per_byte;
+use mt4g::sim::gpu::Gpu;
+use mt4g::sim::mig::{mig_view, MigProfile};
+use mt4g::sim::presets;
+
+fn main() {
+    let mut gpu = presets::a100();
+    println!("static discovery on {} ...", gpu.config.name);
+    let report = run_discovery(&mut gpu, &DiscoveryConfig::fast());
+    let full_cfg = presets::a100().config;
+
+    println!("\nper-MIG-instance view (sys-sage = static MT4G + dynamic nvml):");
+    println!(
+        "{:>9} {:>6} {:>13} {:>13} {:>16}",
+        "profile", "SMs", "visible L2", "memory", "ns/B @ 16 MiB"
+    );
+    for profile in MigProfile::A100_ALL {
+        let mut topo = GpuTopology::from_report(&report);
+        if profile.name != "full" {
+            topo.apply_mig(&profile);
+        }
+        let view = mig_view(&full_cfg, &profile);
+        let mut mig_gpu = Gpu::new(view.clone());
+        let ns_b = single_sm_stream_ns_per_byte(&mut mig_gpu, 16 << 20);
+        println!(
+            "{:>9} {:>6} {:>10} MiB {:>10} GiB {:>16.4}",
+            profile.name,
+            view.chip.num_sms,
+            topo.visible_l2_bytes().unwrap_or(0) >> 20,
+            view.dram.size >> 30,
+            ns_b,
+        );
+    }
+    println!(
+        "\na 16 MiB working set streams at L2 speed on every instance whose\n\
+         visible L2 is at least 20 MiB — including the full GPU, whose 40 MB\n\
+         L2 is really 2 x 20 MB segments (MT4G's L2 Amount attribute)."
+    );
+}

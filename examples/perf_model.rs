@@ -1,0 +1,59 @@
+//! Performance-model example (paper Sec. VI-A): feed MT4G-discovered
+//! parameters into the Hong–Kim CWP/MWP model and classify kernels as
+//! memory- or compute-bound across the memory hierarchy.
+//!
+//! ```text
+//! cargo run --release --example perf_model [PRESET]
+//! ```
+
+use mt4g::core::suite::{run_discovery, DiscoveryConfig};
+use mt4g::model::hongkim::{evaluate, AppParams, GpuParams};
+use mt4g::model::Roofline;
+use mt4g::sim::presets;
+use mt4g::sim::CacheKind;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "H100-80".into());
+    let mut gpu = presets::by_name(&name).expect("known preset");
+    println!("building the performance model for {} ...", gpu.config.name);
+    let report = run_discovery(&mut gpu, &DiscoveryConfig::fast());
+
+    // --- Roofline from MT4G bandwidths.
+    let roofline = Roofline::from_report(&report);
+    println!(
+        "\nroofline: peak {:.0} GFLOP/s; ceilings:",
+        roofline.peak_gflops
+    );
+    for c in &roofline.ceilings {
+        println!(
+            "  {:<11} {:>8.0} GiB/s  ridge at {:.1} FLOP/B",
+            c.level.label(),
+            c.bandwidth_gibs,
+            c.ridge_point
+        );
+    }
+
+    // --- Hong–Kim across hierarchy levels.
+    let app = AppParams {
+        comp_cycles: 800.0,
+        mem_insts: 24.0,
+        active_warps_per_sm: 32.0,
+        total_warps_per_sm: 640.0,
+    };
+    println!("\nHong–Kim for a stencil-like kernel (comp 800 cyc, 24 mem insts, 32 warps):");
+    for level in [CacheKind::L2, CacheKind::DeviceMemory] {
+        let Some(params) = GpuParams::from_report(&report, level) else {
+            continue;
+        };
+        let out = evaluate(&params, &app);
+        println!(
+            "  working set in {:<11} CWP {:>5.1}  MWP {:>5.1}  {:?}  est. {:>11.0} cycles",
+            level.label(),
+            out.cwp,
+            out.mwp,
+            out.bound,
+            out.estimated_cycles
+        );
+    }
+    println!("\nkeeping the working set L2-resident pays off exactly when the DRAM\nvariant is memory-bound and the L2 variant is not.");
+}

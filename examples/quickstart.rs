@@ -1,0 +1,46 @@
+//! Quickstart: discover the topology of one GPU and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart [PRESET]
+//! ```
+//!
+//! Defaults to the T1000 (smallest caches — fastest discovery).
+
+use mt4g::core::report;
+use mt4g::core::suite::{normalize_report, run_discovery, DiscoveryConfig};
+use mt4g::sim::presets;
+use mt4g::sim::CacheKind;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "T1000".into());
+    let mut gpu = presets::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown preset '{name}'; available: {:?}", presets::ALL_NAMES);
+        std::process::exit(2);
+    });
+
+    println!("discovering {} ...", gpu.config.name);
+    let has_l3 = gpu.config.cache(CacheKind::L3).is_some();
+    let mut rep = run_discovery(&mut gpu, &DiscoveryConfig::fast());
+    normalize_report(&mut rep, has_l3);
+
+    // Human-readable view:
+    println!("{}", report::to_markdown(&rep));
+
+    // Machine-readable view (what downstream tools consume):
+    let json = report::to_json_pretty(&rep).expect("serialises");
+    println!("JSON report: {} bytes (use `mt4g -j` to write it to a file)", json.len());
+
+    // Programmatic access:
+    if let Some(l1) = rep.memory.iter().find(|m| {
+        matches!(m.kind, CacheKind::L1 | CacheKind::VL1)
+    }) {
+        if let Some(size) = l1.size.value() {
+            println!(
+                "first-level data cache: {} ({}, confidence {:.2})",
+                report::format_bytes(*size),
+                l1.kind.label(),
+                l1.size.confidence()
+            );
+        }
+    }
+}

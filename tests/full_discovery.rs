@@ -1,0 +1,210 @@
+//! Workspace integration tests: complete discovery runs validated against
+//! planted ground truth, across crates (sim → core → report).
+
+use mt4g::core::report::{Attribute, Report};
+use mt4g::core::suite::{normalize_report, run_discovery, DiscoveryConfig};
+use mt4g::sim::device::{CacheKind, DeviceConfig};
+use mt4g::sim::presets;
+
+fn discover(mut gpu: mt4g::sim::Gpu, cfg: DiscoveryConfig) -> (Report, DeviceConfig) {
+    let device_cfg = gpu.config.clone();
+    let has_l3 = device_cfg.cache(CacheKind::L3).is_some();
+    let mut report = run_discovery(&mut gpu, &cfg);
+    normalize_report(&mut report, has_l3);
+    (report, device_cfg)
+}
+
+fn assert_measured_size(report: &Report, kind: CacheKind, expected: u64) {
+    let e = report.element(kind).unwrap_or_else(|| panic!("{kind:?} row missing"));
+    match &e.size {
+        Attribute::Measured { value, confidence } => {
+            assert_eq!(*value, expected, "{kind:?} size");
+            assert!(*confidence > 0.5, "{kind:?} size confidence {confidence}");
+        }
+        other => panic!("{kind:?} size not measured: {other:?}"),
+    }
+}
+
+fn assert_latency_close(report: &Report, kind: CacheKind, expected: u32) {
+    let e = report.element(kind).unwrap();
+    let lat = e.load_latency.value().expect("latency measured").mean;
+    assert!(
+        (lat - expected as f64).abs() < 5.0,
+        "{kind:?} latency {lat} vs {expected}"
+    );
+}
+
+#[test]
+fn t1000_full_discovery_recovers_ground_truth() {
+    let (report, cfg) = discover(presets::t1000(), DiscoveryConfig::fast());
+
+    // Compute info (API + lookup table).
+    assert_eq!(report.compute.num_sms, 14);
+    assert_eq!(report.compute.cores_per_sm, 64);
+    assert_eq!(report.compute.warp_size, 32);
+
+    // Sizes: benchmarked ones exact, API ones passed through.
+    for kind in [
+        CacheKind::L1,
+        CacheKind::Texture,
+        CacheKind::Readonly,
+        CacheKind::ConstL1,
+        CacheKind::ConstL15,
+    ] {
+        assert_measured_size(&report, kind, cfg.cache(kind).unwrap().size);
+    }
+    assert_eq!(
+        report.element(CacheKind::L2).unwrap().size,
+        Attribute::FromApi { value: 1024 * 1024 }
+    );
+    assert_eq!(
+        report.element(CacheKind::SharedMemory).unwrap().size,
+        Attribute::FromApi { value: 32 * 1024 }
+    );
+
+    // Latencies.
+    for (kind, lat) in [
+        (CacheKind::L1, 32),
+        (CacheKind::L2, 188),
+        (CacheKind::ConstL1, 27),
+        (CacheKind::ConstL15, 92),
+        (CacheKind::SharedMemory, 22),
+        (CacheKind::DeviceMemory, 470),
+    ] {
+        assert_latency_close(&report, kind, lat);
+    }
+
+    // Discrete geometry.
+    let l1 = report.element(CacheKind::L1).unwrap();
+    assert_eq!(l1.cache_line_bytes.value(), Some(&128));
+    assert_eq!(l1.fetch_granularity_bytes.value(), Some(&32));
+    let l2 = report.element(CacheKind::L2).unwrap();
+    assert_eq!(l2.cache_line_bytes.value(), Some(&64));
+    assert_eq!(l2.fetch_granularity_bytes.value(), Some(&32));
+    assert_eq!(l2.amount.value().map(|a| a.count), Some(1));
+
+    // Unified L1/TEX/RO; constant separate.
+    match &l1.shared_with {
+        Attribute::Measured { value, .. } => match value {
+            mt4g::core::report::SharingReport::Spaces(s) => {
+                assert_eq!(s, &vec![CacheKind::Texture, CacheKind::Readonly]);
+            }
+            other => panic!("unexpected sharing {other:?}"),
+        },
+        other => panic!("sharing not measured: {other:?}"),
+    }
+}
+
+#[test]
+fn mi210_full_discovery_recovers_ground_truth() {
+    let (report, cfg) = discover(
+        presets::mi210(),
+        DiscoveryConfig {
+            cu_window: 4,
+            ..DiscoveryConfig::fast()
+        },
+    );
+
+    assert_eq!(report.compute.num_sms, 104);
+    assert_eq!(report.compute.warp_size, 64);
+    let ids = report.compute.cu_physical_ids.as_ref().expect("AMD exposes CU ids");
+    assert_eq!(ids.len(), 104);
+
+    assert_measured_size(&report, CacheKind::VL1, 16 * 1024);
+    assert_measured_size(&report, CacheKind::SL1D, 16 * 1024);
+    assert_eq!(
+        report.element(CacheKind::L2).unwrap().size,
+        Attribute::FromApi {
+            value: 8 * 1024 * 1024
+        }
+    );
+    assert_eq!(
+        report.element(CacheKind::L2).unwrap().cache_line_bytes,
+        Attribute::FromApi { value: 128 }
+    );
+
+    for (kind, lat) in [
+        (CacheKind::VL1, 125),
+        (CacheKind::SL1D, 50),
+        (CacheKind::L2, 310),
+        (CacheKind::Lds, 55),
+        (CacheKind::DeviceMemory, 748),
+    ] {
+        assert_latency_close(&report, kind, lat);
+    }
+
+    // sL1d CU partners match the planted enablement layout.
+    let layout = cfg.cu_layout.as_ref().unwrap();
+    match &report.element(CacheKind::SL1D).unwrap().shared_with {
+        Attribute::Measured { value, .. } => match value {
+            mt4g::core::report::SharingReport::CuPartners(partners) => {
+                assert_eq!(partners.len(), 104);
+                for cu in 0..104 {
+                    let truth: Vec<u32> = layout
+                        .sl1d_partners(cu)
+                        .into_iter()
+                        .map(|x| x as u32)
+                        .collect();
+                    assert_eq!(partners[cu], truth, "CU {cu}");
+                }
+                assert!(partners.iter().any(|p| p.is_empty()), "exclusive CUs exist");
+                assert!(partners.iter().any(|p| !p.is_empty()), "paired CUs exist");
+            }
+            other => panic!("unexpected sharing {other:?}"),
+        },
+        other => panic!("sharing not measured: {other:?}"),
+    }
+
+    // L2 fetch granularity benchmarked even though size/line come from APIs.
+    assert_eq!(
+        report
+            .element(CacheKind::L2)
+            .unwrap()
+            .fetch_granularity_bytes
+            .value(),
+        Some(&64)
+    );
+}
+
+#[test]
+fn p6000_quirks_produce_no_results_not_wrong_results() {
+    let (report, _) = discover(
+        presets::p6000(),
+        DiscoveryConfig {
+            measure_bandwidth: false,
+            ..DiscoveryConfig::fast()
+        },
+    );
+    // L1 amount: unable to schedule on the last warp (paper Sec. V).
+    assert!(matches!(
+        report.element(CacheKind::L1).unwrap().amount,
+        Attribute::Unavailable { .. }
+    ));
+    // L1 <-> Constant L1 sharing is flaky on Pascal: reported without
+    // confidence.
+    assert!(matches!(
+        report.element(CacheKind::ConstL1).unwrap().shared_with,
+        Attribute::Unavailable { .. }
+    ));
+    // Everything else still works: the Texture amount is fine.
+    assert!(report.element(CacheKind::Texture).unwrap().amount.is_available());
+}
+
+#[test]
+fn report_json_round_trip_of_a_real_run() {
+    let (report, _) = discover(
+        presets::t1000(),
+        DiscoveryConfig {
+            only: Some(vec![CacheKind::ConstL1, CacheKind::DeviceMemory]),
+            measure_bandwidth: true,
+            ..DiscoveryConfig::fast()
+        },
+    );
+    let json = mt4g::core::report::to_json_pretty(&report).unwrap();
+    let parsed = mt4g::core::report::from_json(&json).unwrap();
+    assert_eq!(parsed, report);
+    let csv = mt4g::core::report::to_csv(&report);
+    assert!(csv.lines().count() > 5);
+    let md = mt4g::core::report::to_markdown(&report);
+    assert!(md.contains("Const L1"));
+}

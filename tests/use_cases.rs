@@ -1,0 +1,135 @@
+//! Workspace integration tests for the Section VI use cases: the
+//! discovery report actually drives the downstream models.
+
+use mt4g::core::suite::{run_discovery, DiscoveryConfig};
+use mt4g::model::gpuscout::{analyze, KernelCounters, Severity};
+use mt4g::model::hongkim::{evaluate, AppParams, Bound, GpuParams};
+use mt4g::model::{GpuTopology, Roofline};
+use mt4g::sim::mig::MigProfile;
+use mt4g::sim::presets;
+use mt4g::sim::CacheKind;
+
+fn a100_report() -> mt4g::core::report::Report {
+    let mut gpu = presets::a100();
+    run_discovery(
+        &mut gpu,
+        &DiscoveryConfig {
+            only: Some(vec![CacheKind::L1, CacheKind::L2, CacheKind::SharedMemory,
+                            CacheKind::DeviceMemory]),
+            ..DiscoveryConfig::fast()
+        },
+    )
+}
+
+#[test]
+fn hongkim_parameters_come_from_the_report() {
+    let report = a100_report();
+    let dram = GpuParams::from_report(&report, CacheKind::DeviceMemory).expect("DRAM params");
+    let l2 = GpuParams::from_report(&report, CacheKind::L2).expect("L2 params");
+    // MT4G-measured planted values: DRAM 680 cyc, L2 200 cyc.
+    assert!((dram.mem_latency - 680.0).abs() < 6.0, "{}", dram.mem_latency);
+    assert!((l2.mem_latency - 200.0).abs() < 6.0, "{}", l2.mem_latency);
+    assert!(l2.mem_bandwidth_bytes_per_cycle > dram.mem_bandwidth_bytes_per_cycle);
+
+    // A memory-hungry kernel flips from memory- to compute-bound when its
+    // working set moves from DRAM to L2.
+    let app = AppParams {
+        comp_cycles: 1200.0,
+        mem_insts: 24.0,
+        active_warps_per_sm: 64.0,
+        total_warps_per_sm: 640.0,
+    };
+    let mut dram_vec = dram;
+    dram_vec.load_bytes_per_warp *= 4.0; // 128-bit vector loads
+    let mut l2_vec = l2;
+    l2_vec.load_bytes_per_warp *= 4.0;
+    let at_dram = evaluate(&dram_vec, &app);
+    let at_l2 = evaluate(&l2_vec, &app);
+    assert_eq!(at_dram.bound, Bound::MemoryBound);
+    assert!(at_l2.estimated_cycles < at_dram.estimated_cycles);
+}
+
+#[test]
+fn roofline_ridge_points_are_ordered() {
+    let report = a100_report();
+    let roofline = Roofline::from_report(&report);
+    assert!(roofline.peak_gflops > 0.0);
+    assert!(roofline.ceilings.len() >= 2);
+    // Faster level => smaller ridge point.
+    assert!(roofline.ceilings[0].ridge_point < roofline.ceilings[1].ridge_point);
+}
+
+#[test]
+fn gpuscout_findings_reference_measured_sizes() {
+    let report = a100_report();
+    let counters = KernelCounters {
+        l1_hit_rate: 0.25,
+        l2_hit_rate: 0.8,
+        l1_l2_traffic_bytes: 1 << 28,
+        l2_dram_traffic_bytes: 1 << 24,
+        regs_per_thread: 64,
+        spill_bytes_per_thread: 0,
+        threads_per_block: 256,
+        shared_bytes_per_block: 0,
+        working_set_bytes: 4 << 20,
+    };
+    let findings = analyze(&report, &counters);
+    let l1 = findings
+        .iter()
+        .find(|f| f.title.contains("hit rate"))
+        .expect("L1 finding");
+    assert_eq!(l1.severity, Severity::Critical);
+    // The recommendation cites the discovered L1 size (131072 B).
+    assert!(l1.recommendation.contains("131072"), "{}", l1.recommendation);
+}
+
+#[test]
+fn mig_topology_reflects_the_fig5_observations() {
+    let report = a100_report();
+    let base = GpuTopology::from_report(&report);
+    assert_eq!(base.visible_l2_bytes(), Some(20 * 1024 * 1024));
+
+    let mut four = base.clone();
+    four.apply_mig(&MigProfile::A100_4G_20GB);
+    assert_eq!(four.visible_l2_bytes(), Some(20 * 1024 * 1024));
+
+    let mut one = base.clone();
+    one.apply_mig(&MigProfile::A100_1G_5GB);
+    assert_eq!(one.visible_l2_bytes(), Some(5 * 1024 * 1024));
+}
+
+#[test]
+fn coverage_matrix_matches_table_1_for_mi210() {
+    use mt4g::core::report::{coverage_matrix, CoverageCell};
+    let mut gpu = presets::mi210();
+    let mut report = run_discovery(
+        &mut gpu,
+        &DiscoveryConfig {
+            cu_window: 4,
+            ..DiscoveryConfig::fast()
+        },
+    );
+    mt4g::core::suite::normalize_report(&mut report, false);
+    let rows = coverage_matrix(&report);
+    let row = |k: CacheKind| rows.iter().find(|r| r.kind == k).unwrap().clone();
+
+    // vL1: everything benchmarked, bandwidth not measured (low level).
+    let vl1 = row(CacheKind::VL1);
+    assert_eq!(vl1.size, CoverageCell::Benchmarked);
+    assert_eq!(vl1.load_latency, CoverageCell::Benchmarked);
+    assert_eq!(vl1.bandwidth, CoverageCell::NotApplicable);
+    // L2: size/line/amount via API, latency and fetch granularity
+    // benchmarked, bandwidth measured.
+    let l2 = row(CacheKind::L2);
+    assert_eq!(l2.size, CoverageCell::ViaApi);
+    assert_eq!(l2.cache_line, CoverageCell::ViaApi);
+    assert_eq!(l2.amount, CoverageCell::ViaApi);
+    assert_eq!(l2.load_latency, CoverageCell::Benchmarked);
+    assert_eq!(l2.bandwidth, CoverageCell::Benchmarked);
+    // sL1d: shared-with is the CU-id list.
+    let sl1d = row(CacheKind::SL1D);
+    assert_eq!(sl1d.shared_with, CoverageCell::Benchmarked);
+    // LDS / device memory sizes from the API.
+    assert_eq!(row(CacheKind::Lds).size, CoverageCell::ViaApi);
+    assert_eq!(row(CacheKind::DeviceMemory).size, CoverageCell::ViaApi);
+}
