@@ -19,12 +19,8 @@ fn bench_pchase(c: &mut Criterion) {
             &array_bytes,
             |b, &bytes| {
                 let mut gpu = presets::h100_80();
-                let cfg = PchaseConfig::sequential(
-                    MemorySpace::Global,
-                    LoadFlags::CACHE_ALL,
-                    bytes,
-                    32,
-                );
+                let cfg =
+                    PchaseConfig::sequential(MemorySpace::Global, LoadFlags::CACHE_ALL, bytes, 32);
                 b.iter(|| {
                     gpu.free_all();
                     gpu.flush_caches();

@@ -75,8 +75,7 @@ fn main() {
             if ok(pelt.detect_all(&series).first().copied()) {
                 hits[3] += 1;
             }
-            let bs =
-                BinarySegmentation::new(CostL2::new(&series), 2.0 * (n as f64).ln() * 16.0);
+            let bs = BinarySegmentation::new(CostL2::new(&series), 2.0 * (n as f64).ln() * 16.0);
             if ok(bs.detect_all(&series).first().copied()) {
                 hits[4] += 1;
             }

@@ -12,7 +12,13 @@ fn chase(cache: &mut SectoredCache, n_elems: u64, line: u64) -> Vec<char> {
     }
     // Timed pass: record hit/miss per index.
     (0..n_elems)
-        .map(|i| if cache.access(i * line).is_hit() { 'h' } else { 'M' })
+        .map(|i| {
+            if cache.access(i * line).is_hit() {
+                'h'
+            } else {
+                'M'
+            }
+        })
         .collect()
 }
 

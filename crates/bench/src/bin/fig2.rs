@@ -11,9 +11,9 @@ use mt4g_core::benchmarks::size::{scan_interval, SizeConfig};
 use mt4g_core::pchase::calibrate_overhead;
 use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace};
 use mt4g_sim::gpu::Gpu;
+use mt4g_sim::presets;
 use mt4g_stats::cpd::{ChangePointDetector, KsChangePointDetector};
 use mt4g_stats::descriptive::percentile;
-use mt4g_sim::presets;
 
 fn series(gpu: &mut Gpu, kind: CacheKind, space: MemorySpace, label: &str) {
     let spec = *gpu.config.cache(kind).unwrap();
@@ -64,9 +64,24 @@ fn series(gpu: &mut Gpu, kind: CacheKind, space: MemorySpace, label: &str) {
 fn main() {
     println!("=== Figure 2: size-benchmark raw data, reduction, change points ===");
     let mut v100 = presets::v100();
-    series(&mut v100, CacheKind::ConstL1, MemorySpace::Constant, "NVIDIA V100 CL1");
+    series(
+        &mut v100,
+        CacheKind::ConstL1,
+        MemorySpace::Constant,
+        "NVIDIA V100 CL1",
+    );
     let mut mi300 = presets::mi300x();
-    series(&mut mi300, CacheKind::VL1, MemorySpace::Vector, "AMD MI300X vL1");
+    series(
+        &mut mi300,
+        CacheKind::VL1,
+        MemorySpace::Vector,
+        "AMD MI300X vL1",
+    );
     let mut mi210 = presets::mi210();
-    series(&mut mi210, CacheKind::SL1D, MemorySpace::Scalar, "AMD MI210 sL1d");
+    series(
+        &mut mi210,
+        CacheKind::SL1D,
+        MemorySpace::Scalar,
+        "AMD MI210 sL1d",
+    );
 }

@@ -24,13 +24,39 @@ fn trace(gpu: &mut Gpu, label: &str) {
     while core_b < cores {
         gpu.free_all();
         gpu.flush_caches();
-        let a = prepare_chase(gpu, MemorySpace::Global, spec.size, spec.fetch_granularity as u64)
-            .unwrap();
-        let b = prepare_chase(gpu, MemorySpace::Global, spec.size, spec.fetch_granularity as u64)
-            .unwrap();
+        let a = prepare_chase(
+            gpu,
+            MemorySpace::Global,
+            spec.size,
+            spec.fetch_granularity as u64,
+        )
+        .unwrap();
+        let b = prepare_chase(
+            gpu,
+            MemorySpace::Global,
+            spec.size,
+            spec.fetch_granularity as u64,
+        )
+        .unwrap();
         warm(gpu, a, MemorySpace::Global, LoadFlags::CACHE_ALL, 0, 0);
-        warm(gpu, b, MemorySpace::Global, LoadFlags::CACHE_ALL, 0, core_b as usize);
-        let lats = observe(gpu, a, MemorySpace::Global, LoadFlags::CACHE_ALL, 0, 0, 128, overhead);
+        warm(
+            gpu,
+            b,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            0,
+            core_b as usize,
+        );
+        let lats = observe(
+            gpu,
+            a,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+            0,
+            0,
+            128,
+            overhead,
+        );
         let hit_frac = classifier.hit_fraction(&lats);
         println!(
             "  (1) A fills; (2) B@core {core_b:>3} fills; (3) A observes: {:>5.1}% hits -> {}",
@@ -63,12 +89,18 @@ fn main() {
     // Synthetic 2-segment variant (the top half of the paper's figure).
     let mut cfg2 = presets::h100_80().config;
     for (kind, spec) in cfg2.caches.iter_mut() {
-        if matches!(kind, CacheKind::L1 | CacheKind::Texture | CacheKind::Readonly) {
+        if matches!(
+            kind,
+            CacheKind::L1 | CacheKind::Texture | CacheKind::Readonly
+        ) {
             spec.amount_per_sm = Some(2);
         }
     }
     let mut two_segment = Gpu::new(cfg2);
-    trace(&mut two_segment, "synthetic H100 variant, 2 L1 segments per SM");
+    trace(
+        &mut two_segment,
+        "synthetic H100 variant, 2 L1 segments per SM",
+    );
     let cfg = AmountConfig {
         space: MemorySpace::Global,
         flags: LoadFlags::CACHE_ALL,

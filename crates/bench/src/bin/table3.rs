@@ -46,8 +46,8 @@ fn print_gpu(report: &Report, cfg: &DeviceConfig) {
         "Component", "", "Size", "", "Latency", "", "Line/Fetch", ""
     );
     println!(
-        "{:<12} {:>16} {:>16} {:>9} {:>9} {:>13} {:>13}  {}",
-        "", "Ref", "MT4G", "Ref", "MT4G", "Ref", "MT4G", "Amount/Shared (MT4G)"
+        "{:<12} {:>16} {:>16} {:>9} {:>9} {:>13} {:>13}  Amount/Shared (MT4G)",
+        "", "Ref", "MT4G", "Ref", "MT4G", "Ref", "MT4G"
     );
     for m in &report.memory {
         let t_size = truth_size(cfg, m.kind)
@@ -116,7 +116,11 @@ fn main() {
                 if matches!(m.cache_line_bytes, Attribute::Measured { .. })
                     && line != spec.line_size
                 {
-                    println!("MISMATCH: {} line size {line} vs {}", m.kind.label(), spec.line_size);
+                    println!(
+                        "MISMATCH: {} line size {line} vs {}",
+                        m.kind.label(),
+                        spec.line_size
+                    );
                     mismatches += 1;
                 }
             }

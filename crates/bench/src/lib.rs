@@ -29,7 +29,8 @@ pub fn rule(width: usize) {
 
 /// Formats an optional f64 with a dash fallback.
 pub fn opt_f64(v: Option<f64>, digits: usize) -> String {
-    v.map(|x| format!("{x:.digits$}")).unwrap_or_else(|| "—".into())
+    v.map(|x| format!("{x:.digits$}"))
+        .unwrap_or_else(|| "—".into())
 }
 
 #[cfg(test)]

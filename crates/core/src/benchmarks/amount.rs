@@ -153,7 +153,10 @@ mod tests {
         // 0..63 use instance 0, cores 64..127 instance 1.
         let mut gpu = presets::h100_80();
         for (kind, spec) in gpu.config.caches.iter_mut() {
-            if matches!(kind, CacheKind::L1 | CacheKind::Texture | CacheKind::Readonly) {
+            if matches!(
+                kind,
+                CacheKind::L1 | CacheKind::Texture | CacheKind::Readonly
+            ) {
                 spec.amount_per_sm = Some(2);
             }
         }

@@ -33,10 +33,15 @@ pub fn run(gpu: &mut Gpu, dtype: DType) -> Option<FlopsResult> {
     let chip = gpu.config.chip.clone();
     let optimal_blocks = chip.num_sms * chip.max_blocks_per_sm;
     let mut best: Option<FlopsResult> = None;
-    for &blocks in &[chip.num_sms, chip.num_sms * 4, optimal_blocks / 2, optimal_blocks] {
+    for &blocks in &[
+        chip.num_sms,
+        chip.num_sms * 4,
+        optimal_blocks / 2,
+        optimal_blocks,
+    ] {
         for ilp in [1u32, 2, 4, 8] {
             let gflops = run_flops_kernel(gpu, dtype, blocks, chip.max_threads_per_block, ilp)?;
-            if best.map_or(true, |b| gflops > b.achieved_gflops) {
+            if best.is_none_or(|b| gflops > b.achieved_gflops) {
                 best = Some(FlopsResult {
                     dtype,
                     achieved_gflops: gflops,

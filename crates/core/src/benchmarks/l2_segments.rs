@@ -11,9 +11,9 @@
 //! confidence. On AMD, MT4G assumes one L2 per XCD and takes the XCD
 //! count from the API.
 
+use mt4g_sim::api;
 use mt4g_sim::device::{LoadFlags, MemorySpace, Vendor};
 use mt4g_sim::gpu::Gpu;
-use mt4g_sim::api;
 
 use crate::benchmarks::size::{self, SizeConfig, SizeResult};
 

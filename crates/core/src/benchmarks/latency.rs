@@ -87,11 +87,27 @@ mod tests {
         let fg = 32;
         let cases: Vec<(CacheKind, MemorySpace, LoadFlags)> = vec![
             (CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL),
-            (CacheKind::Texture, MemorySpace::Texture, LoadFlags::CACHE_ALL),
-            (CacheKind::Readonly, MemorySpace::Readonly, LoadFlags::CACHE_ALL),
+            (
+                CacheKind::Texture,
+                MemorySpace::Texture,
+                LoadFlags::CACHE_ALL,
+            ),
+            (
+                CacheKind::Readonly,
+                MemorySpace::Readonly,
+                LoadFlags::CACHE_ALL,
+            ),
             (CacheKind::L2, MemorySpace::Global, LoadFlags::CACHE_GLOBAL),
-            (CacheKind::SharedMemory, MemorySpace::Shared, LoadFlags::CACHE_ALL),
-            (CacheKind::DeviceMemory, MemorySpace::Global, LoadFlags::VOLATILE),
+            (
+                CacheKind::SharedMemory,
+                MemorySpace::Shared,
+                LoadFlags::CACHE_ALL,
+            ),
+            (
+                CacheKind::DeviceMemory,
+                MemorySpace::Global,
+                LoadFlags::VOLATILE,
+            ),
         ];
         for (kind, space, flags) in cases {
             let truth = match kind {

@@ -174,8 +174,13 @@ mod tests {
     #[test]
     fn h100_l1_line_is_128b() {
         let mut gpu = presets::h100_80();
-        let (line, conf) =
-            line_of(&mut gpu, CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL).unwrap();
+        let (line, conf) = line_of(
+            &mut gpu,
+            CacheKind::L1,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+        )
+        .unwrap();
         assert_eq!(line, 128);
         assert!(conf > 0.3);
     }

@@ -58,16 +58,38 @@ fn cus_share(
     let classifier = HitMissClassifier::for_hit_latency(cfg.hit_latency);
     gpu.free_all();
     gpu.flush_caches();
-    let Ok(buf_a) = prepare_chase(gpu, MemorySpace::Scalar, cfg.sl1d_size, cfg.fetch_granularity)
-    else {
+    let Ok(buf_a) = prepare_chase(
+        gpu,
+        MemorySpace::Scalar,
+        cfg.sl1d_size,
+        cfg.fetch_granularity,
+    ) else {
         return false;
     };
-    let Ok(buf_b) = prepare_chase(gpu, MemorySpace::Scalar, cfg.sl1d_size, cfg.fetch_granularity)
-    else {
+    let Ok(buf_b) = prepare_chase(
+        gpu,
+        MemorySpace::Scalar,
+        cfg.sl1d_size,
+        cfg.fetch_granularity,
+    ) else {
         return false;
     };
-    warm(gpu, buf_a, MemorySpace::Scalar, LoadFlags::CACHE_ALL, cu_a, 0);
-    warm(gpu, buf_b, MemorySpace::Scalar, LoadFlags::CACHE_ALL, cu_b, 0);
+    warm(
+        gpu,
+        buf_a,
+        MemorySpace::Scalar,
+        LoadFlags::CACHE_ALL,
+        cu_a,
+        0,
+    );
+    warm(
+        gpu,
+        buf_b,
+        MemorySpace::Scalar,
+        LoadFlags::CACHE_ALL,
+        cu_b,
+        0,
+    );
     let lats = observe(
         gpu,
         buf_a,
@@ -150,13 +172,13 @@ mod tests {
         let CuSharingResult::Found { partners } = run_windowed(&mut gpu, &cfg, 4) else {
             panic!("windowed run failed");
         };
-        for cu in 0..partners.len() {
+        for (cu, found) in partners.iter().enumerate() {
             let truth: Vec<u32> = layout
                 .sl1d_partners(cu)
                 .into_iter()
                 .map(|x| x as u32)
                 .collect();
-            assert_eq!(partners[cu], truth, "CU {cu}");
+            assert_eq!(found, &truth, "CU {cu}");
         }
         // Both situations the paper describes must occur: shared and
         // exclusive sL1d access.
@@ -208,13 +230,13 @@ mod tests {
         };
         // CDNA1 groups of three: some CU must report two partners.
         assert!(partners.iter().any(|p| p.len() == 2));
-        for cu in 0..partners.len() {
+        for (cu, found) in partners.iter().enumerate() {
             let truth: Vec<u32> = layout
                 .sl1d_partners(cu)
                 .into_iter()
                 .map(|x| x as u32)
                 .collect();
-            assert_eq!(partners[cu], truth, "CU {cu}");
+            assert_eq!(found, &truth, "CU {cu}");
         }
     }
 }

@@ -76,7 +76,16 @@ pub fn probe_pair(gpu: &mut Gpu, a: &SpaceProbe, b: &SpaceProbe) -> PairResult {
 
     warm(gpu, buf_a, a.space, LoadFlags::CACHE_ALL, 0, 0); // (1)
     warm(gpu, buf_b, b.space, LoadFlags::CACHE_ALL, 0, 0); // (2)
-    let lats = observe(gpu, buf_a, a.space, LoadFlags::CACHE_ALL, 0, 0, 256, overhead); // (3)
+    let lats = observe(
+        gpu,
+        buf_a,
+        a.space,
+        LoadFlags::CACHE_ALL,
+        0,
+        0,
+        256,
+        overhead,
+    ); // (3)
 
     let verdict = classifier.verdict(&lats);
     let hit_fraction = classifier.hit_fraction(&lats);
@@ -122,7 +131,13 @@ pub fn sharing_groups(
             let mut partners: Vec<CacheKind> = results
                 .iter()
                 .filter(|r| r.shared && (r.pair.0 == p.kind || r.pair.1 == p.kind))
-                .map(|r| if r.pair.0 == p.kind { r.pair.1 } else { r.pair.0 })
+                .map(|r| {
+                    if r.pair.0 == p.kind {
+                        r.pair.1
+                    } else {
+                        r.pair.0
+                    }
+                })
                 .collect();
             partners.sort();
             partners.dedup();

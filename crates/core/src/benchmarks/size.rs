@@ -220,7 +220,11 @@ pub fn run(gpu: &mut Gpu, cfg: &SizeConfig) -> SizeResult {
         // the change point (its minimum segment is 3); if the boundary
         // hugs an edge of the interval, widen that side first.
         let lo_v = scan.reduced.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi_v = scan.reduced.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi_v = scan
+            .reduced
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mid = (lo_v + hi_v) / 2.0;
         let low_side = scan.reduced.iter().take_while(|&&v| v < mid).count();
         let high_side = scan.reduced.len() - low_side;
@@ -252,8 +256,7 @@ pub fn run(gpu: &mut Gpu, cfg: &SizeConfig) -> SizeResult {
                     // by fresh measurements so that a single outlier-laden
                     // scan row cannot shift the boundary (workflow step 3's
                     // outlier guard, applied at full resolution).
-                    let bytes =
-                        confirm_boundary(gpu, cfg, &reference, boundary_lo, fg, overhead);
+                    let bytes = confirm_boundary(gpu, cfg, &reference, boundary_lo, fg, overhead);
                     let mut final_scan = scan;
                     final_scan.change_index = Some(cp.index);
                     return SizeResult::Found {
@@ -335,7 +338,9 @@ pub fn scan_interval(
     // After aggressive widening the step can exceed `lo`; never scan a
     // zero-sized (or sub-granularity) array.
     let step = step.max(1);
-    let mut s = align_down(lo, step).max(step).max(cfg.fetch_granularity * 4);
+    let mut s = align_down(lo, step)
+        .max(step)
+        .max(cfg.fetch_granularity * 4);
     while s <= hi {
         if let Some(mut lats) = measure(gpu, cfg, s, overhead) {
             // Tame residual hardware spikes before the reduction; the
@@ -377,7 +382,12 @@ mod tests {
     fn finds_t1000_l1_size_exactly() {
         let mut gpu = presets::t1000();
         let truth = gpu.config.cache(CacheKind::L1).unwrap().size;
-        let r = size_of(&mut gpu, CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL);
+        let r = size_of(
+            &mut gpu,
+            CacheKind::L1,
+            MemorySpace::Global,
+            LoadFlags::CACHE_ALL,
+        );
         assert_eq!(r.bytes(), Some(truth), "{r:?}");
     }
 
@@ -411,10 +421,7 @@ mod tests {
             )
         };
         let r = run(&mut gpu, &cfg);
-        assert!(
-            matches!(r, SizeResult::ExceedsCap { cap: 65536 }),
-            "{r:?}"
-        );
+        assert!(matches!(r, SizeResult::ExceedsCap { cap: 65536 }), "{r:?}");
     }
 
     #[test]
@@ -441,7 +448,12 @@ mod tests {
     fn finds_mi210_vl1_size() {
         let mut gpu = presets::mi210();
         let truth = gpu.config.cache(CacheKind::VL1).unwrap().size;
-        let r = size_of(&mut gpu, CacheKind::VL1, MemorySpace::Vector, LoadFlags::CACHE_ALL);
+        let r = size_of(
+            &mut gpu,
+            CacheKind::VL1,
+            MemorySpace::Vector,
+            LoadFlags::CACHE_ALL,
+        );
         assert_eq!(r.bytes(), Some(truth), "{r:?}");
     }
 
@@ -449,7 +461,12 @@ mod tests {
     fn finds_mi210_sl1d_size() {
         let mut gpu = presets::mi210();
         let truth = gpu.config.cache(CacheKind::SL1D).unwrap().size;
-        let r = size_of(&mut gpu, CacheKind::SL1D, MemorySpace::Scalar, LoadFlags::CACHE_ALL);
+        let r = size_of(
+            &mut gpu,
+            CacheKind::SL1D,
+            MemorySpace::Scalar,
+            LoadFlags::CACHE_ALL,
+        );
         assert_eq!(r.bytes(), Some(truth), "{r:?}");
     }
 

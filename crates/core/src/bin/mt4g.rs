@@ -61,9 +61,7 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
             "--only" => args.only = Some(it.next().ok_or("--only needs a value")?),
-            "-o" | "--out" => {
-                args.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?)
-            }
+            "-o" | "--out" => args.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "-h" | "--help" => {
                 print_help();
                 std::process::exit(0);
@@ -201,7 +199,11 @@ fn write_graphs(
     let targets: Vec<(CacheKind, MemorySpace, LoadFlags)> = match gpu.vendor() {
         Vendor::Nvidia => vec![
             (CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL),
-            (CacheKind::ConstL1, MemorySpace::Constant, LoadFlags::CACHE_ALL),
+            (
+                CacheKind::ConstL1,
+                MemorySpace::Constant,
+                LoadFlags::CACHE_ALL,
+            ),
         ],
         Vendor::Amd => vec![
             (CacheKind::VL1, MemorySpace::Vector, LoadFlags::CACHE_ALL),
@@ -211,7 +213,9 @@ fn write_graphs(
     let dir = out_dir.join(format!("{stem}_graphs"));
     let _ = std::fs::create_dir_all(&dir);
     for (kind, space, flags) in targets {
-        let Some(element) = report.element(kind) else { continue };
+        let Some(element) = report.element(kind) else {
+            continue;
+        };
         let (Attribute::Measured { value: size, .. }, Some(&fg)) =
             (&element.size, element.fetch_granularity_bytes.value())
         else {
@@ -224,11 +228,7 @@ fn write_graphs(
         let step = (((hi - lo) / 48).max(fg as u64) / fg as u64) * fg as u64;
         let scan = scan_interval(gpu, &cfg, lo, hi, step, overhead);
         let mut csv = String::from("array_bytes,p10,p50,p90,reduction\n");
-        for (s, (raw, red)) in scan
-            .sizes
-            .iter()
-            .zip(scan.raw.iter().zip(&scan.reduced))
-        {
+        for (s, (raw, red)) in scan.sizes.iter().zip(scan.raw.iter().zip(&scan.reduced)) {
             let p = |q| mt4g_stats::descriptive::percentile(raw, q).unwrap_or(0.0);
             csv.push_str(&format!(
                 "{s},{:.2},{:.2},{:.2},{:.3}\n",
@@ -238,7 +238,10 @@ fn write_graphs(
                 red
             ));
         }
-        let path = dir.join(format!("{}_scan.csv", kind.label().replace([' ', '.'], "_")));
+        let path = dir.join(format!(
+            "{}_scan.csv",
+            kind.label().replace([' ', '.'], "_")
+        ));
         write_file(&path, &csv);
         if !quiet {
             eprintln!("mt4g: wrote {}", path.display());

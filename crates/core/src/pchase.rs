@@ -128,7 +128,7 @@ pub fn run_pchase_with_overhead(
     cfg: &PchaseConfig,
     overhead: f64,
 ) -> Result<PchaseRun, AllocError> {
-    assert!(cfg.stride_bytes >= 4 && cfg.stride_bytes % 4 == 0);
+    assert!(cfg.stride_bytes >= 4 && cfg.stride_bytes.is_multiple_of(4));
     let buf = gpu.alloc(cfg.space, cfg.array_bytes)?;
     let elements = gpu.init_pchase(buf, cfg.array_bytes, cfg.stride_bytes);
     // The chase is a ring, so a warmed run can record a full N latencies
@@ -295,12 +295,8 @@ mod tests {
     #[test]
     fn constant_space_respects_alloc_limit() {
         let mut gpu = presets::h100_80();
-        let cfg = PchaseConfig::sequential(
-            MemorySpace::Constant,
-            LoadFlags::CACHE_ALL,
-            128 * 1024,
-            64,
-        );
+        let cfg =
+            PchaseConfig::sequential(MemorySpace::Constant, LoadFlags::CACHE_ALL, 128 * 1024, 64);
         assert!(run_pchase(&mut gpu, &cfg).is_err());
     }
 

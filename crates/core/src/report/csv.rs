@@ -5,12 +5,16 @@ use super::{Attribute, Report};
 
 fn cell<T: std::fmt::Display>(a: &Attribute<T>) -> (String, String, String) {
     match a {
-        Attribute::Measured { value, confidence } => {
-            (value.to_string(), "measured".into(), format!("{confidence:.4}"))
-        }
+        Attribute::Measured { value, confidence } => (
+            value.to_string(),
+            "measured".into(),
+            format!("{confidence:.4}"),
+        ),
         Attribute::FromApi { value } => (value.to_string(), "api".into(), "1.0000".into()),
         Attribute::AtLeast { value } => (format!(">{value}"), "at_least".into(), "0.0000".into()),
-        Attribute::Unavailable { reason } => ("".into(), format!("unavailable: {reason}"), "0.0000".into()),
+        Attribute::Unavailable { reason } => {
+            ("".into(), format!("unavailable: {reason}"), "0.0000".into())
+        }
         Attribute::NotApplicable => ("".into(), "n/a".into(), "".into()),
     }
 }
@@ -43,9 +47,17 @@ pub fn to_csv(report: &Report) -> String {
         };
         push(&label, "load_latency_cycles", lat);
         push(&label, "read_bandwidth_gibs", cell(&m.read_bandwidth_gibs));
-        push(&label, "write_bandwidth_gibs", cell(&m.write_bandwidth_gibs));
+        push(
+            &label,
+            "write_bandwidth_gibs",
+            cell(&m.write_bandwidth_gibs),
+        );
         push(&label, "cache_line_bytes", cell(&m.cache_line_bytes));
-        push(&label, "fetch_granularity_bytes", cell(&m.fetch_granularity_bytes));
+        push(
+            &label,
+            "fetch_granularity_bytes",
+            cell(&m.fetch_granularity_bytes),
+        );
         let amount = match &m.amount {
             Attribute::Measured { value, confidence } => (
                 value.count.to_string(),
@@ -63,11 +75,7 @@ pub fn to_csv(report: &Report) -> String {
         push(&label, "amount", amount);
     }
     for e in &report.compute_throughput {
-        push(
-            e.dtype.label(),
-            "achieved_gflops",
-            cell(&e.achieved_gflops),
-        );
+        push(e.dtype.label(), "achieved_gflops", cell(&e.achieved_gflops));
     }
     out
 }

@@ -16,8 +16,8 @@ use mt4g_sim::gpu::Gpu;
 
 use crate::benchmarks::amount::{self, AmountConfig, AmountResult};
 use crate::benchmarks::bandwidth;
-use crate::benchmarks::flops;
 use crate::benchmarks::fetch_granularity::{self, FetchGranularityConfig};
+use crate::benchmarks::flops;
 use crate::benchmarks::l2_segments;
 use crate::benchmarks::latency::{self, LatencyConfig};
 use crate::benchmarks::line_size::{self, LineSizeConfig};
@@ -85,7 +85,7 @@ impl DiscoveryConfig {
     }
 
     fn wants(&self, kind: CacheKind) -> bool {
-        self.only.as_ref().map_or(true, |ks| ks.contains(&kind))
+        self.only.as_ref().is_none_or(|ks| ks.contains(&kind))
     }
 }
 
@@ -150,23 +150,25 @@ pub fn run_discovery(gpu: &mut Gpu, cfg: &DiscoveryConfig) -> Report {
     if cfg.measure_flops && cfg.only.is_none() {
         for dtype in mt4g_sim::compute::DType::ALL {
             tally.bump();
-            report.compute_throughput.push(match flops::run(gpu, dtype) {
-                Some(r) => FlopsEntry {
-                    dtype,
-                    achieved_gflops: Attribute::Measured {
-                        value: r.achieved_gflops,
-                        confidence: 0.9,
+            report
+                .compute_throughput
+                .push(match flops::run(gpu, dtype) {
+                    Some(r) => FlopsEntry {
+                        dtype,
+                        achieved_gflops: Attribute::Measured {
+                            value: r.achieved_gflops,
+                            confidence: 0.9,
+                        },
+                        best_ilp: Some(r.best_ilp),
                     },
-                    best_ilp: Some(r.best_ilp),
-                },
-                None => FlopsEntry {
-                    dtype,
-                    achieved_gflops: Attribute::Unavailable {
-                        reason: "engine not present on this microarchitecture".into(),
+                    None => FlopsEntry {
+                        dtype,
+                        achieved_gflops: Attribute::Unavailable {
+                            reason: "engine not present on this microarchitecture".into(),
+                        },
+                        best_ilp: None,
                     },
-                    best_ilp: None,
-                },
-            });
+                });
         }
     }
 
@@ -329,36 +331,71 @@ fn discover_nvidia(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, ta
     // --- L1 / Texture / Readonly (unified or not — that's what the
     // sharing benchmark will tell).
     let m_l1 = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::L1, MemorySpace::Global, LoadFlags::CACHE_ALL,
-        None, None, None,
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::L1,
+        MemorySpace::Global,
+        LoadFlags::CACHE_ALL,
+        None,
+        None,
+        None,
     );
     let m_tex = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::Texture, MemorySpace::Texture, LoadFlags::CACHE_ALL,
-        None, None, None,
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::Texture,
+        MemorySpace::Texture,
+        LoadFlags::CACHE_ALL,
+        None,
+        None,
+        None,
     );
     let m_ro = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::Readonly, MemorySpace::Readonly, LoadFlags::CACHE_ALL,
-        None, None, None,
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::Readonly,
+        MemorySpace::Readonly,
+        LoadFlags::CACHE_ALL,
+        None,
+        None,
+        None,
     );
 
     // --- Constant L1: its latency array must stay below the (unknown)
     // CL1 size; 1 KiB is the search floor anyway.
     let m_cl1 = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::ConstL1, MemorySpace::Constant, LoadFlags::CACHE_ALL,
-        Some(1024), None, Some(CONSTANT_ARRAY_LIMIT),
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::ConstL1,
+        MemorySpace::Constant,
+        LoadFlags::CACHE_ALL,
+        Some(1024),
+        None,
+        Some(CONSTANT_ARRAY_LIMIT),
     );
 
     // --- Constant L1.5: measured *behind* CL1 — arrays larger than CL1,
     // which the warm-up evicts from CL1 (Sec. IV-B2).
     let cl1_size = m_cl1.size.unwrap_or(2048);
     let m_cl15 = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::ConstL15, MemorySpace::Constant, LoadFlags::CACHE_ALL,
-        Some(4 * cl1_size), Some(2 * cl1_size), Some(CONSTANT_ARRAY_LIMIT),
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::ConstL15,
+        MemorySpace::Constant,
+        LoadFlags::CACHE_ALL,
+        Some(4 * cl1_size),
+        Some(2 * cl1_size),
+        Some(CONSTANT_ARRAY_LIMIT),
     );
     let _ = m_cl15;
     // The 64 KiB constant limit also blocks the CL1.5 amount benchmark
@@ -370,19 +407,47 @@ fn discover_nvidia(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, ta
     // --- Amounts (Sec. IV-F).
     if cfg.wants(CacheKind::L1) {
         discover_amount(
-            gpu, report, tally,
-            CacheKind::L1, MemorySpace::Global, m_l1,
+            gpu,
+            report,
+            tally,
+            CacheKind::L1,
+            MemorySpace::Global,
+            m_l1,
             !quirks.l1_amount_unschedulable,
         );
     }
     if cfg.wants(CacheKind::Texture) {
-        discover_amount(gpu, report, tally, CacheKind::Texture, MemorySpace::Texture, m_tex, true);
+        discover_amount(
+            gpu,
+            report,
+            tally,
+            CacheKind::Texture,
+            MemorySpace::Texture,
+            m_tex,
+            true,
+        );
     }
     if cfg.wants(CacheKind::Readonly) {
-        discover_amount(gpu, report, tally, CacheKind::Readonly, MemorySpace::Readonly, m_ro, true);
+        discover_amount(
+            gpu,
+            report,
+            tally,
+            CacheKind::Readonly,
+            MemorySpace::Readonly,
+            m_ro,
+            true,
+        );
     }
     if cfg.wants(CacheKind::ConstL1) {
-        discover_amount(gpu, report, tally, CacheKind::ConstL1, MemorySpace::Constant, m_cl1, true);
+        discover_amount(
+            gpu,
+            report,
+            tally,
+            CacheKind::ConstL1,
+            MemorySpace::Constant,
+            m_cl1,
+            true,
+        );
     }
 
     // --- L2: total size from the API, segmentation benchmarked
@@ -402,18 +467,14 @@ fn discover_nvidia(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, ta
                 confidence: 1.0 - (lr.stats.std_dev / lr.stats.mean.max(1.0)).min(1.0),
             };
             tally.bump();
-            let fg_cfg = FetchGranularityConfig::new(
-                MemorySpace::Global,
-                LoadFlags::CACHE_GLOBAL,
-                lr.mean,
-            );
+            let fg_cfg =
+                FetchGranularityConfig::new(MemorySpace::Global, LoadFlags::CACHE_GLOBAL, lr.mean);
             if let Some((fg, conf)) = fetch_granularity::run(gpu, &fg_cfg) {
                 l2_fg = fg as u64;
-                report.element_mut(CacheKind::L2).fetch_granularity_bytes =
-                    Attribute::Measured {
-                        value: fg,
-                        confidence: conf,
-                    };
+                report.element_mut(CacheKind::L2).fetch_granularity_bytes = Attribute::Measured {
+                    value: fg,
+                    confidence: conf,
+                };
             }
             tally.bump();
             if let Some(segs) = l2_segments::run(gpu, l2_fg, cfg.scan_points) {
@@ -475,7 +536,14 @@ fn discover_nvidia(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, ta
     }
 
     // --- Device memory.
-    discover_device_memory(gpu, cfg, report, tally, MemorySpace::Global, props.total_mem_bytes);
+    discover_device_memory(
+        gpu,
+        cfg,
+        report,
+        tally,
+        MemorySpace::Global,
+        props.total_mem_bytes,
+    );
 
     // --- Physical sharing (Sec. IV-G), over everything measured above.
     if cfg.only.is_none() {
@@ -515,18 +583,40 @@ fn discover_amd(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, tally
 
     // --- vL1 and sL1d: fully benchmarked (Table I).
     let m_vl1 = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::VL1, MemorySpace::Vector, LoadFlags::CACHE_ALL,
-        None, None, None,
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::VL1,
+        MemorySpace::Vector,
+        LoadFlags::CACHE_ALL,
+        None,
+        None,
+        None,
     );
     let m_sl1d = discover_cache_element(
-        gpu, cfg, report, tally,
-        CacheKind::SL1D, MemorySpace::Scalar, LoadFlags::CACHE_ALL,
-        None, None, None,
+        gpu,
+        cfg,
+        report,
+        tally,
+        CacheKind::SL1D,
+        MemorySpace::Scalar,
+        LoadFlags::CACHE_ALL,
+        None,
+        None,
+        None,
     );
 
     if cfg.wants(CacheKind::VL1) {
-        discover_amount(gpu, report, tally, CacheKind::VL1, MemorySpace::Vector, m_vl1, true);
+        discover_amount(
+            gpu,
+            report,
+            tally,
+            CacheKind::VL1,
+            MemorySpace::Vector,
+            m_vl1,
+            true,
+        );
     }
 
     // --- sL1d CU sharing (Sec. IV-H).
@@ -588,11 +678,10 @@ fn discover_amd(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, tally
             let fg_cfg =
                 FetchGranularityConfig::new(MemorySpace::Vector, LoadFlags::CACHE_GLOBAL, mean);
             if let Some((fg, conf)) = fetch_granularity::run(gpu, &fg_cfg) {
-                report.element_mut(CacheKind::L2).fetch_granularity_bytes =
-                    Attribute::Measured {
-                        value: fg,
-                        confidence: conf,
-                    };
+                report.element_mut(CacheKind::L2).fetch_granularity_bytes = Attribute::Measured {
+                    value: fg,
+                    confidence: conf,
+                };
             }
         }
         if cfg.measure_bandwidth {
@@ -674,7 +763,14 @@ fn discover_amd(gpu: &mut Gpu, cfg: &DiscoveryConfig, report: &mut Report, tally
     }
 
     // --- Device memory.
-    discover_device_memory(gpu, cfg, report, tally, MemorySpace::Vector, props.total_mem_bytes);
+    discover_device_memory(
+        gpu,
+        cfg,
+        report,
+        tally,
+        MemorySpace::Vector,
+        props.total_mem_bytes,
+    );
 }
 
 fn discover_device_memory(
@@ -787,7 +883,9 @@ mod tests {
         let cl1 = report.element(CacheKind::ConstL1).unwrap();
         assert_eq!(cl1.size.value(), Some(&2048));
         // L1 was skipped entirely.
-        assert!(report.element(CacheKind::L1).map_or(true, |e| !e.size.is_available()));
+        assert!(report
+            .element(CacheKind::L1)
+            .is_none_or(|e| !e.size.is_available()));
     }
 
     #[test]
@@ -826,10 +924,7 @@ mod tests {
             .iter()
             .find(|e| e.dtype == mt4g_sim::compute::DType::TensorFp16)
             .unwrap();
-        assert!(matches!(
-            tc.achieved_gflops,
-            Attribute::Unavailable { .. }
-        ));
+        assert!(matches!(tc.achieved_gflops, Attribute::Unavailable { .. }));
     }
 
     #[test]

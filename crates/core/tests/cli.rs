@@ -35,7 +35,11 @@ fn only_run_emits_parseable_json() {
         .args(["--gpu", "T1000", "-q", "--fast", "--only", "cl1"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let report = mt4g_core::report::from_json(&stdout).expect("valid JSON report");
     assert_eq!(report.device.name, "T1000");
@@ -43,6 +47,45 @@ fn only_run_emits_parseable_json() {
         .element(mt4g_sim::device::CacheKind::ConstL1)
         .expect("CL1 row");
     assert_eq!(cl1.size.value(), Some(&2048));
+}
+
+/// The tier-1 smoke run: a full fast discovery on the T1000 preset must
+/// print one parseable JSON report on stdout, containing the discovered
+/// L1 row with measured size/latency attributes, and must be
+/// deterministic across invocations (the simulator is seeded).
+#[test]
+fn fast_discovery_smoke_emits_l1_json() {
+    let run = || {
+        let out = mt4g()
+            .args(["--gpu", "T1000", "--fast", "-q"])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let stdout = run();
+    assert!(stdout.contains("\"L1\""), "no L1 attribute in output");
+    let report = mt4g_core::report::from_json(&stdout).expect("valid JSON report");
+    assert_eq!(report.device.name, "T1000");
+    let l1 = report
+        .element(mt4g_sim::device::CacheKind::L1)
+        .expect("L1 row present");
+    assert!(l1.size.is_available(), "L1 size must be discovered");
+    assert!(
+        l1.load_latency.is_available(),
+        "L1 latency must be discovered"
+    );
+    assert!(
+        l1.size.confidence() > 0.9,
+        "L1 size confidence too low: {}",
+        l1.size.confidence()
+    );
+    // Quiet mode keeps stdout pure JSON and the run deterministic.
+    assert_eq!(stdout, run(), "two identical runs must emit identical JSON");
 }
 
 #[test]

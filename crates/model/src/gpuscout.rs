@@ -7,8 +7,9 @@
 //! cores and registers per SM, or the L1 hit rate is tied to the L1 size".
 //! The GUI's Memory Graph view (the paper's Fig. 4) joins the counters
 //! with MT4G's sizes. This module implements that join: profiler counters
-//! + an MT4G [`Report`] → findings with topology-grounded recommendations,
-//! plus the textual memory-graph rendering the `fig4` harness prints.
+//! and an MT4G [`Report`] → findings with topology-grounded
+//! recommendations, plus the textual memory-graph rendering that the
+//! `fig4` harness prints.
 
 use mt4g_core::report::Report;
 use mt4g_sim::device::CacheKind;
@@ -65,11 +66,10 @@ pub fn analyze(report: &Report, k: &KernelCounters) -> Vec<Finding> {
     let compute = &report.compute;
 
     // --- Register pressure / spilling (tied to regs per SM).
-    let max_concurrent_threads = if k.regs_per_thread > 0 {
-        compute.regs_per_sm / k.regs_per_thread
-    } else {
-        compute.max_threads_per_sm
-    };
+    let max_concurrent_threads = compute
+        .regs_per_sm
+        .checked_div(k.regs_per_thread)
+        .unwrap_or(compute.max_threads_per_sm);
     if k.spill_bytes_per_thread > 0 {
         findings.push(Finding {
             severity: Severity::Critical,
@@ -105,7 +105,11 @@ pub fn analyze(report: &Report, k: &KernelCounters) -> Vec<Finding> {
         if k.l1_hit_rate < 0.5 {
             let fits = k.working_set_bytes <= *l1_size;
             findings.push(Finding {
-                severity: if fits { Severity::Warning } else { Severity::Critical },
+                severity: if fits {
+                    Severity::Warning
+                } else {
+                    Severity::Critical
+                },
                 title: format!("low {} hit rate", l1_kind.label()),
                 recommendation: if fits {
                     format!(
@@ -134,7 +138,9 @@ pub fn analyze(report: &Report, k: &KernelCounters) -> Vec<Finding> {
     // --- L2 fit (tied to the *visible segment*, not the API total).
     if let Some(e) = report.element(CacheKind::L2) {
         if let (Some(&seg), Some(amount)) = (e.size.value(), e.amount.value()) {
-            let visible = if amount.count > 0 && matches!(e.size, mt4g_core::report::Attribute::FromApi { .. }) {
+            let visible = if amount.count > 0
+                && matches!(e.size, mt4g_core::report::Attribute::FromApi { .. })
+            {
                 seg / amount.count as u64
             } else {
                 seg
@@ -179,7 +185,7 @@ pub fn analyze(report: &Report, k: &KernelCounters) -> Vec<Finding> {
         }
     }
 
-    findings.sort_by(|a, b| b.severity.cmp(&a.severity));
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
     findings
 }
 
@@ -334,7 +340,10 @@ mod tests {
             ..healthy_counters()
         };
         let findings = analyze(&report(), &k);
-        let f = findings.iter().find(|f| f.title.contains("hit rate")).unwrap();
+        let f = findings
+            .iter()
+            .find(|f| f.title.contains("hit rate"))
+            .unwrap();
         assert_eq!(f.severity, Severity::Warning);
         assert!(f.recommendation.contains("access pattern"));
     }

@@ -58,17 +58,13 @@ impl GpuParams {
         let latency = element.load_latency.value()?.mean;
         // Bandwidth: the level's own measured bandwidth if present (L2,
         // L3, device memory), otherwise fall back to device memory.
-        let bw_gibs = element
-            .read_bandwidth_gibs
-            .value()
-            .copied()
-            .or_else(|| {
-                report
-                    .element(CacheKind::DeviceMemory)?
-                    .read_bandwidth_gibs
-                    .value()
-                    .copied()
-            })?;
+        let bw_gibs = element.read_bandwidth_gibs.value().copied().or_else(|| {
+            report
+                .element(CacheKind::DeviceMemory)?
+                .read_bandwidth_gibs
+                .value()
+                .copied()
+        })?;
         let clock_hz = report.device.clock_mhz as f64 * 1e6;
         let bytes_per_cycle = bw_gibs * (1u64 << 30) as f64 / clock_hz;
         let c = &report.compute;

@@ -116,15 +116,14 @@ impl GpuTopology {
                 // the quantity Fig. 5 is about.
                 if let Some(amount) = m.amount.value() {
                     if amount.scope == AmountScope::PerGpu && amount.count > 1 {
-                        node.attributes.insert(
-                            "segment_bytes".into(),
-                            size as f64 / amount.count as f64,
-                        );
+                        node.attributes
+                            .insert("segment_bytes".into(), size as f64 / amount.count as f64);
                     }
                 }
             }
             if let Some(lat) = m.load_latency.value() {
-                node.attributes.insert("load_latency_cycles".into(), lat.mean);
+                node.attributes
+                    .insert("load_latency_cycles".into(), lat.mean);
             }
             if let Some(&bw) = m.read_bandwidth_gibs.value() {
                 node.attributes.insert("read_bw_gibs".into(), bw);
@@ -133,8 +132,7 @@ impl GpuTopology {
                 node.attributes.insert("line_bytes".into(), line as f64);
             }
             if let Some(amount) = m.amount.value() {
-                node.attributes
-                    .insert("amount".into(), amount.count as f64);
+                node.attributes.insert("amount".into(), amount.count as f64);
             }
             if per_sm.contains(&m.kind) {
                 sm.children.push(node);

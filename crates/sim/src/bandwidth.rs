@@ -52,7 +52,9 @@ fn thread_efficiency(threads: u32, max_threads: u32) -> f64 {
     if threads == 0 {
         return 0.0;
     }
-    (threads as f64 / max_threads.max(1) as f64).min(1.0).powf(0.5)
+    (threads as f64 / max_threads.max(1) as f64)
+        .min(1.0)
+        .powf(0.5)
 }
 
 /// Planted peak bandwidth (GiB/s) of a level, if it is benchmarkable.
@@ -210,15 +212,10 @@ mod tests {
     #[test]
     fn l1_has_no_planted_bandwidth() {
         let mut gpu = presets::h100_80();
-        assert!(stream_bandwidth_gibs(
-            &mut gpu,
-            CacheKind::L1,
-            StreamOp::Read,
-            1 << 16,
-            128,
-            1024
-        )
-        .is_none());
+        assert!(
+            stream_bandwidth_gibs(&mut gpu, CacheKind::L1, StreamOp::Read, 1 << 16, 128, 1024)
+                .is_none()
+        );
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl SectoredCache {
             }
         } else {
             let mut ways = ways.max(1) as u64;
-            while total_lines % ways != 0 {
+            while !total_lines.is_multiple_of(ways) {
                 ways -= 1;
             }
             let num_sets = total_lines / ways;
@@ -225,7 +225,10 @@ impl SectoredCache {
 
         let result = match &mut self.org {
             Organization::SetAssociative {
-                sets, num_sets, ways, ..
+                sets,
+                num_sets,
+                ways,
+                ..
             } => {
                 let set_idx = (line_addr % *num_sets) as usize;
                 let tag = line_addr / *num_sets;

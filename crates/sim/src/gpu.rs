@@ -11,9 +11,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::device::{
-    DeviceConfig, LoadFlags, MemorySpace, Vendor, CONSTANT_ARRAY_LIMIT,
-};
+use crate::device::{DeviceConfig, LoadFlags, MemorySpace, Vendor, CONSTANT_ARRAY_LIMIT};
 use crate::hierarchy::{LoadResolution, MemorySubsystem};
 use crate::isa::{Instr, Kernel};
 use crate::noise::NoiseModel;
@@ -178,7 +176,7 @@ impl Gpu {
     /// `stride_bytes` apart) holds the element index of its successor, with
     /// the last element pointing back to 0. Returns the element count.
     pub fn init_pchase(&mut self, id: BufferId, array_bytes: u64, stride_bytes: u64) -> u64 {
-        assert!(stride_bytes >= 4 && stride_bytes % 4 == 0);
+        assert!(stride_bytes >= 4 && stride_bytes.is_multiple_of(4));
         let n = (array_bytes / stride_bytes).max(1);
         let stride_words = (stride_bytes / 4) as usize;
         let buf = &mut self.buffers[id.0];
@@ -398,9 +396,8 @@ mod tests {
         assert_eq!(run.records.len(), 64);
         // All hits: measured latency = L1 latency + clock overhead + the
         // shared store between the two clock reads.
-        let expected = l1.load_latency as u64
-            + gpu.config.clock_overhead_cycles as u64
-            + STORE_SHARED_COST;
+        let expected =
+            l1.load_latency as u64 + gpu.config.clock_overhead_cycles as u64 + STORE_SHARED_COST;
         for &r in &run.records {
             assert_eq!(r as u64, expected, "records: {:?}", &run.records[..8]);
         }
@@ -425,9 +422,8 @@ mod tests {
             true,
         );
         let run = gpu.launch(0, 0, &kernel, 256);
-        let expected_miss = l2.load_latency as u64
-            + gpu.config.clock_overhead_cycles as u64
-            + STORE_SHARED_COST;
+        let expected_miss =
+            l2.load_latency as u64 + gpu.config.clock_overhead_cycles as u64 + STORE_SHARED_COST;
         let misses = run
             .records
             .iter()

@@ -85,10 +85,7 @@ impl MemorySubsystem {
             Vendor::Nvidia => get(CacheKind::L1),
             Vendor::Amd => None,
         };
-        let l1_amount = l1_spec
-            .and_then(|s| s.amount_per_sm)
-            .unwrap_or(1)
-            .max(1) as usize;
+        let l1_amount = l1_spec.and_then(|s| s.amount_per_sm).unwrap_or(1).max(1) as usize;
         let l1 = l1_spec
             .map(|s| make_per_sm(&s, num_sms * l1_amount))
             .unwrap_or_default();
@@ -104,10 +101,22 @@ impl MemorySubsystem {
         } else {
             None
         };
-        let tex_spec = if unified { None } else { get(CacheKind::Texture) };
-        let ro_spec = if unified { None } else { get(CacheKind::Readonly) };
-        let tex = tex_spec.map(|s| make_per_sm(&s, num_sms)).unwrap_or_default();
-        let ro = ro_spec.map(|s| make_per_sm(&s, num_sms)).unwrap_or_default();
+        let tex_spec = if unified {
+            None
+        } else {
+            get(CacheKind::Texture)
+        };
+        let ro_spec = if unified {
+            None
+        } else {
+            get(CacheKind::Readonly)
+        };
+        let tex = tex_spec
+            .map(|s| make_per_sm(&s, num_sms))
+            .unwrap_or_default();
+        let ro = ro_spec
+            .map(|s| make_per_sm(&s, num_sms))
+            .unwrap_or_default();
 
         let const_l1_spec = get(CacheKind::ConstL1);
         let const_l1 = const_l1_spec
@@ -120,37 +129,42 @@ impl MemorySubsystem {
             Vendor::Amd => get(CacheKind::VL1),
             Vendor::Nvidia => None,
         };
-        let vl1 = vl1_spec.map(|s| make_per_sm(&s, num_sms)).unwrap_or_default();
+        let vl1 = vl1_spec
+            .map(|s| make_per_sm(&s, num_sms))
+            .unwrap_or_default();
 
         // sL1d: one instance per *group* of physical CUs that has at least
         // one active member. `sl1d_group_of_cu[cu]` indexes into `sl1d`.
         let sl1d_spec = get(CacheKind::SL1D);
-        let (sl1d, sl1d_group_of_cu) = if let (Some(spec), Some(layout)) =
-            (sl1d_spec, config.cu_layout.as_ref())
-        {
-            let mut dense: Vec<u32> = Vec::new();
-            let mut map = Vec::with_capacity(num_sms);
-            for cu in 0..num_sms {
-                let group = layout.sl1d_group_of(cu);
-                let idx = dense.iter().position(|&g| g == group).unwrap_or_else(|| {
-                    dense.push(group);
-                    dense.len() - 1
-                });
-                map.push(idx);
-            }
-            let caches = dense
-                .iter()
-                .map(|_| SectoredCache::from_spec(&spec))
-                .collect();
-            (caches, map)
-        } else {
-            (Vec::new(), vec![0; num_sms])
-        };
+        let (sl1d, sl1d_group_of_cu) =
+            if let (Some(spec), Some(layout)) = (sl1d_spec, config.cu_layout.as_ref()) {
+                let mut dense: Vec<u32> = Vec::new();
+                let mut map = Vec::with_capacity(num_sms);
+                for cu in 0..num_sms {
+                    let group = layout.sl1d_group_of(cu);
+                    let idx = dense.iter().position(|&g| g == group).unwrap_or_else(|| {
+                        dense.push(group);
+                        dense.len() - 1
+                    });
+                    map.push(idx);
+                }
+                let caches = dense
+                    .iter()
+                    .map(|_| SectoredCache::from_spec(&spec))
+                    .collect();
+                (caches, map)
+            } else {
+                (Vec::new(), vec![0; num_sms])
+            };
 
         let l2_spec = get(CacheKind::L2);
         let l2_segments = l2_spec.map(|s| s.segments.max(1)).unwrap_or(1) as usize;
         let l2 = l2_spec
-            .map(|s| (0..l2_segments).map(|_| SectoredCache::from_spec(&s)).collect())
+            .map(|s| {
+                (0..l2_segments)
+                    .map(|_| SectoredCache::from_spec(&s))
+                    .collect()
+            })
             .unwrap_or_default();
 
         // L2 segment visibility: an SM/CU only ever talks to one segment
@@ -159,8 +173,7 @@ impl MemorySubsystem {
         let l2_segment_of_sm = (0..num_sms)
             .map(|sm| match (config.vendor, config.cu_layout.as_ref()) {
                 (Vendor::Amd, Some(layout)) => {
-                    let per_xcd =
-                        (layout.physical_total as usize).div_ceil(l2_segments.max(1));
+                    let per_xcd = (layout.physical_total as usize).div_ceil(l2_segments.max(1));
                     (layout.physical_ids[sm] as usize / per_xcd).min(l2_segments - 1)
                 }
                 _ => sm % l2_segments,
@@ -322,12 +335,12 @@ impl MemorySubsystem {
                 // On the unified cache, texture/readonly paths have their
                 // own (slightly different) measured latencies.
                 let latency = match (space, kind) {
-                    (MemorySpace::Texture, CacheKind::Texture) => self
-                        .unified_tex_latency
-                        .unwrap_or(spec.load_latency),
-                    (MemorySpace::Readonly, CacheKind::Readonly) => self
-                        .unified_ro_latency
-                        .unwrap_or(spec.load_latency),
+                    (MemorySpace::Texture, CacheKind::Texture) => {
+                        self.unified_tex_latency.unwrap_or(spec.load_latency)
+                    }
+                    (MemorySpace::Readonly, CacheKind::Readonly) => {
+                        self.unified_ro_latency.unwrap_or(spec.load_latency)
+                    }
                     _ => spec.load_latency,
                 };
                 return LoadResolution {
@@ -398,13 +411,7 @@ impl MemorySubsystem {
         }
     }
 
-    fn walk_amd(
-        &mut self,
-        cu: usize,
-        vector: bool,
-        flags: LoadFlags,
-        addr: u64,
-    ) -> LoadResolution {
+    fn walk_amd(&mut self, cu: usize, vector: bool, flags: LoadFlags, addr: u64) -> LoadResolution {
         debug_assert_eq!(self.vendor, Vendor::Amd);
         if flags.bypass_all {
             return LoadResolution {
@@ -580,7 +587,13 @@ mod tests {
             .find(|&cu| !layout.sl1d_partners(cu).is_empty())
             .expect("MI210 has paired CUs");
         let partner = layout.sl1d_partners(with_partner)[0];
-        mem.load(with_partner, 0, MemorySpace::Scalar, LoadFlags::CACHE_ALL, 64);
+        mem.load(
+            with_partner,
+            0,
+            MemorySpace::Scalar,
+            LoadFlags::CACHE_ALL,
+            64,
+        );
         let r = mem.load(partner, 0, MemorySpace::Scalar, LoadFlags::CACHE_ALL, 64);
         assert!(r.first_level_hit, "partner CU must share the sL1d");
         // A CU in a different group does not share.

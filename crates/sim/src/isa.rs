@@ -294,7 +294,13 @@ impl KernelBuilder {
         b.mov_imm(counter, timed_steps);
         let top = b.label();
         b.pchase_timed_step(
-            addr_reg, idx_reg, base_reg, elem_bytes, space, flags, &mut scratch,
+            addr_reg,
+            idx_reg,
+            base_reg,
+            elem_bytes,
+            space,
+            flags,
+            &mut scratch,
         );
         b.loop_back(counter, top);
         b.build()
@@ -308,6 +314,7 @@ impl KernelBuilder {
     /// between consecutive p-chase elements, `n_elems` the array length in
     /// elements. When `warmup` is false the warm-up loop is skipped (used
     /// by the fetch-granularity benchmark, which must observe cold misses).
+    #[allow(clippy::too_many_arguments)] // mirrors the PTX kernel's launch signature
     pub fn pchase_kernel(
         vendor: Vendor,
         base: u64,
@@ -341,7 +348,13 @@ impl KernelBuilder {
         b.mov_imm(counter, timed_steps);
         let top = b.label();
         b.pchase_timed_step(
-            addr_reg, idx_reg, base_reg, elem_bytes, space, flags, &mut scratch,
+            addr_reg,
+            idx_reg,
+            base_reg,
+            elem_bytes,
+            space,
+            flags,
+            &mut scratch,
         );
         b.loop_back(counter, top);
         b.build()

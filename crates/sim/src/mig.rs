@@ -101,8 +101,7 @@ pub fn mig_view(full: &DeviceConfig, profile: &MigProfile) -> DeviceConfig {
     let mem_frac = profile.memory_fraction();
     let compute_frac = profile.compute_slices as f64 / profile.compute_total as f64;
 
-    cfg.chip.num_sms =
-        ((full.chip.num_sms as f64 * compute_frac).floor() as u32).max(1);
+    cfg.chip.num_sms = ((full.chip.num_sms as f64 * compute_frac).floor() as u32).max(1);
     cfg.dram.size = (full.dram.size as f64 * mem_frac) as u64;
     cfg.dram.read_bw_gibs = full.dram.read_bw_gibs * mem_frac;
     cfg.dram.write_bw_gibs = full.dram.write_bw_gibs * mem_frac;

@@ -111,9 +111,7 @@ mod tests {
             outlier_max: 500,
         };
         let n = 50_000;
-        let spikes = (0..n)
-            .filter(|_| model.sample(&mut rng, 100) > 300)
-            .count();
+        let spikes = (0..n).filter(|_| model.sample(&mut rng, 100) > 300).count();
         let rate = spikes as f64 / n as f64;
         assert!((0.005..0.02).contains(&rate), "rate {rate}");
     }

@@ -2,7 +2,7 @@
 //! (Turing), A100 (Ampere), H100-80 / H100-96 (Hopper).
 
 use crate::device::{
-    kib, mib, gib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
+    gib, kib, mib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
     ScratchpadSpec, SharingLayout, Vendor,
 };
 use crate::gpu::Gpu;

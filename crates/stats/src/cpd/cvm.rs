@@ -78,7 +78,7 @@ impl ChangePointDetector for CvmChangePointDetector {
             if t <= self.threshold {
                 continue;
             }
-            if best.map_or(true, |b| t > b.statistic) {
+            if best.is_none_or(|b| t > b.statistic) {
                 best = Some(ChangePoint {
                     index: split,
                     // Exponential tail bound as a confidence proxy.

@@ -88,7 +88,7 @@ impl ChangePointDetector for KsChangePointDetector {
                 }
             }
             let margin = r.statistic - r.critical_value;
-            if best_margin.as_ref().map_or(true, |&(m, _)| margin > m) {
+            if best_margin.as_ref().is_none_or(|&(m, _)| margin > m) {
                 best_margin = Some((margin, cand));
             }
         }
@@ -173,7 +173,9 @@ mod tests {
         // split one position later ALSO reaches D = 1. The earliest
         // fully-separating split must win.
         let mut series = vec![100.0; 9];
-        series.extend([3006.1, 3009.6, 3010.1, 3013.9, 3008.8, 3008.0, 3012.0, 3007.2]);
+        series.extend([
+            3006.1, 3009.6, 3010.1, 3013.9, 3008.8, 3008.0, 3012.0, 3007.2,
+        ]);
         let cp = KsChangePointDetector::default().detect(&series).unwrap();
         assert_eq!(cp.index, 9);
     }

@@ -56,8 +56,8 @@ pub trait MultiChangePointDetector {
 #[cfg(test)]
 pub(crate) fn step_series(n_low: usize, low: f64, n_high: usize, high: f64) -> Vec<f64> {
     let mut v = Vec::with_capacity(n_low + n_high);
-    v.extend(std::iter::repeat(low).take(n_low));
-    v.extend(std::iter::repeat(high).take(n_high));
+    v.extend(std::iter::repeat_n(low, n_low));
+    v.extend(std::iter::repeat_n(high, n_high));
     // add a small deterministic ripple so the samples are not fully ties
     for (i, x) in v.iter_mut().enumerate() {
         *x += (i % 5) as f64 * 0.01;

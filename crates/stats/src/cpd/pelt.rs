@@ -58,9 +58,7 @@ impl<C: CostFunction> Pelt<C> {
             f[t] = best;
             prev[t] = best_s;
             // Pruning: drop s that can never be optimal again.
-            candidates.retain(|&s| {
-                t - s < self.min_segment || f[s] + self.cost.cost(s, t) <= f[t]
-            });
+            candidates.retain(|&s| t - s < self.min_segment || f[s] + self.cost.cost(s, t) <= f[t]);
             candidates.push(t + 1 - self.min_segment.min(t));
             candidates.dedup();
             if t >= self.min_segment {

@@ -1,0 +1,82 @@
+//! Golden-value tests for the statistical substrate.
+//!
+//! Unlike the property tests, these pin *exact expected numbers*: the
+//! critical values of the paper's Eq. (1) at α = 0.05, and a frozen
+//! latency-series fixture for the K-S change-point detector. If a future
+//! refactor changes either, these tests fail with the drifted value.
+
+use mt4g_stats::cpd::{ChangePointDetector, KsChangePointDetector};
+use mt4g_stats::{ks_critical_value, ks_test};
+
+/// Eq. (1): `d_alpha = sqrt(-1/2 * (n+m)/(n*m) * ln(alpha/2))`, evaluated
+/// independently of the library implementation at α = 0.05
+/// (`ln(0.025) = -3.6888794541139363`).
+#[test]
+fn ks_critical_value_matches_eq1_at_alpha_05() {
+    // (n, m, golden d_alpha)
+    let golden = [
+        (100usize, 100usize, 0.192_064_48),
+        (50, 50, 0.271_620_28),
+        (100, 200, 0.166_332_93),
+        (30, 30, 0.350_660_30),
+        (10, 1000, 0.431_611_41),
+    ];
+    for (n, m, expected) in golden {
+        let got = ks_critical_value(n, m, 0.05);
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "Eq. (1) drift at n={n}, m={m}: got {got}, golden {expected}"
+        );
+        // Cross-check against the formula spelled out longhand.
+        let formula =
+            (-0.5 * (n as f64 + m as f64) / (n as f64 * m as f64) * (0.05f64 / 2.0).ln()).sqrt();
+        assert!((got - formula).abs() < 1e-12);
+    }
+}
+
+/// Eq. (1) must agree with the decision rule of the full test: a statistic
+/// a hair above/below `d_alpha` flips `reject`.
+#[test]
+fn ks_test_reject_is_consistent_with_eq1() {
+    let a: Vec<f64> = (0..60).map(|i| (i % 12) as f64).collect();
+    let b: Vec<f64> = (0..60).map(|i| 3.0 + (i % 12) as f64).collect();
+    let r = ks_test(&a, &b, 0.05);
+    assert_eq!(r.critical_value, ks_critical_value(60, 60, 0.05));
+    assert_eq!(r.reject, r.statistic > r.critical_value);
+}
+
+/// A frozen 24-point latency series shaped like a real size-benchmark
+/// reduction: 12 in-cache points around 40 cycles (with jitter), then the
+/// capacity cliff to ~185 cycles, including one warm-up outlier in the low
+/// regime and one slow sample in the high regime.
+const GOLDEN_SERIES: [f64; 24] = [
+    40.3, 39.1, 41.7, 38.9, 40.0, 40.8, 39.5, 612.0, // outlier: cold TLB spike
+    41.2, 39.8, 40.5, 39.2, // end of in-cache regime (index 0..12)
+    184.6, 186.1, 183.9, 185.4, 188.0, 184.2, 186.7, 185.0, 239.5, // slow sample
+    184.8, 185.9, 186.3,
+];
+
+#[test]
+fn kscpd_golden_fixture_detects_cliff_at_12() {
+    let detector = KsChangePointDetector::default();
+    let cp = detector
+        .detect(&GOLDEN_SERIES)
+        .expect("the capacity cliff must be detected");
+    assert_eq!(cp.index, 12, "cliff is between index 11 and 12");
+    assert!(
+        cp.confidence > 0.99,
+        "a 4.5x latency step must be near-certain, got {}",
+        cp.confidence
+    );
+    assert!(cp.statistic > 0.9, "got D = {}", cp.statistic);
+}
+
+/// The same fixture restricted to one regime has no change point: the
+/// detector must not hallucinate a split out of jitter plus an outlier.
+#[test]
+fn kscpd_golden_fixture_single_regime_is_silent() {
+    let low = &GOLDEN_SERIES[..12];
+    assert!(KsChangePointDetector::default().detect(low).is_none());
+    let high = &GOLDEN_SERIES[12..];
+    assert!(KsChangePointDetector::default().detect(high).is_none());
+}

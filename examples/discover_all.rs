@@ -36,11 +36,15 @@ fn validate(report: &Report, cfg: &DeviceConfig) -> (u32, u32, Vec<String>) {
             checked += 1;
             if *value != spec.line_size {
                 mismatches += 1;
-                notes.push(format!("{}: line {} vs {}", m.kind.label(), value, spec.line_size));
+                notes.push(format!(
+                    "{}: line {} vs {}",
+                    m.kind.label(),
+                    value,
+                    spec.line_size
+                ));
             }
         }
-        if let (Some(spec), Attribute::Measured { value, .. }) =
-            (spec, &m.fetch_granularity_bytes)
+        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.fetch_granularity_bytes)
         {
             checked += 1;
             if *value != spec.fetch_granularity {

@@ -14,7 +14,10 @@ use mt4g::sim::CacheKind;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "T1000".into());
     let mut gpu = presets::by_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown preset '{name}'; available: {:?}", presets::ALL_NAMES);
+        eprintln!(
+            "unknown preset '{name}'; available: {:?}",
+            presets::ALL_NAMES
+        );
         std::process::exit(2);
     });
 
@@ -28,12 +31,17 @@ fn main() {
 
     // Machine-readable view (what downstream tools consume):
     let json = report::to_json_pretty(&rep).expect("serialises");
-    println!("JSON report: {} bytes (use `mt4g -j` to write it to a file)", json.len());
+    println!(
+        "JSON report: {} bytes (use `mt4g -j` to write it to a file)",
+        json.len()
+    );
 
     // Programmatic access:
-    if let Some(l1) = rep.memory.iter().find(|m| {
-        matches!(m.kind, CacheKind::L1 | CacheKind::VL1)
-    }) {
+    if let Some(l1) = rep
+        .memory
+        .iter()
+        .find(|m| matches!(m.kind, CacheKind::L1 | CacheKind::VL1))
+    {
         if let Some(size) = l1.size.value() {
             println!(
                 "first-level data cache: {} ({}, confidence {:.2})",

@@ -14,8 +14,12 @@ fn a100_report() -> mt4g::core::report::Report {
     run_discovery(
         &mut gpu,
         &DiscoveryConfig {
-            only: Some(vec![CacheKind::L1, CacheKind::L2, CacheKind::SharedMemory,
-                            CacheKind::DeviceMemory]),
+            only: Some(vec![
+                CacheKind::L1,
+                CacheKind::L2,
+                CacheKind::SharedMemory,
+                CacheKind::DeviceMemory,
+            ]),
             ..DiscoveryConfig::fast()
         },
     )
@@ -27,7 +31,11 @@ fn hongkim_parameters_come_from_the_report() {
     let dram = GpuParams::from_report(&report, CacheKind::DeviceMemory).expect("DRAM params");
     let l2 = GpuParams::from_report(&report, CacheKind::L2).expect("L2 params");
     // MT4G-measured planted values: DRAM 680 cyc, L2 200 cyc.
-    assert!((dram.mem_latency - 680.0).abs() < 6.0, "{}", dram.mem_latency);
+    assert!(
+        (dram.mem_latency - 680.0).abs() < 6.0,
+        "{}",
+        dram.mem_latency
+    );
     assert!((l2.mem_latency - 200.0).abs() < 6.0, "{}", l2.mem_latency);
     assert!(l2.mem_bandwidth_bytes_per_cycle > dram.mem_bandwidth_bytes_per_cycle);
 
@@ -80,7 +88,11 @@ fn gpuscout_findings_reference_measured_sizes() {
         .expect("L1 finding");
     assert_eq!(l1.severity, Severity::Critical);
     // The recommendation cites the discovered L1 size (131072 B).
-    assert!(l1.recommendation.contains("131072"), "{}", l1.recommendation);
+    assert!(
+        l1.recommendation.contains("131072"),
+        "{}",
+        l1.recommendation
+    );
 }
 
 #[test]

@@ -1,0 +1,313 @@
+//! Offline vendored mini-criterion.
+//!
+//! Implements the slice of criterion 0.5's API that the MT4G benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`) with a
+//! simple wall-clock harness:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is warmed
+//!   up and measured for the configured times and a mean/min/max summary is
+//!   printed;
+//! * under `cargo test` (no `--bench` flag), each benchmark body runs once
+//!   in "test mode", exactly like real criterion, so benches stay cheap but
+//!   exercised.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing warm-up/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = self.full_label(&id.into_benchmark_id());
+        self.run(&label, |bencher| f(bencher));
+        self
+    }
+
+    /// Benches a closure parameterised by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = self.full_label(&id.into_benchmark_id());
+        self.run(&label, |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn full_label(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.label.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        }
+    }
+
+    fn run(&mut self, label: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: if self.criterion.bench_mode {
+                Mode::Measure {
+                    warm_up: self.warm_up,
+                    measurement: self.measurement,
+                    sample_size: self.sample_size,
+                }
+            } else {
+                Mode::Test
+            },
+            samples: Vec::new(),
+            iters_done: 0,
+        };
+        body(&mut bencher);
+        if self.criterion.bench_mode {
+            report(
+                label,
+                &bencher.samples,
+                bencher.iters_done,
+                self.throughput.as_ref(),
+            );
+        } else {
+            println!("test-mode bench {label}: ok");
+        }
+    }
+}
+
+enum Mode {
+    /// `cargo test`: run the body once, no timing.
+    Test,
+    /// `cargo bench`: warm up, then sample.
+    Measure {
+        warm_up: Duration,
+        measurement: Duration,
+        sample_size: usize,
+    },
+}
+
+/// Passed to the benchmark body; `iter` runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly according to the harness mode, timing each
+    /// call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.iters_done += 1;
+            }
+            Mode::Measure {
+                warm_up,
+                measurement,
+                sample_size,
+            } => {
+                let warm_start = Instant::now();
+                while warm_start.elapsed() < warm_up {
+                    black_box(routine());
+                }
+                let measure_start = Instant::now();
+                while self.samples.len() < sample_size && measure_start.elapsed() < measurement {
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    self.samples.push(t0.elapsed());
+                    self.iters_done += 1;
+                }
+                // Always record at least one sample.
+                if self.samples.is_empty() {
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    self.samples.push(t0.elapsed());
+                    self.iters_done += 1;
+                }
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration], iters: u64, throughput: Option<&Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<48} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let rate = throughput.map(|t| t.rate_label(mean)).unwrap_or_default();
+    println!(
+        "{label:<48} mean {:>12?}  min {:>12?}  max {:>12?}  ({iters} iters){rate}",
+        mean, min, max
+    );
+}
+
+/// Per-iteration work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn rate_label(&self, mean: Duration) -> String {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", *n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", *n as f64 / secs / (1 << 20) as f64),
+        }
+    }
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (strings or explicit ids).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! A genuine ChaCha block function (RFC 8439 quarter-round over a
+//! 16-word state, 64-bit block counter) driving the vendored mini-rand
+//! traits. Deterministic, portable, `Clone`-able — everything MT4G's
+//! reproducible noise model needs.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha core with `R` double-rounds and a 64-entry output buffer
+/// (one 16-word block at a time, refilled on demand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaChaRng<const R: usize> {
+    /// Key words 4..12 and nonce words 14..16 of the initial state.
+    key: [u32; 8],
+    stream: u64,
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+/// ChaCha with 8 rounds (4 double-rounds) — the generator MT4G seeds
+/// everywhere for reproducible noise.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let initial = state;
+        for _ in 0..R {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// Sets the stream number (distinct streams from the same seed are
+    /// independent).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = 16; // force refill
+    }
+
+    /// The current stream number.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            stream: 0,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chacha20_rfc8439_keystream() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00 — our nonce layout is
+        // only 8 bytes (words 14/15), so instead verify the all-zero
+        // key/nonce/counter=0 ChaCha20 keystream first word, a widely
+        // published value (76 b8 e0 ad ...).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        assert_eq!(first.to_le_bytes(), [0x76, 0xb8, 0xe0, 0xad]);
+    }
+
+    #[test]
+    fn uniform_range_sanity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut histogram = [0u32; 10];
+        for _ in 0..10_000 {
+            histogram[rng.gen_range(0usize..10)] += 1;
+        }
+        for &count in &histogram {
+            assert!(
+                (800..1200).contains(&count),
+                "skewed histogram: {histogram:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline vendored mini-rayon.
+//!
+//! Exposes rayon's `prelude` entry points (`into_par_iter`, `par_iter`)
+//! backed by `std::thread` scoped parallelism: the input is split into one
+//! chunk per available core, each chunk is mapped on its own thread, and
+//! results are returned in order. Only the `map(..).collect()` shape MT4G
+//! uses is implemented; other adaptors can be added as needed.
+
+use std::num::NonZeroUsize;
+
+/// A "parallel iterator" over an owned list of items. Adaptors are lazy;
+/// [`ParIter::collect`] runs the mapped pipeline across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item (in parallel at collect time).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items unchanged.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(T) -> U + Sync,
+        U: Send,
+        C: FromIterator<U>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        let f = &self.f;
+        if threads <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        let chunk_size = self.items.len().div_ceil(threads);
+        // Consume the items into per-thread chunks, preserving order.
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut current = Vec::with_capacity(chunk_size);
+        for item in self.items {
+            current.push(item);
+            if current.len() == chunk_size {
+                chunks.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            chunks.push(current);
+        }
+        let mut mapped: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for handle in handles {
+                mapped.push(handle.join().expect("mini-rayon worker panicked"));
+            }
+        });
+        mapped.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iteration (`par_iter`) for slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// rayon's prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u32, 2, 3];
+        let sum: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline vendored mini-serde derive macros.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; this crate hand-parses the item's token stream. It supports
+//! the shapes the MT4G workspace actually uses:
+//!
+//! * structs with named fields (optionally generic),
+//! * enums with unit, newtype, tuple and struct variants (optionally
+//!   generic),
+//! * `#[serde(tag = "...")]` internally-tagged enums,
+//! * `#[serde(default)]` fields (missing key → `Default::default()`),
+//! * `Option<T>` fields tolerate a missing key (deserialize to `None`).
+//!
+//! Generated code targets the `serde::{Serialize, Deserialize, Value,
+//! DeError}` items of the sibling vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Type-parameter names, e.g. `["T"]` for `Attribute<T>`.
+    generics: Vec<String>,
+    /// `#[serde(tag = "...")]` on the item, if any.
+    tag: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    is_option: bool,
+    has_default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    /// One unnamed payload field.
+    Newtype,
+    /// `n` unnamed payload fields.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("mini-serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes; returns (has_serde_default, tag).
+    fn parse_attrs(&mut self) -> (bool, Option<String>) {
+        let mut has_default = false;
+        let mut tag = None;
+        while self.peek_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("mini-serde derive: malformed attribute: {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        let (d, t) = parse_serde_args(args.stream());
+                        has_default |= d;
+                        if t.is_some() {
+                            tag = t;
+                        }
+                    }
+                }
+            }
+        }
+        (has_default, tag)
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+/// Parses the inside of `#[serde(...)]`.
+fn parse_serde_args(stream: TokenStream) -> (bool, Option<String>) {
+    let mut has_default = false;
+    let mut tag = None;
+    let mut it = stream.into_iter().peekable();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(name) = &tt {
+            match name.to_string().as_str() {
+                "default" => has_default = true,
+                "tag" => {
+                    // tag = "..."
+                    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        it.next();
+                        if let Some(TokenTree::Literal(lit)) = it.next() {
+                            tag = Some(unquote(&lit.to_string()));
+                        }
+                    }
+                }
+                other => panic!("mini-serde derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    (has_default, tag)
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses `<...>` generics after the item name, returning type-param names.
+fn parse_generics(cursor: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    if !cursor.peek_punct('<') {
+        return params;
+    }
+    cursor.next();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                ':' if depth == 1 => expect_param = false,
+                '\'' => expect_param = false, // lifetimes unsupported as params
+                _ => {}
+            },
+            Some(TokenTree::Ident(i)) => {
+                if expect_param && depth == 1 {
+                    params.push(i.to_string());
+                    expect_param = false;
+                }
+            }
+            Some(_) => {}
+            None => panic!("mini-serde derive: unterminated generics"),
+        }
+    }
+    params
+}
+
+/// Parses named fields from the inside of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let (has_default, _) = cursor.parse_attrs();
+        cursor.skip_vis();
+        let name = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("mini-serde derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        // Consume the type, tracking angle-bracket depth to find the
+        // field-separating comma.
+        let mut is_option = false;
+        let mut first = true;
+        let mut depth = 0usize;
+        while let Some(tt) = cursor.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    cursor.next();
+                    break;
+                }
+                TokenTree::Ident(i) if first => {
+                    is_option = i.to_string() == "Option";
+                }
+                _ => {}
+            }
+            first = false;
+            cursor.next();
+        }
+        fields.push(Field {
+            name,
+            is_option,
+            has_default,
+        });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut any = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.parse_attrs();
+        let name = cursor.expect_ident("variant name");
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cursor.next();
+                match n {
+                    0 => Shape::Unit,
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the next variant (past discriminants and the comma).
+        while let Some(tt) = cursor.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                cursor.next();
+                break;
+            }
+            cursor.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut cursor = Cursor::new(stream);
+    let (_, tag) = cursor.parse_attrs();
+    cursor.skip_vis();
+    let keyword = cursor.expect_ident("`struct` or `enum`");
+    let name = cursor.expect_ident("item name");
+    let generics = parse_generics(&mut cursor);
+    // Skip a `where` clause if present.
+    while let Some(tt) = cursor.peek() {
+        if matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+            break;
+        }
+        if matches!(tt, TokenTree::Punct(p) if p.as_char() == ';') {
+            panic!("mini-serde derive: unit/tuple structs are not supported ({name})");
+        }
+        cursor.next();
+    }
+    let body = match cursor.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        other => panic!("mini-serde derive: expected item body for {name}, found {other:?}"),
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("mini-serde derive: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        tag,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then re-parsed)
+// ---------------------------------------------------------------------------
+
+/// `impl<T: serde::Serialize> serde::Serialize for Name<T>`-style header.
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", input.name)
+    } else {
+        let bounds: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let args = input.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{args}> ",
+            bounds.join(", "),
+            input.name
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(fields) => {
+            body.push_str("let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__fields)\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match (&v.shape, &input.tag) {
+                    (Shape::Unit, None) => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    (Shape::Unit, Some(tag)) => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string()))]),\n"
+                    )),
+                    (Shape::Newtype, None) => body.push_str(&format!(
+                        "{name}::{vname}(__x) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::serialize(__x))]),\n"
+                    )),
+                    (Shape::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    (Shape::Struct(fields), tag) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        if let Some(tag) = tag {
+                            pushes.push_str(&format!(
+                                "__fields.push((\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        let obj = match tag {
+                            Some(_) => "::serde::Value::Object(__fields)".to_string(),
+                            None => format!(
+                                "::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(__fields))])"
+                            ),
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}{obj} }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    (shape, Some(_)) => {
+                        let _ = shape;
+                        panic!(
+                            "mini-serde derive: internally-tagged payload variant {name}::{vname} must use named fields"
+                        )
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "{header}{{ fn serialize(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(input, "Serialize")
+    )
+}
+
+/// Generates the expression rebuilding one named field set from object `__v`
+/// (used for both structs and struct variants).
+fn gen_field_builders(fields: &[Field], context: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{n}\", \"{context}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match __v.get(\"{n}\") {{ Some(__fv) => ::serde::Deserialize::deserialize(__fv)?, None => {missing}, }},\n"
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(fields) => {
+            body.push_str(&format!(
+                "if __v.as_object().is_none() {{ return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}\")); }}\n"
+            ));
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name} {{\n{}\n}})",
+                gen_field_builders(fields, name)
+            ));
+        }
+        Kind::Enum(variants) => match &input.tag {
+            Some(tag) => {
+                body.push_str(&format!(
+                    "let __tag = match __v.get(\"{tag}\") {{\n\
+                     Some(::serde::Value::Str(s)) => s.as_str(),\n\
+                     _ => return ::std::result::Result::Err(::serde::DeError::expected(\"object with `{tag}` tag\", \"{name}\")),\n\
+                     }};\n\
+                     match __tag {{\n"
+                ));
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => body.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        Shape::Struct(fields) => body.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{}\n}}),\n",
+                            gen_field_builders(fields, name)
+                        )),
+                        _ => panic!(
+                            "mini-serde derive: internally-tagged payload variant {name}::{vname} must use named fields"
+                        ),
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+                ));
+            }
+            None => {
+                // Externally tagged: a bare string for unit variants, a
+                // single-key object for payload variants.
+                body.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.shape, Shape::Unit) {
+                        let vname = &v.name;
+                        body.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n"
+                ));
+                body.push_str("::serde::Value::Object(__fields) if __fields.len() == 1 => {\nlet (__key, __payload) = &__fields[0];\nmatch __key.as_str() {\n");
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {}
+                        Shape::Newtype => body.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__payload)?)),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!(
+                                    "::serde::Deserialize::deserialize(&__items[{i}])?"
+                                ))
+                                .collect();
+                            body.push_str(&format!(
+                                "\"{vname}\" => match __payload {{\n\
+                                 ::serde::Value::Array(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", \"{name}::{vname}\")),\n\
+                                 }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        Shape::Struct(fields) => body.push_str(&format!(
+                            "\"{vname}\" => {{ let __v = __payload; if __v.as_object().is_none() {{ return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}::{vname}\")); }} ::std::result::Result::Ok({name}::{vname} {{\n{}\n}}) }},\n",
+                            gen_field_builders(fields, name)
+                        )),
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n"
+                ));
+                body.push_str(&format!(
+                    "_ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\")),\n}}"
+                ));
+            }
+        },
+    }
+    format!(
+        "{header}{{ fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header(input, "Deserialize")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("mini-serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("mini-serde derive: generated Deserialize impl failed to parse")
+}
