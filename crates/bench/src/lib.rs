@@ -1,8 +1,26 @@
 //! Shared helpers for the table/figure regeneration binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the MT4G
-//! paper (see DESIGN.md's per-experiment index); the Criterion benches in
-//! `benches/` measure the statistical kernel and the simulator substrate.
+//! paper; the Criterion benches in `benches/` measure the statistical
+//! kernel and the simulator substrate.
+//!
+//! # Paper map
+//!
+//! | Paper reference | Binary |
+//! |---|---|
+//! | Fig. 1–5 | `fig1` … `fig5` |
+//! | Table I/II/III | `table1` … `table3` |
+//! | Sec. V-A run times | `runtimes` |
+//! | Sec. II-C detector comparison | `ablation_cpd` |
+//! | Sec. VI use-case models | `usecase_model` |
+//! | Future-work FLOPS extension | `futurework_flops` |
+//!
+//! The full-matrix bins drive [`mt4g_core::suite::run_discovery`], which
+//! since the plan/execute refactor fans discovery units across all cores
+//! by default — deterministically, so regenerated tables never depend on
+//! the machine's core count.
+
+#![warn(missing_docs)]
 
 use mt4g_core::report::Report;
 use mt4g_core::suite::{normalize_report, run_discovery, DiscoveryConfig};
@@ -11,6 +29,11 @@ use mt4g_sim::gpu::Gpu;
 
 /// Runs a full (thorough but CU-windowed) discovery on a preset and
 /// normalises the report rows into Table I order.
+///
+/// Uses the suite's default `jobs = 0` (all cores): the table/figure bins
+/// iterate presets sequentially, so the suite-level fan-out is free
+/// wall-clock time — and, by the plan/execute design, changes nothing in
+/// the emitted numbers.
 pub fn discover(gpu: &mut Gpu) -> Report {
     let cfg = DiscoveryConfig {
         cu_window: 4, // windowed CU scan: identical groups, bench-friendly

@@ -47,6 +47,21 @@ impl FetchGranularityConfig {
 ///
 /// The paper assumes granularities are multiples of 4 B; strides advance
 /// in 4 B steps accordingly.
+///
+/// # Known deviation: MI300X L2 (ROADMAP "MI300X L2 fetch granularity")
+///
+/// On the MI300X preset this scan reports 128 B for the L2 (via GLC=1
+/// loads) against the planted 64 B — the only ground-truth mismatch in
+/// the whole validation matrix (`examples/discover_all.rs` flags it; the
+/// other nine GPUs and all other MI300X elements match). The suspected
+/// mechanism: MI300X's L2 is split into 8 address-interleaved segments,
+/// so consecutive 64 B-stride accesses land on *alternating* segments and
+/// a neighbour's fetch can still cover the next access — the zero-hit
+/// criterion below then first holds at 2× the true granularity. Any fix
+/// belongs in this stride loop (e.g. restricting the scan to a single
+/// segment's address stratum before applying the zero-hit rule) and needs
+/// a regression test pinning MI300X L2 at 64 B; the per-SM caches are
+/// unaffected because they are not interleaved.
 pub fn run(gpu: &mut Gpu, cfg: &FetchGranularityConfig) -> Option<(u32, f64)> {
     let overhead = calibrate_overhead(gpu);
     let classifier = HitMissClassifier::for_hit_latency(cfg.target_hit_latency);

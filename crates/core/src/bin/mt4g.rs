@@ -1,9 +1,12 @@
 //! The `mt4g` command-line tool.
 //!
-//! Mirrors the real tool's interface (paper appendix):
+//! Mirrors the real tool's interface (paper appendix), plus the
+//! plan/execute/merge extensions:
 //!
 //! ```text
-//! mt4g --gpu <PRESET> [-j] [-p] [-c] [-q] [--only <ELEMENT>] [--fast] [-o <DIR>]
+//! mt4g --gpu <PRESET> [-j] [-p] [-c] [-q] [--only <ELEMENT>] [--fast]
+//!      [--jobs N] [--shard i/n] [-o <DIR>]
+//! mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]
 //! ```
 //!
 //! * `-j` — write `<GPU_name>.json` (JSON always goes to stdout otherwise)
@@ -13,13 +16,22 @@
 //! * `-q` — quiet: JSON to stdout only, no progress chatter
 //! * `--only <ELEMENT>` — limit to one memory element (e.g. `L1`, `L2`)
 //! * `--fast` — coarser scans, windowed CU-sharing pass
+//! * `--jobs N` — run up to N discovery units concurrently (0 = all
+//!   cores, the default); the report is byte-identical for every N
+//! * `--shard i/n` — run shard `i` of an `n`-way split of the plan and
+//!   emit a mergeable *partial* report instead of a full one
+//! * `mt4g merge` — merge partial reports from a complete shard set into
+//!   the full report (byte-identical to an unsharded run)
 //! * `--list` — list available GPU presets
 
 use std::io::Write;
 use std::path::PathBuf;
 
 use mt4g_core::report;
-use mt4g_core::suite::{normalize_report, run_discovery, DiscoveryConfig};
+use mt4g_core::suite::{
+    merge_partials, normalize_report, partial_from_json, partial_to_json, run_discovery, run_shard,
+    DiscoveryConfig,
+};
 use mt4g_sim::device::CacheKind;
 use mt4g_sim::presets;
 
@@ -33,7 +45,21 @@ struct Args {
     fast: bool,
     list: bool,
     only: Option<String>,
+    jobs: usize,
+    shard: Option<(usize, usize)>,
+    merge_inputs: Option<Vec<PathBuf>>,
     out_dir: PathBuf,
+}
+
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard expects i/n with 1 <= i <= n, got '{spec}'");
+    let (i, n) = spec.split_once('/').ok_or_else(err)?;
+    let i: usize = i.trim().parse().map_err(|_| err())?;
+    let n: usize = n.trim().parse().map_err(|_| err())?;
+    if n == 0 || i == 0 || i > n {
+        return Err(err());
+    }
+    Ok((i, n))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,9 +73,16 @@ fn parse_args() -> Result<Args, String> {
         fast: false,
         list: false,
         only: None,
+        jobs: 0,
+        shard: None,
+        merge_inputs: None,
         out_dir: PathBuf::from("."),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("merge") {
+        it.next();
+        args.merge_inputs = Some(Vec::new());
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-j" | "--json" => args.json_file = true,
@@ -61,12 +94,25 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
             "--only" => args.only = Some(it.next().ok_or("--only needs a value")?),
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got '{v}'"))?;
+            }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs a value (i/n)")?;
+                args.shard = Some(parse_shard(&v)?);
+            }
             "-o" | "--out" => args.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "-h" | "--help" => {
                 print_help();
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown argument: {other}")),
+            other => match &mut args.merge_inputs {
+                Some(inputs) if !other.starts_with('-') => inputs.push(PathBuf::from(other)),
+                _ => return Err(format!("unknown argument: {other}")),
+            },
         }
     }
     Ok(args)
@@ -75,9 +121,14 @@ fn parse_args() -> Result<Args, String> {
 fn print_help() {
     println!(
         "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
-         USAGE: mt4g --gpu <PRESET> [-j] [-p] [-c] [-g] [-q] [--only <ELEMENT>] [--fast] [-o <DIR>]\n\n\
+         USAGE: mt4g --gpu <PRESET> [-j] [-p] [-c] [-g] [-q] [--only <ELEMENT>] [--fast]\n\
+         \x20             [--jobs N] [--shard i/n] [-o <DIR>]\n\
+         \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\n\
          PRESETS: {}\n\
-         ELEMENTS: L1 L2 L3 Texture Readonly ConstL1 ConstL15 Shared LDS vL1 sL1d Device",
+         ELEMENTS: L1 L2 L3 Texture Readonly ConstL1 ConstL15 Shared LDS vL1 sL1d Device\n\n\
+         --jobs N     run up to N discovery units in parallel (0 = all cores; default)\n\
+         --shard i/n  run shard i of an n-way split, emit a mergeable partial report\n\
+         merge        reassemble a complete set of partial reports into the full report",
         presets::ALL_NAMES.join(" ")
     );
 }
@@ -114,6 +165,10 @@ fn main() {
         }
         return;
     }
+    if args.merge_inputs.is_some() {
+        run_merge_mode(&args);
+        return;
+    }
     let Some(gpu_name) = args.gpu.as_deref() else {
         print_help();
         std::process::exit(2);
@@ -128,6 +183,7 @@ fn main() {
     } else {
         DiscoveryConfig::thorough()
     };
+    cfg.jobs = args.jobs;
     if let Some(only) = args.only.as_deref() {
         match parse_element(only) {
             Some(kind) => cfg.only = Some(vec![kind]),
@@ -136,6 +192,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some((index, count)) = args.shard {
+        run_shard_mode(&args, &mut gpu, &cfg, index, count);
+        return;
     }
 
     if !args.quiet {
@@ -152,7 +213,96 @@ fn main() {
         );
     }
 
-    let json = report::to_json_pretty(&report).expect("report serialises");
+    emit_report(&args, &report);
+    if args.graphs {
+        let stem = report.device.name.replace([' ', '/'], "_");
+        write_graphs(&mut gpu, &report, &args.out_dir, &stem, args.quiet);
+    }
+}
+
+/// `--shard i/n`: run one deterministic slice of the discovery plan and
+/// emit a *partial* report (stdout, or `<GPU>.shard<i>of<n>.partial.json`
+/// with `-j`) that `mt4g merge` reassembles.
+fn run_shard_mode(
+    args: &Args,
+    gpu: &mut mt4g_sim::Gpu,
+    cfg: &DiscoveryConfig,
+    index: usize,
+    count: usize,
+) {
+    if args.markdown || args.csv || args.graphs {
+        eprintln!("error: --shard emits a partial report; -p/-c/-g apply to `mt4g merge` output");
+        std::process::exit(2);
+    }
+    if !args.quiet {
+        eprintln!(
+            "mt4g: analysing {} (shard {index}/{count}) ...",
+            gpu.config.name
+        );
+    }
+    let partial = run_shard(gpu, cfg, index, count);
+    let json = partial_to_json(&partial).expect("partial report serialises");
+    if args.json_file {
+        let stem = partial.device.name.replace([' ', '/'], "_");
+        let path = args
+            .out_dir
+            .join(format!("{stem}.shard{index}of{count}.partial.json"));
+        write_file(&path, &json);
+        if !args.quiet {
+            eprintln!("mt4g: wrote {}", path.display());
+        }
+    } else {
+        println!("{json}");
+    }
+}
+
+/// `mt4g merge`: read a complete set of partial reports and emit the full
+/// report, byte-identical to an unsharded run of the same configuration.
+fn run_merge_mode(args: &Args) {
+    let inputs = args.merge_inputs.as_deref().unwrap_or_default();
+    if inputs.is_empty() {
+        eprintln!("error: mt4g merge needs at least one partial-report file");
+        std::process::exit(2);
+    }
+    if args.graphs {
+        eprintln!("error: -g needs a live discovery run, not merged partials");
+        std::process::exit(2);
+    }
+    let mut partials = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        partials.push(partial_from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: {} is not a partial report: {e}", path.display());
+            std::process::exit(2);
+        }));
+    }
+    let mut report = match merge_partials(&partials) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Whether an L3 row belongs in the canonical order travels inside the
+    // partials — device names ("Instinct MI300X VF") are not preset short
+    // names, so a preset lookup could not answer this.
+    normalize_report(&mut report, partials[0].has_l3);
+    if !args.quiet {
+        eprintln!(
+            "mt4g: merged {} partial report(s) covering {} units",
+            partials.len(),
+            partials.iter().map(|p| p.results.len()).sum::<usize>()
+        );
+    }
+    emit_report(args, &report);
+}
+
+/// Writes the full report to stdout or to `-j`/`-p`/`-c` files.
+fn emit_report(args: &Args, report: &mt4g_core::report::Report) {
+    let json = report::to_json_pretty(report).expect("report serialises");
     let stem = report.device.name.replace([' ', '/'], "_");
     if args.json_file {
         let path = args.out_dir.join(format!("{stem}.json"));
@@ -165,20 +315,17 @@ fn main() {
     }
     if args.markdown {
         let path = args.out_dir.join(format!("{stem}.md"));
-        write_file(&path, &report::to_markdown(&report));
+        write_file(&path, &report::to_markdown(report));
         if !args.quiet {
             eprintln!("mt4g: wrote {}", path.display());
         }
     }
     if args.csv {
         let path = args.out_dir.join(format!("{stem}.csv"));
-        write_file(&path, &report::to_csv(&report));
+        write_file(&path, &report::to_csv(report));
         if !args.quiet {
             eprintln!("mt4g: wrote {}", path.display());
         }
-    }
-    if args.graphs {
-        write_graphs(&mut gpu, &report, &args.out_dir, &stem, args.quiet);
     }
 }
 

@@ -1,0 +1,280 @@
+//! Deterministic enumeration of a discovery run as independent work units.
+//!
+//! A [`DiscoveryPlan`] is the *what* of a discovery run, fully decoupled
+//! from the *how*: the same plan can be executed sequentially
+//! (`--jobs 1`), fanned out across threads, or sliced into shards executed
+//! by different CI jobs — the merged report is byte-identical in every
+//! case, because each unit runs on its own forked GPU whose RNG stream is
+//! derived from the unit's stable label (see
+//! [`run_unit`](super::units::run_unit)).
+
+use mt4g_sim::compute::DType;
+use mt4g_sim::device::{CacheKind, Vendor};
+use mt4g_sim::gpu::Gpu;
+
+use super::units::UnitKind;
+use super::DiscoveryConfig;
+
+/// Version tag baked into plan fingerprints; bump on any change to unit
+/// enumeration, seeding, or partial-report semantics so stale partial
+/// reports refuse to merge.
+pub(crate) const PLAN_FORMAT: u32 = 1;
+
+/// One schedulable unit of discovery work.
+#[derive(Debug, Clone)]
+pub struct PlanUnit {
+    /// Position in the plan (also the merge order of its report rows).
+    pub id: usize,
+    /// Stable human-readable name, e.g. `nv.l1` or `flops.fp32`. The
+    /// unit's RNG stream is derived from this label, so results don't
+    /// depend on the unit's position in the plan.
+    pub label: String,
+    /// Units whose measurements this unit consumes. The executor runs
+    /// dependencies first (recomputing them locally if a shard doesn't
+    /// contain them — determinism makes recomputation exact).
+    pub deps: Vec<usize>,
+    pub(crate) kind: UnitKind,
+}
+
+impl PlanUnit {
+    /// The RNG stream id of this unit: an FNV-1a hash of the label.
+    pub(crate) fn stream(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The ordered list of work units of one discovery run.
+///
+/// ```
+/// use mt4g_core::suite::{DiscoveryConfig, DiscoveryPlan};
+/// use mt4g_sim::presets;
+///
+/// let gpu = presets::t1000();
+/// let plan = DiscoveryPlan::new(&gpu, &DiscoveryConfig::fast());
+/// assert!(plan.len() >= 8, "NVIDIA plans fan out the full Table I");
+///
+/// // Shards partition the plan: every unit lands in exactly one shard,
+/// // so CI can split the matrix across jobs and merge partial reports.
+/// let mut ids: Vec<usize> = (1..=3).flat_map(|i| plan.shard(i, 3)).collect();
+/// ids.sort();
+/// assert_eq!(ids, (0..plan.len()).collect::<Vec<_>>());
+///
+/// // The physical-sharing unit consumes the cache-element units'
+/// // measurements; its dependencies are part of the plan.
+/// let sharing = plan.units().iter().find(|u| u.label == "nv.sharing").unwrap();
+/// assert_eq!(sharing.deps.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscoveryPlan {
+    units: Vec<PlanUnit>,
+    fingerprint: String,
+}
+
+impl DiscoveryPlan {
+    /// Enumerates the units of a discovery of `gpu` under `cfg`.
+    ///
+    /// The enumeration is deterministic: same preset + config + seed ⇒
+    /// same plan, which is what makes shards produced by different
+    /// processes mergeable.
+    pub fn new(gpu: &Gpu, cfg: &DiscoveryConfig) -> Self {
+        let mut units: Vec<PlanUnit> = Vec::new();
+        let mut push = |label: &str, kind: UnitKind, deps: Vec<usize>| -> usize {
+            let id = units.len();
+            units.push(PlanUnit {
+                id,
+                label: label.to_string(),
+                deps,
+                kind,
+            });
+            id
+        };
+
+        match gpu.vendor() {
+            Vendor::Nvidia => {
+                let l1 = push("nv.l1", UnitKind::NvCache(CacheKind::L1), vec![]);
+                let tex = push("nv.texture", UnitKind::NvCache(CacheKind::Texture), vec![]);
+                let ro = push(
+                    "nv.readonly",
+                    UnitKind::NvCache(CacheKind::Readonly),
+                    vec![],
+                );
+                let cst = push("nv.constant", UnitKind::NvConstPath, vec![]);
+                push("nv.l2", UnitKind::NvL2, vec![]);
+                push("nv.shared", UnitKind::NvShared, vec![]);
+                push("mem.device", UnitKind::DeviceMem, vec![]);
+                // The sharing scan evicts one cache through another, so it
+                // needs the geometry of all four L1-level elements.
+                if cfg.only.is_none() {
+                    push("nv.sharing", UnitKind::NvSharing, vec![l1, tex, ro, cst]);
+                }
+            }
+            Vendor::Amd => {
+                push("amd.vl1", UnitKind::AmdVl1, vec![]);
+                push("amd.sl1d", UnitKind::AmdSl1d, vec![]);
+                push("amd.l2", UnitKind::AmdL2, vec![]);
+                if gpu.config.cache(CacheKind::L3).is_some() {
+                    push("amd.l3", UnitKind::AmdL3, vec![]);
+                }
+                push("amd.lds", UnitKind::AmdLds, vec![]);
+                push("mem.device", UnitKind::DeviceMem, vec![]);
+            }
+        }
+
+        if cfg.measure_flops && cfg.only.is_none() {
+            for dtype in DType::ALL {
+                push(
+                    &format!("flops.{}", dtype.label()),
+                    UnitKind::Flops(dtype),
+                    vec![],
+                );
+            }
+        }
+
+        let fingerprint = fingerprint(gpu, cfg, &units);
+        DiscoveryPlan { units, fingerprint }
+    }
+
+    /// The plan's units, in id order.
+    pub fn units(&self) -> &[PlanUnit] {
+        &self.units
+    }
+
+    /// Number of units in the plan.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the plan is empty (it never is for a valid GPU).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The unit ids of shard `index` of `count` (1-based, `1 ≤ index ≤
+    /// count`). Units are dealt round-robin so expensive neighbours (the
+    /// L2 fills) spread across shards.
+    pub fn shard(&self, index: usize, count: usize) -> Vec<usize> {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(
+            (1..=count).contains(&index),
+            "shard index {index} out of range 1..={count}"
+        );
+        (0..self.units.len())
+            .filter(|id| id % count == index - 1)
+            .collect()
+    }
+
+    /// Compatibility fingerprint: partial reports merge only when their
+    /// plans' fingerprints match (same GPU, seed, config, and enumeration).
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+}
+
+/// Encodes everything that must agree between shards for a merge to be
+/// sound: plan format, preset identity, base RNG seed, every config knob
+/// that changes measurements, and the unit enumeration itself.
+fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
+    let only = match &cfg.only {
+        None => "all".to_string(),
+        Some(kinds) => kinds
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect::<Vec<_>>()
+            .join("+"),
+    };
+    let labels = units
+        .iter()
+        .map(|u| u.label.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "v{PLAN_FORMAT}|{name}|seed={seed:#x}|alpha={alpha}|record_n={record_n}|\
+         scan_points={scan_points}|only={only}|cu_window={cu_window}|bw={bw}|flops={flops}|\
+         plan={labels}",
+        name = gpu.config.name,
+        seed = gpu.base_seed(),
+        alpha = cfg.alpha,
+        record_n = cfg.record_n,
+        scan_points = cfg.scan_points,
+        cu_window = cfg.cu_window,
+        bw = cfg.measure_bandwidth,
+        flops = cfg.measure_flops,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt4g_sim::presets;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let gpu = presets::h100_80();
+        let cfg = DiscoveryConfig::thorough();
+        let a = DiscoveryPlan::new(&gpu, &cfg);
+        let b = DiscoveryPlan::new(&gpu, &cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.len(), b.len());
+        for (ua, ub) in a.units().iter().zip(b.units()) {
+            assert_eq!(ua.label, ub.label);
+            assert_eq!(ua.deps, ub.deps);
+        }
+    }
+
+    #[test]
+    fn plans_differ_between_configs_and_gpus() {
+        let gpu = presets::t1000();
+        let full = DiscoveryPlan::new(&gpu, &DiscoveryConfig::thorough());
+        let fast = DiscoveryPlan::new(&gpu, &DiscoveryConfig::fast());
+        assert_ne!(full.fingerprint(), fast.fingerprint());
+        let amd = DiscoveryPlan::new(&presets::mi210(), &DiscoveryConfig::thorough());
+        assert_ne!(full.fingerprint(), amd.fingerprint());
+    }
+
+    #[test]
+    fn amd_plan_includes_l3_only_on_cdna3() {
+        let cfg = DiscoveryConfig::fast();
+        let mi210 = DiscoveryPlan::new(&presets::mi210(), &cfg);
+        assert!(!mi210.units().iter().any(|u| u.label == "amd.l3"));
+        let mi300x = DiscoveryPlan::new(&presets::mi300x(), &cfg);
+        assert!(mi300x.units().iter().any(|u| u.label == "amd.l3"));
+    }
+
+    #[test]
+    fn only_runs_drop_sharing_and_flops_units() {
+        let gpu = presets::t1000();
+        let cfg = DiscoveryConfig {
+            only: Some(vec![CacheKind::L1]),
+            ..DiscoveryConfig::fast()
+        };
+        let plan = DiscoveryPlan::new(&gpu, &cfg);
+        assert!(!plan.units().iter().any(|u| u.label == "nv.sharing"));
+        assert!(!plan.units().iter().any(|u| u.label.starts_with("flops.")));
+    }
+
+    #[test]
+    fn shards_partition_the_plan() {
+        let gpu = presets::mi300x();
+        let plan = DiscoveryPlan::new(&gpu, &DiscoveryConfig::thorough());
+        for count in 1..=5 {
+            let mut seen: Vec<usize> = (1..=count).flat_map(|i| plan.shard(i, count)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..plan.len()).collect::<Vec<_>>(), "count {count}");
+        }
+    }
+
+    #[test]
+    fn unit_streams_are_distinct() {
+        let gpu = presets::h100_80();
+        let plan = DiscoveryPlan::new(&gpu, &DiscoveryConfig::thorough());
+        let mut streams: Vec<u64> = plan.units().iter().map(|u| u.stream()).collect();
+        streams.sort_unstable();
+        streams.dedup();
+        assert_eq!(streams.len(), plan.len(), "stream collision");
+    }
+}

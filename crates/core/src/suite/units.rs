@@ -1,0 +1,760 @@
+//! The benchmark bodies of the discovery work units.
+//!
+//! Each [`UnitKind`] is one independent slice of a discovery run: it
+//! executes on a *forked* GPU ([`mt4g_sim::gpu::Gpu::fork`]) whose RNG
+//! stream is derived from the unit's stable label, so a unit produces
+//! bit-identical results no matter which thread, process, or CI shard runs
+//! it. The bodies are the same benchmark sequences the original sequential
+//! suite ran, in the same dependency order *within* a unit (latency →
+//! fetch granularity → size → line size → amount, paper Sec. IV); only the
+//! ordering *between* units is freed up for the executor to parallelise.
+
+use std::collections::HashMap;
+
+use mt4g_sim::api;
+use mt4g_sim::compute::DType;
+use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace, Vendor, CONSTANT_ARRAY_LIMIT};
+use mt4g_sim::gpu::{Gpu, GpuStats};
+
+use crate::benchmarks::amount::{self, AmountConfig, AmountResult};
+use crate::benchmarks::bandwidth;
+use crate::benchmarks::fetch_granularity::{self, FetchGranularityConfig};
+use crate::benchmarks::flops;
+use crate::benchmarks::l2_segments;
+use crate::benchmarks::latency::{self, LatencyConfig};
+use crate::benchmarks::line_size::{self, LineSizeConfig};
+use crate::benchmarks::sharing_amd::{self, CuSharingConfig, CuSharingResult};
+use crate::benchmarks::sharing_nv::{self, SpaceProbe};
+use crate::benchmarks::size::{self, SizeConfig, SizeResult};
+use crate::report::{
+    AmountReport, AmountScope, Attribute, FlopsEntry, MemoryElementReport, SharingReport,
+};
+
+use super::DiscoveryConfig;
+
+/// Intermediate per-element measurement state the later stages feed on.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Measured {
+    pub(crate) hit_latency: Option<f64>,
+    pub(crate) fetch_granularity: Option<u64>,
+    pub(crate) size: Option<u64>,
+}
+
+/// Measurements a dependent unit receives from its dependencies, keyed by
+/// the element the dependency measured.
+pub(crate) type MeasuredInputs = HashMap<CacheKind, Measured>;
+
+/// Counts benchmark instances for the Sec. V-A accounting.
+struct Tally(u32);
+
+impl Tally {
+    fn bump(&mut self) -> &mut Self {
+        self.0 += 1;
+        self
+    }
+}
+
+/// The report rows one unit produces — a keyed slice of the final report's
+/// `memory` table.
+#[derive(Debug, Default)]
+struct ElementRows(Vec<MemoryElementReport>);
+
+impl ElementRows {
+    fn element_mut(&mut self, kind: CacheKind) -> &mut MemoryElementReport {
+        if let Some(pos) = self.0.iter().position(|m| m.kind == kind) {
+            &mut self.0[pos]
+        } else {
+            self.0.push(MemoryElementReport::empty(kind));
+            self.0.last_mut().expect("just pushed")
+        }
+    }
+}
+
+/// One kind of independent discovery work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnitKind {
+    /// NVIDIA L1 / Texture / Readonly: cache element + amount.
+    NvCache(CacheKind),
+    /// NVIDIA constant path: CL1, then CL1.5 behind it (CL1.5's search
+    /// window depends on the CL1 size, so they form one unit).
+    NvConstPath,
+    /// NVIDIA L2: API size, `.cg` latency, granularity, segments, line
+    /// size, bandwidth.
+    NvL2,
+    /// NVIDIA shared memory.
+    NvShared,
+    /// NVIDIA physical-sharing groups over L1/Texture/Readonly/CL1
+    /// (consumes those units' measurements).
+    NvSharing,
+    /// AMD vector L1: element + amount.
+    AmdVl1,
+    /// AMD scalar L1d: element + CU-sharing scan.
+    AmdSl1d,
+    /// AMD L2: API size/line/segments, GLC latency + granularity,
+    /// bandwidth.
+    AmdL2,
+    /// AMD CDNA3 L3: API attributes + bandwidth.
+    AmdL3,
+    /// AMD LDS.
+    AmdLds,
+    /// Device memory (both vendors).
+    DeviceMem,
+    /// One datatype/engine of the FLOPS extension.
+    Flops(DType),
+}
+
+/// Everything one executed unit hands back to the executor.
+#[derive(Debug)]
+pub(crate) struct UnitOutput {
+    /// Report rows this unit filled in.
+    pub(crate) elements: Vec<MemoryElementReport>,
+    /// FLOPS entries (only `UnitKind::Flops` units produce these).
+    pub(crate) flops: Vec<FlopsEntry>,
+    /// Measurements exported to dependent units.
+    pub(crate) measured: Vec<(CacheKind, Measured)>,
+    /// Benchmark instances executed (Sec. V-A accounting).
+    pub(crate) benchmarks_run: u32,
+    /// Kernel / load / cycle counters of the forked GPU.
+    pub(crate) stats: GpuStats,
+}
+
+/// Executes one unit on a fork of `proto` seeded with `stream`.
+pub(crate) fn run_unit(
+    proto: &Gpu,
+    cfg: &DiscoveryConfig,
+    kind: UnitKind,
+    stream: u64,
+    inputs: &MeasuredInputs,
+) -> UnitOutput {
+    let mut gpu = proto.fork(stream);
+    let mut rows = ElementRows::default();
+    let mut tally = Tally(0);
+    let mut flops_entries = Vec::new();
+    let mut measured = Vec::new();
+
+    match kind {
+        UnitKind::NvCache(cache) => {
+            let (space, schedulable) = match cache {
+                CacheKind::L1 => (
+                    MemorySpace::Global,
+                    !gpu.config.quirks.l1_amount_unschedulable,
+                ),
+                CacheKind::Texture => (MemorySpace::Texture, true),
+                CacheKind::Readonly => (MemorySpace::Readonly, true),
+                other => unreachable!("NvCache unit for {other:?}"),
+            };
+            let m = discover_cache_element(
+                &mut gpu,
+                cfg,
+                &mut rows,
+                &mut tally,
+                cache,
+                space,
+                LoadFlags::CACHE_ALL,
+                None,
+                None,
+                None,
+            );
+            if cfg.wants(cache) {
+                discover_amount(
+                    &mut gpu,
+                    &mut rows,
+                    &mut tally,
+                    cache,
+                    space,
+                    m,
+                    schedulable,
+                );
+            }
+            measured.push((cache, m));
+        }
+
+        UnitKind::NvConstPath => {
+            // Constant L1: its latency array must stay below the (unknown)
+            // CL1 size; 1 KiB is the search floor anyway.
+            let m_cl1 = discover_cache_element(
+                &mut gpu,
+                cfg,
+                &mut rows,
+                &mut tally,
+                CacheKind::ConstL1,
+                MemorySpace::Constant,
+                LoadFlags::CACHE_ALL,
+                Some(1024),
+                None,
+                Some(CONSTANT_ARRAY_LIMIT),
+            );
+            // Constant L1.5: measured *behind* CL1 — arrays larger than
+            // CL1, which the warm-up evicts from CL1 (Sec. IV-B2).
+            let cl1_size = m_cl1.size.unwrap_or(2048);
+            let _m_cl15 = discover_cache_element(
+                &mut gpu,
+                cfg,
+                &mut rows,
+                &mut tally,
+                CacheKind::ConstL15,
+                MemorySpace::Constant,
+                LoadFlags::CACHE_ALL,
+                Some(4 * cl1_size),
+                Some(2 * cl1_size),
+                Some(CONSTANT_ARRAY_LIMIT),
+            );
+            // The 64 KiB constant limit also blocks the CL1.5 amount
+            // benchmark (paper Sec. III-C).
+            rows.element_mut(CacheKind::ConstL15).amount = Attribute::Unavailable {
+                reason: "64 KiB constant array limitation".into(),
+            };
+            if cfg.wants(CacheKind::ConstL1) {
+                discover_amount(
+                    &mut gpu,
+                    &mut rows,
+                    &mut tally,
+                    CacheKind::ConstL1,
+                    MemorySpace::Constant,
+                    m_cl1,
+                    true,
+                );
+            }
+            measured.push((CacheKind::ConstL1, m_cl1));
+        }
+
+        UnitKind::NvL2 => {
+            if cfg.wants(CacheKind::L2) {
+                let props = api::device_props(&gpu);
+                let l2_total = props.l2_size_bytes;
+                rows.element_mut(CacheKind::L2).size = Attribute::FromApi { value: l2_total };
+                tally.bump();
+                let l2_lat = latency::run(
+                    &mut gpu,
+                    &LatencyConfig::standard(MemorySpace::Global, LoadFlags::CACHE_GLOBAL, 64),
+                );
+                let mut l2_fg = 32u64;
+                if let Some(lr) = l2_lat {
+                    rows.element_mut(CacheKind::L2).load_latency = Attribute::Measured {
+                        value: lr,
+                        confidence: 1.0 - (lr.stats.std_dev / lr.stats.mean.max(1.0)).min(1.0),
+                    };
+                    tally.bump();
+                    let fg_cfg = FetchGranularityConfig::new(
+                        MemorySpace::Global,
+                        LoadFlags::CACHE_GLOBAL,
+                        lr.mean,
+                    );
+                    if let Some((fg, conf)) = fetch_granularity::run(&mut gpu, &fg_cfg) {
+                        l2_fg = fg as u64;
+                        rows.element_mut(CacheKind::L2).fetch_granularity_bytes =
+                            Attribute::Measured {
+                                value: fg,
+                                confidence: conf,
+                            };
+                    }
+                    tally.bump();
+                    if let Some(segs) = l2_segments::run(&mut gpu, l2_fg, cfg.scan_points) {
+                        rows.element_mut(CacheKind::L2).amount = Attribute::Measured {
+                            value: AmountReport {
+                                count: segs.count,
+                                scope: AmountScope::PerGpu,
+                            },
+                            confidence: segs.confidence,
+                        };
+                        tally.bump();
+                        let ls_cfg = LineSizeConfig::new(
+                            MemorySpace::Global,
+                            LoadFlags::CACHE_GLOBAL,
+                            segs.segment_bytes,
+                            l2_fg,
+                            lr.mean,
+                        );
+                        if let Some((line, conf)) = line_size::run(&mut gpu, &ls_cfg) {
+                            rows.element_mut(CacheKind::L2).cache_line_bytes =
+                                Attribute::Measured {
+                                    value: line,
+                                    confidence: conf,
+                                };
+                        }
+                    }
+                }
+                if cfg.measure_bandwidth {
+                    tally.bump().bump();
+                    if let Some(bw) = bandwidth::run(&mut gpu, CacheKind::L2) {
+                        let e = rows.element_mut(CacheKind::L2);
+                        e.read_bandwidth_gibs = Attribute::Measured {
+                            value: bw.read_gibs,
+                            confidence: 0.9,
+                        };
+                        e.write_bandwidth_gibs = Attribute::Measured {
+                            value: bw.write_gibs,
+                            confidence: 0.9,
+                        };
+                    }
+                }
+            }
+        }
+
+        UnitKind::NvShared => {
+            if cfg.wants(CacheKind::SharedMemory) {
+                let props = api::device_props(&gpu);
+                rows.element_mut(CacheKind::SharedMemory).size = Attribute::FromApi {
+                    value: props.shared_mem_per_sm_bytes,
+                };
+                tally.bump();
+                if let Some(lr) = latency::run(
+                    &mut gpu,
+                    &LatencyConfig::standard(MemorySpace::Shared, LoadFlags::CACHE_ALL, 64),
+                ) {
+                    rows.element_mut(CacheKind::SharedMemory).load_latency = Attribute::Measured {
+                        value: lr,
+                        confidence: 1.0,
+                    };
+                }
+            }
+        }
+
+        UnitKind::NvSharing => {
+            // Physical sharing (Sec. IV-G), over the element units'
+            // measurements.
+            if cfg.only.is_none() {
+                tally.bump();
+                let quirks = gpu.config.quirks;
+                let of = |kind: CacheKind| inputs.get(&kind).copied().unwrap_or_default();
+                let probe = |m: Measured, deflt: f64| {
+                    (
+                        m.size.unwrap_or(2048),
+                        m.fetch_granularity.unwrap_or(32),
+                        m.hit_latency.unwrap_or(deflt),
+                    )
+                };
+                let probes: Vec<SpaceProbe> = sharing_nv::nvidia_probes(
+                    probe(of(CacheKind::L1), 38.0),
+                    probe(of(CacheKind::Texture), 39.0),
+                    probe(of(CacheKind::Readonly), 35.0),
+                    probe(of(CacheKind::ConstL1), 21.0),
+                );
+                let groups =
+                    sharing_nv::sharing_groups(&mut gpu, &probes, quirks.flaky_l1_const_sharing);
+                for (kind, partners, confidence) in groups {
+                    rows.element_mut(kind).shared_with = if confidence == 0.0 {
+                        Attribute::Unavailable {
+                            reason: "sharing measurement unreliable on this microarchitecture"
+                                .into(),
+                        }
+                    } else {
+                        Attribute::Measured {
+                            value: SharingReport::Spaces(partners),
+                            confidence,
+                        }
+                    };
+                }
+            }
+        }
+
+        UnitKind::AmdVl1 => {
+            let m_vl1 = discover_cache_element(
+                &mut gpu,
+                cfg,
+                &mut rows,
+                &mut tally,
+                CacheKind::VL1,
+                MemorySpace::Vector,
+                LoadFlags::CACHE_ALL,
+                None,
+                None,
+                None,
+            );
+            if cfg.wants(CacheKind::VL1) {
+                discover_amount(
+                    &mut gpu,
+                    &mut rows,
+                    &mut tally,
+                    CacheKind::VL1,
+                    MemorySpace::Vector,
+                    m_vl1,
+                    true,
+                );
+            }
+            measured.push((CacheKind::VL1, m_vl1));
+        }
+
+        UnitKind::AmdSl1d => {
+            let m_sl1d = discover_cache_element(
+                &mut gpu,
+                cfg,
+                &mut rows,
+                &mut tally,
+                CacheKind::SL1D,
+                MemorySpace::Scalar,
+                LoadFlags::CACHE_ALL,
+                None,
+                None,
+                None,
+            );
+            // sL1d CU sharing (Sec. IV-H) rides in the same unit: it needs
+            // the sL1d geometry just measured.
+            if cfg.wants(CacheKind::SL1D) {
+                tally.bump();
+                let quirks = gpu.config.quirks;
+                let sh_cfg = CuSharingConfig {
+                    sl1d_size: m_sl1d.size.unwrap_or(16 * 1024),
+                    fetch_granularity: m_sl1d.fetch_granularity.unwrap_or(64),
+                    hit_latency: m_sl1d.hit_latency.unwrap_or(50.0),
+                    can_pin_cus: !quirks.no_cu_pinning,
+                };
+                let result = if cfg.cu_window > 0 {
+                    sharing_amd::run_windowed(&mut gpu, &sh_cfg, cfg.cu_window)
+                } else {
+                    sharing_amd::run(&mut gpu, &sh_cfg)
+                };
+                rows.element_mut(CacheKind::SL1D).shared_with = match result {
+                    CuSharingResult::Found { partners } => Attribute::Measured {
+                        value: SharingReport::CuPartners(partners),
+                        confidence: 1.0,
+                    },
+                    CuSharingResult::NoResult { reason } => Attribute::Unavailable { reason },
+                };
+            }
+            measured.push((CacheKind::SL1D, m_sl1d));
+        }
+
+        UnitKind::AmdL2 => {
+            // L2: sizes, line size and amount from APIs (HSA/KFD/XCD
+            // count); latency and fetch granularity benchmarked with GLC=1.
+            if cfg.wants(CacheKind::L2) {
+                if let Some(sizes) = api::hsa_cache_sizes(&gpu) {
+                    if let Some(&(_, l2)) = sizes.iter().find(|(k, _)| *k == CacheKind::L2) {
+                        rows.element_mut(CacheKind::L2).size = Attribute::FromApi { value: l2 };
+                    }
+                }
+                if let Some(lines) = api::kfd_cache_line_sizes(&gpu) {
+                    if let Some(&(_, line)) = lines.iter().find(|(k, _)| *k == CacheKind::L2) {
+                        rows.element_mut(CacheKind::L2).cache_line_bytes =
+                            Attribute::FromApi { value: line };
+                    }
+                }
+                if let Some(segs) = l2_segments::run(&mut gpu, 64, cfg.scan_points) {
+                    rows.element_mut(CacheKind::L2).amount = Attribute::FromApi {
+                        value: AmountReport {
+                            count: segs.count,
+                            scope: AmountScope::PerGpu,
+                        },
+                    };
+                }
+                tally.bump();
+                if let Some(lr) = latency::run(
+                    &mut gpu,
+                    &LatencyConfig::standard(MemorySpace::Vector, LoadFlags::CACHE_GLOBAL, 64),
+                ) {
+                    let mean = lr.mean;
+                    rows.element_mut(CacheKind::L2).load_latency = Attribute::Measured {
+                        value: lr,
+                        confidence: 1.0,
+                    };
+                    tally.bump();
+                    let fg_cfg = FetchGranularityConfig::new(
+                        MemorySpace::Vector,
+                        LoadFlags::CACHE_GLOBAL,
+                        mean,
+                    );
+                    if let Some((fg, conf)) = fetch_granularity::run(&mut gpu, &fg_cfg) {
+                        rows.element_mut(CacheKind::L2).fetch_granularity_bytes =
+                            Attribute::Measured {
+                                value: fg,
+                                confidence: conf,
+                            };
+                    }
+                }
+                if cfg.measure_bandwidth {
+                    tally.bump().bump();
+                    if let Some(bw) = bandwidth::run(&mut gpu, CacheKind::L2) {
+                        let e = rows.element_mut(CacheKind::L2);
+                        e.read_bandwidth_gibs = Attribute::Measured {
+                            value: bw.read_gibs,
+                            confidence: 0.9,
+                        };
+                        e.write_bandwidth_gibs = Attribute::Measured {
+                            value: bw.write_gibs,
+                            confidence: 0.9,
+                        };
+                    }
+                }
+            }
+        }
+
+        UnitKind::AmdL3 => {
+            // L3 (CDNA3): size/line/amount from APIs; load latency and
+            // fetch granularity are the paper's declared gaps; bandwidth
+            // measured.
+            if gpu.config.cache(CacheKind::L3).is_some() && cfg.wants(CacheKind::L3) {
+                if let Some(sizes) = api::hsa_cache_sizes(&gpu) {
+                    if let Some(&(_, l3)) = sizes.iter().find(|(k, _)| *k == CacheKind::L3) {
+                        rows.element_mut(CacheKind::L3).size = Attribute::FromApi { value: l3 };
+                    }
+                }
+                if let Some(lines) = api::kfd_cache_line_sizes(&gpu) {
+                    if let Some(&(_, line)) = lines.iter().find(|(k, _)| *k == CacheKind::L3) {
+                        rows.element_mut(CacheKind::L3).cache_line_bytes =
+                            Attribute::FromApi { value: line };
+                    }
+                }
+                if let Some(n) = api::l3_amount(&gpu) {
+                    rows.element_mut(CacheKind::L3).amount = Attribute::FromApi {
+                        value: AmountReport {
+                            count: n,
+                            scope: AmountScope::PerGpu,
+                        },
+                    };
+                }
+                let e = rows.element_mut(CacheKind::L3);
+                e.load_latency = Attribute::Unavailable {
+                    reason: "CDNA3 L3 latency benchmarking pending (paper future work)".into(),
+                };
+                e.fetch_granularity_bytes = Attribute::Unavailable {
+                    reason: "CDNA3 L3 fetch granularity benchmarking pending (paper future work)"
+                        .into(),
+                };
+                if cfg.measure_bandwidth {
+                    tally.bump().bump();
+                    if let Some(bw) = bandwidth::run(&mut gpu, CacheKind::L3) {
+                        let e = rows.element_mut(CacheKind::L3);
+                        e.read_bandwidth_gibs = Attribute::Measured {
+                            value: bw.read_gibs,
+                            confidence: 0.9,
+                        };
+                        e.write_bandwidth_gibs = Attribute::Measured {
+                            value: bw.write_gibs,
+                            confidence: 0.9,
+                        };
+                    }
+                }
+            }
+        }
+
+        UnitKind::AmdLds => {
+            if cfg.wants(CacheKind::Lds) {
+                let props = api::device_props(&gpu);
+                rows.element_mut(CacheKind::Lds).size = Attribute::FromApi {
+                    value: props.shared_mem_per_sm_bytes,
+                };
+                tally.bump();
+                if let Some(lr) = latency::run(
+                    &mut gpu,
+                    &LatencyConfig::standard(MemorySpace::Lds, LoadFlags::CACHE_ALL, 64),
+                ) {
+                    rows.element_mut(CacheKind::Lds).load_latency = Attribute::Measured {
+                        value: lr,
+                        confidence: 1.0,
+                    };
+                }
+            }
+        }
+
+        UnitKind::DeviceMem => {
+            if cfg.wants(CacheKind::DeviceMemory) {
+                let props = api::device_props(&gpu);
+                let space = match gpu.vendor() {
+                    Vendor::Nvidia => MemorySpace::Global,
+                    Vendor::Amd => MemorySpace::Vector,
+                };
+                rows.element_mut(CacheKind::DeviceMemory).size = Attribute::FromApi {
+                    value: props.total_mem_bytes,
+                };
+                tally.bump();
+                if let Some(lr) = latency::run(
+                    &mut gpu,
+                    &LatencyConfig::standard(space, LoadFlags::VOLATILE, 64),
+                ) {
+                    rows.element_mut(CacheKind::DeviceMemory).load_latency = Attribute::Measured {
+                        value: lr,
+                        confidence: 1.0,
+                    };
+                }
+                if cfg.measure_bandwidth {
+                    tally.bump().bump();
+                    if let Some(bw) = bandwidth::run(&mut gpu, CacheKind::DeviceMemory) {
+                        let e = rows.element_mut(CacheKind::DeviceMemory);
+                        e.read_bandwidth_gibs = Attribute::Measured {
+                            value: bw.read_gibs,
+                            confidence: 0.9,
+                        };
+                        e.write_bandwidth_gibs = Attribute::Measured {
+                            value: bw.write_gibs,
+                            confidence: 0.9,
+                        };
+                    }
+                }
+            }
+        }
+
+        UnitKind::Flops(dtype) => {
+            // Future-work extension: arithmetic throughput per datatype /
+            // engine.
+            tally.bump();
+            flops_entries.push(match flops::run(&mut gpu, dtype) {
+                Some(r) => FlopsEntry {
+                    dtype,
+                    achieved_gflops: Attribute::Measured {
+                        value: r.achieved_gflops,
+                        confidence: 0.9,
+                    },
+                    best_ilp: Some(r.best_ilp),
+                },
+                None => FlopsEntry {
+                    dtype,
+                    achieved_gflops: Attribute::Unavailable {
+                        reason: "engine not present on this microarchitecture".into(),
+                    },
+                    best_ilp: None,
+                },
+            });
+        }
+    }
+
+    UnitOutput {
+        elements: rows.0,
+        flops: flops_entries,
+        measured,
+        benchmarks_run: tally.0,
+        stats: gpu.stats(),
+    }
+}
+
+/// Latency + fetch-granularity + size + line size for one cacheable
+/// element; returns what later stages need.
+#[allow(clippy::too_many_arguments)]
+fn discover_cache_element(
+    gpu: &mut Gpu,
+    cfg: &DiscoveryConfig,
+    rows: &mut ElementRows,
+    tally: &mut Tally,
+    kind: CacheKind,
+    space: MemorySpace,
+    flags: LoadFlags,
+    latency_array_bytes: Option<u64>,
+    search_lo: Option<u64>,
+    search_cap: Option<u64>,
+) -> Measured {
+    let mut m = Measured::default();
+    if !cfg.wants(kind) {
+        return m;
+    }
+
+    // (1) Load latency, on a small fixed array (Sec. IV-C).
+    let mut lat_cfg = LatencyConfig::standard(space, flags, 64);
+    if let Some(bytes) = latency_array_bytes {
+        lat_cfg.array_bytes = bytes;
+        lat_cfg.stride_bytes = 64.min(bytes / 4).max(4);
+    }
+    tally.bump();
+    if let Some(lr) = latency::run(gpu, &lat_cfg) {
+        m.hit_latency = Some(lr.mean);
+        rows.element_mut(kind).load_latency = Attribute::Measured {
+            value: lr,
+            confidence: 1.0 - (lr.stats.std_dev / lr.stats.mean.max(1.0)).min(1.0),
+        };
+    }
+    let Some(hit_lat) = m.hit_latency else {
+        return m;
+    };
+
+    // (2) Fetch granularity (Sec. IV-D) — the size benchmark's step.
+    tally.bump();
+    let fg_cfg = FetchGranularityConfig::new(space, flags, hit_lat);
+    if let Some((fg, conf)) = fetch_granularity::run(gpu, &fg_cfg) {
+        m.fetch_granularity = Some(fg as u64);
+        rows.element_mut(kind).fetch_granularity_bytes = Attribute::Measured {
+            value: fg,
+            confidence: conf,
+        };
+    }
+    let fg = m.fetch_granularity.unwrap_or(32);
+
+    // (3) Size (Sec. IV-B).
+    let mut size_cfg = SizeConfig::new(space, flags, fg);
+    size_cfg.alpha = cfg.alpha;
+    size_cfg.record_n = cfg.record_n;
+    size_cfg.scan_points = cfg.scan_points;
+    if let Some(lo) = search_lo {
+        size_cfg.search_lo = lo;
+    }
+    if let Some(cap) = search_cap {
+        size_cfg.search_cap = cap;
+    }
+    if space == MemorySpace::Constant {
+        size_cfg.search_cap = size_cfg.search_cap.min(CONSTANT_ARRAY_LIMIT);
+    }
+    tally.bump();
+    match size::run(gpu, &size_cfg) {
+        SizeResult::Found {
+            bytes, confidence, ..
+        } => {
+            m.size = Some(bytes);
+            rows.element_mut(kind).size = Attribute::Measured {
+                value: bytes,
+                confidence,
+            };
+        }
+        SizeResult::ExceedsCap { cap } => {
+            rows.element_mut(kind).size = Attribute::AtLeast { value: cap };
+        }
+        SizeResult::NoResult { reason } => {
+            rows.element_mut(kind).size = Attribute::Unavailable { reason };
+        }
+    }
+
+    // (4) Cache line size (Sec. IV-E) — needs the size as input; the
+    // paper's CL1.5 footnote applies: no size, no line size.
+    tally.bump();
+    if let Some(size_bytes) = m.size {
+        let ls_cfg = LineSizeConfig::new(space, flags, size_bytes, fg, hit_lat);
+        rows.element_mut(kind).cache_line_bytes = match line_size::run(gpu, &ls_cfg) {
+            Some((line, conf)) => Attribute::Measured {
+                value: line,
+                confidence: conf,
+            },
+            None => Attribute::Unavailable {
+                reason: "line-size scan inconclusive".into(),
+            },
+        };
+    } else {
+        rows.element_mut(kind).cache_line_bytes = Attribute::Unavailable {
+            reason: "cache size unavailable (input to the line-size benchmark)".into(),
+        };
+    }
+    m
+}
+
+/// Amount benchmark wrapper (Sec. IV-F).
+fn discover_amount(
+    gpu: &mut Gpu,
+    rows: &mut ElementRows,
+    tally: &mut Tally,
+    kind: CacheKind,
+    space: MemorySpace,
+    m: Measured,
+    schedulable: bool,
+) {
+    let (Some(size), Some(fg), Some(lat)) = (m.size, m.fetch_granularity, m.hit_latency) else {
+        rows.element_mut(kind).amount = Attribute::Unavailable {
+            reason: "size/granularity/latency prerequisites missing".into(),
+        };
+        return;
+    };
+    tally.bump();
+    let a_cfg = AmountConfig {
+        space,
+        flags: LoadFlags::CACHE_ALL,
+        cache_size: size,
+        fetch_granularity: fg,
+        target_hit_latency: lat,
+        schedulable,
+    };
+    rows.element_mut(kind).amount = match amount::run(gpu, &a_cfg) {
+        AmountResult::Found { count, .. } => Attribute::Measured {
+            value: AmountReport {
+                count,
+                scope: AmountScope::PerSm,
+            },
+            confidence: 1.0,
+        },
+        AmountResult::NoResult { reason } => Attribute::Unavailable { reason },
+    };
+}

@@ -1,0 +1,139 @@
+//! Determinism suite for the plan/execute/merge architecture: the `mt4g`
+//! binary must emit byte-identical JSON reports no matter how the
+//! discovery plan is scheduled — sequentially (`--jobs 1`), across
+//! threads (`--jobs 4`), or split into shards merged back together.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mt4g() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mt4g"))
+}
+
+fn run_stdout(args: &[&str]) -> String {
+    let out = mt4g().args(args).output().expect("mt4g runs");
+    assert!(
+        out.status.success(),
+        "mt4g {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mt4g-determinism-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs a full sequential discovery of `gpu`, then an n-way shard split
+/// merged back through `mt4g merge`, and asserts byte identity.
+fn assert_shards_merge_byte_identical(gpu: &str, shards: usize) {
+    let base = ["--gpu", gpu, "--fast", "-q"];
+    let sequential = run_stdout(&[&base[..], &["--jobs", "1"]].concat());
+
+    let dir = temp_dir(&format!("shards-{gpu}"));
+    let mut shard_files: Vec<PathBuf> = Vec::new();
+    for i in 1..=shards {
+        let spec = format!("{i}/{shards}");
+        let partial = run_stdout(&[&base[..], &["--shard", &spec]].concat());
+        let path = dir.join(format!("shard{i}.partial.json"));
+        std::fs::write(&path, partial).unwrap();
+        shard_files.push(path);
+    }
+    let mut merge_args: Vec<&str> = vec!["merge"];
+    let file_args: Vec<String> = shard_files
+        .iter()
+        .map(|p| p.to_str().unwrap().to_string())
+        .collect();
+    merge_args.extend(file_args.iter().map(String::as_str));
+    merge_args.push("-q");
+    let merged = run_stdout(&merge_args);
+    assert_eq!(
+        sequential, merged,
+        "{gpu}: merged shards must reproduce the unsharded report bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--jobs 1`, `--jobs 4`, and a merged 3-way shard split of the same
+/// fast T1000 run all produce byte-identical reports.
+#[test]
+fn jobs_and_shards_emit_byte_identical_reports() {
+    let base = ["--gpu", "T1000", "--fast", "-q"];
+    let sequential = run_stdout(&[&base[..], &["--jobs", "1"]].concat());
+    let parallel = run_stdout(&[&base[..], &["--jobs", "4"]].concat());
+    assert_eq!(
+        sequential, parallel,
+        "--jobs must not change the report bytes"
+    );
+    assert_shards_merge_byte_identical("T1000", 3);
+}
+
+/// The merged row order must survive on the one preset with an L3 row
+/// (MI300X): `has_l3` travels inside the partials, since device names
+/// are not preset short names.
+#[test]
+fn mi300x_l3_row_order_survives_merge() {
+    assert_shards_merge_byte_identical("MI300X", 2);
+}
+
+/// A shard emits a parseable partial report whose unit results are a
+/// strict subset of the plan, and an incomplete shard set refuses to
+/// merge with a clear error.
+#[test]
+fn incomplete_shard_sets_are_rejected() {
+    let dir = temp_dir("incomplete");
+    let partial = run_stdout(&["--gpu", "T1000", "--fast", "-q", "--shard", "1/2"]);
+    let parsed = mt4g_core::suite::partial_from_json(&partial).expect("valid partial JSON");
+    assert_eq!(parsed.shard_index, 1);
+    assert_eq!(parsed.shard_count, 2);
+    assert!(parsed.results.len() < parsed.plan_len);
+
+    let path = dir.join("only-half.partial.json");
+    std::fs::write(&path, &partial).unwrap();
+    let out = mt4g()
+        .args(["merge", path.to_str().unwrap(), "-q"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("covered by no partial"),
+        "missing-units error expected"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shards of different configurations (full vs `--only`-restricted plans)
+/// must not merge.
+#[test]
+fn mismatched_shards_are_rejected() {
+    let dir = temp_dir("mismatch");
+    let a = run_stdout(&["--gpu", "T1000", "--fast", "-q", "--shard", "1/2"]);
+    let b = run_stdout(&[
+        "--gpu", "T1000", "--fast", "-q", "--only", "cl1", "--shard", "2/2",
+    ]);
+    let pa = dir.join("a.partial.json");
+    let pb = dir.join("b.partial.json");
+    std::fs::write(&pa, a).unwrap();
+    std::fs::write(&pb, b).unwrap();
+    let out = mt4g()
+        .args(["merge", pa.to_str().unwrap(), pb.to_str().unwrap(), "-q"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bad `--shard` specs fail fast with exit code 2.
+#[test]
+fn invalid_shard_specs_fail() {
+    for spec in ["0/3", "4/3", "1-3", "x/y", "3"] {
+        let out = mt4g()
+            .args(["--gpu", "T1000", "--fast", "-q", "--shard", spec])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "spec {spec} should be rejected");
+    }
+}

@@ -15,6 +15,19 @@
 //! * [`syssage`] — a sys-sage-style component tree with dynamic MIG
 //!   overlays, answering Fig. 5's "what L2 do I actually see?"
 //!   (Sec. VI-C).
+//!
+//! # Paper map
+//!
+//! | Paper reference | Module |
+//! |---|---|
+//! | Sec. VI-A, Eqs. (3)–(4) Hong–Kim CWP/MWP | [`hongkim`] |
+//! | Sec. VI-B GPUscout integration, Fig. 4 memory graph | [`gpuscout`] |
+//! | Sec. VI-C sys-sage integration, Fig. 5 MIG views | [`syssage`] |
+//! | Roofline extension from MT4G bandwidths | [`roofline`] |
+//!
+//! Every model consumes the [`mt4g_core::report::Report`] produced by the
+//! discovery suite — including reports reassembled from CI shards with
+//! `mt4g merge`, which are byte-identical to single-process runs.
 
 #![warn(missing_docs)]
 

@@ -86,6 +86,7 @@ pub struct Gpu {
     mem: MemorySubsystem,
     noise: NoiseModel,
     rng: ChaCha8Rng,
+    seed: u64,
     buffers: Vec<Buffer>,
     next_base: u64,
     allocated: u64,
@@ -106,6 +107,7 @@ impl Gpu {
             mem,
             noise: NoiseModel::DEFAULT,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
             buffers: Vec::new(),
             next_base: 0x1_0000, // leave a null guard page
             allocated: 0,
@@ -113,6 +115,23 @@ impl Gpu {
             stats: GpuStats::default(),
             config,
         }
+    }
+
+    /// The base RNG seed this GPU was constructed with.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forks an independent, pristine device for one unit of parallel
+    /// work: same ground-truth configuration and noise model, fresh caches
+    /// / buffers / counters, and an RNG seeded from the base seed and
+    /// `stream`. Forking the same stream always yields the same device, so
+    /// work units executed concurrently, sequentially, or in different
+    /// shard processes observe bit-identical noise.
+    pub fn fork(&self, stream: u64) -> Gpu {
+        let mut forked = Gpu::with_seed(self.config.clone(), stream_seed(self.seed, stream));
+        forked.noise = self.noise;
+        forked
     }
 
     /// Replaces the noise model (e.g. [`NoiseModel::NONE`] in unit tests).
@@ -319,6 +338,17 @@ impl Gpu {
     }
 }
 
+/// Derives the RNG seed of a fork stream: a splitmix64 finalizer over the
+/// base seed and the stream id, so nearby stream ids produce uncorrelated
+/// ChaCha8 seeds.
+fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +360,37 @@ mod tests {
         let mut gpu = Gpu::new(presets::h100_80().config);
         gpu.set_noise(NoiseModel::NONE);
         gpu
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut gpu = Gpu::new(presets::h100_80().config);
+        // Perturb the parent: forks must not depend on parent state.
+        let _ = gpu.alloc(MemorySpace::Global, 4096).unwrap();
+        let _ = gpu.raw_load(0, 0, MemorySpace::Global, LoadFlags::CACHE_ALL, 0x1_0000);
+        let run = |g: &mut Gpu| {
+            let buf = g.alloc(MemorySpace::Global, 4096).unwrap();
+            let n = g.init_pchase(buf, 4096, 32);
+            let kernel = KernelBuilder::pchase_kernel(
+                Vendor::Nvidia,
+                g.buffer_base(buf),
+                32,
+                n,
+                256,
+                MemorySpace::Global,
+                LoadFlags::CACHE_ALL,
+                true,
+            );
+            g.launch(0, 0, &kernel, 256).records
+        };
+        let a = run(&mut gpu.fork(7));
+        let b = run(&mut gpu.fork(7));
+        let c = run(&mut gpu.fork(8));
+        assert_eq!(a, b, "same stream, same results");
+        assert_ne!(a, c, "different streams see different noise");
+        // The fork stream is derived from the base seed, not the parent's
+        // RNG position.
+        assert_eq!(gpu.fork(7).base_seed(), gpu.fork(7).base_seed());
     }
 
     #[test]

@@ -19,6 +19,25 @@
 //! * [`mig`] — NVIDIA Multi-Instance-GPU partitioning views,
 //! * [`presets`] — ground-truth configurations for the ten GPUs of the
 //!   paper's Table II, with their documented quirks ([`quirks`]).
+//!
+//! # Paper map
+//!
+//! | Paper reference | Module |
+//! |---|---|
+//! | Sec. III-A/B vendor query APIs, Table I availability | [`api`] |
+//! | Sec. IV-A p-chase PTX / AMDGCN listings | [`isa`] (mini kernel ISA) |
+//! | Sectored caches the Sec. IV-D/E benchmarks exploit | [`cache`] |
+//! | Unified L1/TEX/RO, CL1→CL1.5, segmented L2, sL1d groups | [`hierarchy`] |
+//! | Table II validation GPUs + planted ground truth | [`presets`] |
+//! | Sec. V quirks (unschedulable warps, no CU pinning, ...) | [`quirks`] |
+//! | Measurement jitter + outlier spikes the K-S test defeats | [`noise`] |
+//!
+//! # Parallel discovery
+//!
+//! [`gpu::Gpu::fork`] clones a pristine device with a derived RNG stream;
+//! the discovery suite forks one GPU per independent work unit so the
+//! whole run parallelises across threads (or CI shards) without changing
+//! a single measured value. See `ARCHITECTURE.md` at the workspace root.
 
 #![warn(missing_docs)]
 

@@ -20,8 +20,22 @@
 //!
 //! Everything is `no_std`-agnostic pure Rust over `f64` slices, fully
 //! deterministic, and independently unit- and property-tested.
+//!
+//! # Paper map
+//!
+//! | Paper reference | Module |
+//! |---|---|
+//! | Eq. (1), K-S critical value `c(α)·√((n+m)/(n·m))` | [`ks`] |
+//! | Eq. (2), geometric-mapping reduction (Grundy et al.) | [`reduction`] |
+//! | Sec. II-C change-point detection survey | [`cpd`] (K-S, CUSUM, CvM, PELT, BinSeg) |
+//! | Sec. IV-B workflow step (3), outlier removal | [`outliers`] |
+//! | Sec. IV-C "average + a set of statistical values" | [`descriptive`] |
+//!
+//! This crate pilots `#![deny(missing_docs)]` for the workspace: every
+//! public item must carry rustdoc, and `cargo doc --no-deps` is kept
+//! warning-free in CI.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cpd;
 pub mod descriptive;

@@ -85,8 +85,12 @@ fn main() {
         .into_par_iter()
         .map(|mut gpu| {
             let cfg = gpu.config.clone();
+            // One discovery unit thread per run: this example already
+            // fans out across the ten GPUs, so the suite-level `--jobs`
+            // parallelism would only oversubscribe the cores.
             let dcfg = DiscoveryConfig {
                 cu_window: 4,
+                jobs: 1,
                 ..DiscoveryConfig::thorough()
             };
             let report = run_discovery(&mut gpu, &dcfg);

@@ -6,18 +6,26 @@
 //! complete statistical evaluation pipeline can run — and be validated
 //! against planted ground truth — on any machine, without GPU hardware.
 //!
-//! The workspace is organised as four library crates, re-exported here:
+//! The workspace is organised as five library crates, four of them
+//! re-exported here (the fifth, `mt4g_bench`, holds the paper's
+//! table/figure harnesses):
 //!
-//! * [`stats`] — Kolmogorov–Smirnov testing, change-point detection, the
-//!   geometric reduction of Eq. (2), outlier handling.
+//! * [`stats`] — Kolmogorov–Smirnov testing (Eq. 1), change-point
+//!   detection, the geometric reduction of Eq. (2), outlier handling.
 //! * [`sim`] — the GPU simulator: sectored set-associative caches, memory
 //!   spaces, a mini kernel ISA with a cycle clock, vendor API emulation, and
 //!   presets for the ten GPUs of the paper's Table II.
 //! * [`core`] — the MT4G tool itself: the p-chase engine, all benchmark
-//!   families of Section IV, and the report model.
+//!   families of Section IV, the plan/execute/merge discovery suite
+//!   (`--jobs` / `--shard` / `mt4g merge`), and the report model.
 //! * [`model`] — the Section VI use cases: the Hong-Kim CWP/MWP performance
 //!   model, a roofline model, a sys-sage-style dynamic topology with MIG, and
 //!   GPUscout-style bottleneck analysis.
+//!
+//! The end-to-end pipeline (substrate → p-chase → Eq. 2 reduction → Eq. 1
+//! K-S change-point detection → report) and the parallel discovery
+//! architecture are documented in `ARCHITECTURE.md` at the repository
+//! root.
 //!
 //! ## Quickstart
 //!

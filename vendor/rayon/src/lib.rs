@@ -1,12 +1,149 @@
 //! Offline vendored mini-rayon.
 //!
-//! Exposes rayon's `prelude` entry points (`into_par_iter`, `par_iter`)
-//! backed by `std::thread` scoped parallelism: the input is split into one
-//! chunk per available core, each chunk is mapped on its own thread, and
-//! results are returned in order. Only the `map(..).collect()` shape MT4G
-//! uses is implemented; other adaptors can be added as needed.
+//! Exposes the rayon entry points MT4G uses, backed by `std::thread`
+//! scoped parallelism:
+//!
+//! * [`prelude`] — `into_par_iter` / `par_iter` with the
+//!   `map(..).collect()` shape. Work is distributed over an atomic work
+//!   queue (one index at a time), so heterogeneous item costs load-balance
+//!   across workers; results are always collected in input order.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — `num_threads` control with
+//!   rayon's `pool.install(|| ...)` idiom. The limit applies to every
+//!   `collect` that runs inside the installed closure (the discovery
+//!   executor's `--jobs N`).
+//! * [`scope`] — rayon-style scoped spawning for callers that need raw
+//!   tasks instead of a parallel iterator.
+//!
+//! Only the APIs in use are implemented; other adaptors can be added as
+//! needed.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count limit installed by [`ThreadPool::install`] on the
+    /// calling thread; `0` means "use all available cores".
+    static POOL_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a `collect` started on this thread would
+/// use for an arbitrarily large input: the installed pool limit, or the
+/// machine's available parallelism outside any pool.
+pub fn current_num_threads() -> usize {
+    let limit = POOL_LIMIT.with(Cell::get);
+    if limit != 0 {
+        return limit;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] (the subset of rayon's builder MT4G
+/// needs: `num_threads`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (all available cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `num_threads` workers; `0` restores the default.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim; the `Result` mirrors
+    /// rayon's signature so call sites stay swap-compatible.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] — never produced by the
+/// shim, present for signature parity with real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mini-rayon thread pool construction cannot fail")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle carrying a thread-count limit. Unlike real rayon there are no
+/// persistent workers; the limit is applied to the scoped threads each
+/// `collect` spawns while `install` is on the stack.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread limit installed on the current
+    /// thread (restored on exit, including on panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_LIMIT.with(|l| l.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_LIMIT.with(|l| l.replace(self.num_threads)));
+        f()
+    }
+
+    /// The effective worker count of this pool (`num_threads`, or the
+    /// available parallelism when unlimited).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A rayon-style scope: tasks spawned on it may borrow from the enclosing
+/// stack frame and are all joined before [`scope`] returns.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on its own scoped thread. The closure receives the scope
+    /// again so tasks can spawn further tasks, like real rayon.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let copy = *self;
+        self.scope.spawn(move || f(&copy));
+    }
+}
+
+/// Creates a scope for spawning borrowing tasks; returns once every
+/// spawned task has completed.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { scope: s }))
+}
 
 /// A "parallel iterator" over an owned list of items. Adaptors are lazy;
 /// [`ParIter::collect`] runs the mapped pipeline across threads.
@@ -41,44 +178,61 @@ impl<T: Send> ParIter<T> {
 
 impl<T: Send, F> ParMap<T, F> {
     /// Runs the map across threads and collects results in input order.
+    ///
+    /// Items are handed out through an atomic work queue, so expensive
+    /// items don't serialise behind a static chunking decision. The number
+    /// of workers is the innermost [`ThreadPool::install`] limit, else the
+    /// available parallelism, capped by the item count.
     pub fn collect<U, C>(self) -> C
     where
         F: Fn(T) -> U + Sync,
         U: Send,
         C: FromIterator<U>,
     {
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(self.items.len().max(1));
+        let len = self.items.len();
+        let threads = current_num_threads().min(len.max(1));
         let f = &self.f;
         if threads <= 1 {
             return self.items.into_iter().map(f).collect();
         }
-        let chunk_size = self.items.len().div_ceil(threads);
-        // Consume the items into per-thread chunks, preserving order.
-        let mut chunks: Vec<Vec<T>> = Vec::new();
-        let mut current = Vec::with_capacity(chunk_size);
-        for item in self.items {
-            current.push(item);
-            if current.len() == chunk_size {
-                chunks.push(std::mem::take(&mut current));
-            }
-        }
-        if !current.is_empty() {
-            chunks.push(current);
-        }
-        let mut mapped: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        // Each item sits in its own slot; workers claim the next index and
+        // take the item out. A Mutex per slot is negligible next to the
+        // work each item represents.
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            let item = slots[i]
+                                .lock()
+                                .expect("mini-rayon slot poisoned")
+                                .take()
+                                .expect("mini-rayon item claimed twice");
+                            local.push((i, f(item)));
+                        }
+                        local
+                    })
+                })
                 .collect();
             for handle in handles {
-                mapped.push(handle.join().expect("mini-rayon worker panicked"));
+                per_worker.push(handle.join().expect("mini-rayon worker panicked"));
             }
         });
-        mapped.into_iter().flatten().collect()
+        let mut indexed: Vec<(usize, U)> = per_worker.into_iter().flatten().collect();
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, u)| u).collect()
     }
 }
 
@@ -131,6 +285,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -144,5 +299,55 @@ mod tests {
         let v = vec![1u32, 2, 3];
         let sum: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
         assert_eq!(sum, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn install_caps_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let max_seen = Mutex::new(0usize);
+        let live = AtomicUsize::new(0);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            let v: Vec<u32> = (0..64).collect();
+            let _: Vec<u32> = v
+                .into_par_iter()
+                .map(|x| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    {
+                        let mut m = max_seen.lock().unwrap();
+                        *m = (*m).max(now);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    x
+                })
+                .collect();
+        });
+        assert!(*max_seen.lock().unwrap() <= 2, "limit not respected");
+    }
+
+    #[test]
+    fn install_restores_limit_after_exit() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn scope_joins_borrowing_tasks() {
+        let results = Mutex::new(Vec::new());
+        let results_ref = &results;
+        scope(|s| {
+            for i in 0..8 {
+                s.spawn(move |_| {
+                    results_ref.lock().unwrap().push(i);
+                });
+            }
+        });
+        let mut got = results.into_inner().unwrap();
+        got.sort();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
     }
 }
