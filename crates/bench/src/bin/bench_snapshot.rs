@@ -1,0 +1,130 @@
+//! Quick-mode wall-clock snapshot of the `cache_sim` and `pchase_sim`
+//! workloads, written as JSON so CI can record the perf trajectory
+//! (`BENCH_pr<N>.json` at the workspace root) without parsing Criterion
+//! output.
+//!
+//! ```text
+//! cargo run --release -p mt4g_bench --bin bench_snapshot [out.json [baseline.json]]
+//! ```
+//!
+//! Each entry reports nanoseconds per element (cache access / chased
+//! load), the best of a few repetitions of the exact loops the Criterion
+//! benches time. When a `baseline.json` written by an earlier run is
+//! given, each entry also records the baseline and the speedup factor.
+//! This is a *snapshot*, not a statistical benchmark: the CI job that
+//! runs it must fail on build errors only, never on regressions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mt4g_core::pchase::{run_pchase_with_overhead, PchaseConfig};
+use mt4g_sim::cache::{SectoredCache, FULLY_ASSOCIATIVE};
+use mt4g_sim::device::{LoadFlags, MemorySpace};
+use mt4g_sim::presets;
+
+/// Times `iters` repetitions of `f` and returns the best ns/element.
+fn best_ns_per_elem(iters: u32, elements: u64, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        let ns = t.elapsed().as_nanos() as f64 / elements as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn cache_workloads(out: &mut Vec<(String, f64)>) {
+    let configs: [(&str, u64, u32); 3] = [
+        ("l1_238k_fa", 238 * 1024, FULLY_ASSOCIATIVE),
+        ("l2_25m_fa", 25 * 1024 * 1024, FULLY_ASSOCIATIVE),
+        ("l1_238k_4way", 238 * 1024, 4),
+    ];
+    let accesses = 16_384u64;
+    for (label, size, ways) in configs {
+        let seq = best_ns_per_elem(5, accesses, || {
+            let mut cache = SectoredCache::new(size, 128, 32, ways);
+            let mut acc = 0u64;
+            for i in 0..accesses {
+                acc += cache.access(black_box(i * 32)).is_hit() as u64;
+            }
+            acc
+        });
+        out.push((format!("cache_access/sequential/{label}"), seq));
+        let wrap = size + 128;
+        let thrash = best_ns_per_elem(5, accesses, || {
+            let mut cache = SectoredCache::new(size, 128, 32, ways);
+            let mut acc = 0u64;
+            for i in 0..accesses {
+                acc += cache.access(black_box((i * 32) % wrap)).is_hit() as u64;
+            }
+            acc
+        });
+        out.push((format!("cache_access/thrash/{label}"), thrash));
+    }
+}
+
+fn pchase_workloads(out: &mut Vec<(String, f64)>) {
+    for (label, array_bytes) in [("8KiB", 8192u64), ("128KiB", 131072), ("1MiB", 1 << 20)] {
+        let mut gpu = presets::h100_80();
+        let cfg =
+            PchaseConfig::sequential(MemorySpace::Global, LoadFlags::CACHE_ALL, array_bytes, 32);
+        let ns = best_ns_per_elem(5, array_bytes / 32, || {
+            gpu.free_all();
+            gpu.flush_caches();
+            let run = run_pchase_with_overhead(black_box(&mut gpu), &cfg, 8.0).unwrap();
+            run.latencies.len() as u64
+        });
+        out.push((format!("pchase_run/warm_l1_path/{label}"), ns));
+    }
+}
+
+/// Pulls `"name": { "ns_per_element": N ... }` out of a previous
+/// snapshot. Line-oriented on purpose: this bin has no JSON dependency
+/// and only ever reads its own output format.
+fn baseline_ns(baseline: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let line = baseline.lines().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"ns_per_element\":").nth(1)?;
+    rest.trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let baseline = std::env::args()
+        .nth(2)
+        .map(|p| std::fs::read_to_string(&p).expect("read baseline snapshot"));
+    let mut results: Vec<(String, f64)> = Vec::new();
+    cache_workloads(&mut results);
+    pchase_workloads(&mut results);
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let extra = baseline
+            .as_deref()
+            .and_then(|b| baseline_ns(b, name))
+            .map(|base| {
+                format!(
+                    ", \"baseline_ns_per_element\": {base:.2}, \"speedup\": {:.2}",
+                    base / ns
+                )
+            })
+            .unwrap_or_default();
+        json.push_str(&format!(
+            "  \"{name}\": {{ \"ns_per_element\": {ns:.2}{extra} }}{comma}\n"
+        ));
+        eprintln!("{name}: {ns:.2} ns/elem{extra}");
+    }
+    json.push_str("}\n");
+    match out_path {
+        Some(p) => std::fs::write(&p, &json).expect("write snapshot"),
+        None => print!("{json}"),
+    }
+}

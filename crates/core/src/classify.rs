@@ -42,6 +42,28 @@ impl HitMissClassifier {
         }
     }
 
+    /// Builds a *strict* classifier that only accepts the target level's
+    /// own latency stratum: margin `max(15, 0.15 * hit_latency)` cycles.
+    ///
+    /// The default margin of [`Self::for_hit_latency`] is generous because
+    /// adjacent levels are usually far apart (L1 38 vs L2 220 cycles on
+    /// H100) — but it breaks down when a *deeper* level sits near
+    /// 1.5× the target latency. The MI300X is the concrete case: its L3
+    /// answers L2 misses at 480 cycles, exactly `320 + 0.5 × 320`, so the
+    /// wide margin classified L3 hits as L2 hits and the fetch-granularity
+    /// scan saw phantom target-level hits (see
+    /// [`crate::benchmarks::fetch_granularity`]). Measurement jitter is a
+    /// few cycles (`NoiseModel::DEFAULT` jitter σ = 2), so a 15 % stratum
+    /// around a *measured* reference latency is still conservative while
+    /// separating levels as close as 1.3× apart.
+    pub fn for_target_stratum(hit_latency: f64) -> Self {
+        HitMissClassifier {
+            hit_latency,
+            margin: (0.15 * hit_latency).max(15.0),
+            decisive_fraction: 0.9,
+        }
+    }
+
     /// Whether a single latency is a target-level hit.
     pub fn is_hit(&self, latency: f64) -> bool {
         latency <= self.hit_latency + self.margin
@@ -123,5 +145,26 @@ mod tests {
     fn empty_sample_counts_as_no_hits() {
         let c = HitMissClassifier::for_hit_latency(38.0);
         assert_eq!(c.hit_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn strict_stratum_rejects_close_deeper_level() {
+        // MI300X geometry: L2 at 320, L3 at 480 = exactly 1.5x. The wide
+        // default margin calls an L3 hit an L2 hit; the strict stratum
+        // must not.
+        let wide = HitMissClassifier::for_hit_latency(320.0);
+        assert!(wide.is_hit(480.0), "documents the failure mode");
+        let strict = HitMissClassifier::for_target_stratum(320.0);
+        assert!(strict.is_hit(320.0));
+        assert!(strict.is_hit(326.0), "jitter-sized excursions still hit");
+        assert!(!strict.is_hit(480.0), "the next level is not a hit");
+    }
+
+    #[test]
+    fn strict_stratum_keeps_low_latency_floor() {
+        // Small latencies keep the absolute 15-cycle floor.
+        let c = HitMissClassifier::for_target_stratum(38.0);
+        assert!(c.is_hit(50.0));
+        assert!(!c.is_hit(220.0));
     }
 }

@@ -57,6 +57,7 @@ pub mod lookup;
 pub mod pchase;
 pub mod report;
 pub mod suite;
+pub mod validate;
 
 pub use report::{Attribute, Report};
 pub use suite::{run_discovery, DiscoveryConfig};

@@ -14,8 +14,8 @@
 //! are comparable across vendors.
 
 use mt4g_sim::device::{LoadFlags, MemorySpace, Vendor};
-use mt4g_sim::gpu::{AllocError, Gpu};
-use mt4g_sim::isa::{Instr, Kernel, KernelBuilder};
+use mt4g_sim::gpu::{AllocError, Gpu, PchaseBatch};
+use mt4g_sim::isa::{Instr, KernelBuilder};
 
 /// Configuration of one p-chase run.
 #[derive(Debug, Clone, Copy)]
@@ -141,17 +141,24 @@ pub fn run_pchase_with_overhead(
     } else {
         (cfg.record_n as u64).min(elements).max(1)
     };
-    let kernel: Kernel = KernelBuilder::pchase_kernel(
-        gpu.vendor(),
-        gpu.buffer_base(buf),
-        cfg.stride_bytes,
-        elements,
-        timed_steps,
-        cfg.space,
-        cfg.flags,
-        cfg.warmup,
+    // The batched executor is bit-identical to interpreting
+    // `KernelBuilder::pchase_kernel` (pinned by tests in `mt4g_sim::gpu`)
+    // but skips the per-instruction dispatch — this is the simulation's
+    // hottest loop.
+    let run = gpu.pchase_batch(
+        cfg.sm,
+        cfg.core,
+        &PchaseBatch {
+            base: gpu.buffer_base(buf),
+            elem_bytes: cfg.stride_bytes,
+            n_elems: elements,
+            timed_steps,
+            space: cfg.space,
+            flags: cfg.flags,
+            warmup: cfg.warmup,
+        },
+        cfg.record_n,
     );
-    let run = gpu.launch(cfg.sm, cfg.core, &kernel, cfg.record_n);
     let latencies = run
         .records
         .iter()
@@ -201,15 +208,19 @@ pub fn warm(
     sm: usize,
     core: usize,
 ) {
-    let kernel = KernelBuilder::pchase_warm_kernel(
-        gpu.vendor(),
-        buf.base,
-        buf.stride_bytes,
-        buf.elements,
-        space,
-        flags,
+    gpu.pchase_warm_batch(
+        sm,
+        core,
+        &PchaseBatch {
+            base: buf.base,
+            elem_bytes: buf.stride_bytes,
+            n_elems: buf.elements,
+            timed_steps: 0,
+            space,
+            flags,
+            warmup: true,
+        },
     );
-    gpu.launch(sm, core, &kernel, 0);
 }
 
 /// Timed observation pass over a prepared buffer (no warm-up), issued from
@@ -226,15 +237,20 @@ pub fn observe(
     overhead: f64,
 ) -> Vec<f64> {
     let steps = (record_n as u64).min(buf.elements).max(1);
-    let kernel = KernelBuilder::pchase_timed_kernel(
-        gpu.vendor(),
-        buf.base,
-        buf.stride_bytes,
-        steps,
-        space,
-        flags,
+    let run = gpu.pchase_timed_batch(
+        sm,
+        core,
+        &PchaseBatch {
+            base: buf.base,
+            elem_bytes: buf.stride_bytes,
+            n_elems: buf.elements,
+            timed_steps: steps,
+            space,
+            flags,
+            warmup: false,
+        },
+        record_n,
     );
-    let run = gpu.launch(sm, core, &kernel, record_n);
     run.records
         .iter()
         .map(|&r| (r as f64 - overhead).max(1.0))

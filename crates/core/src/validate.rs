@@ -1,0 +1,89 @@
+//! Ground-truth validation of a discovery [`Report`] against the planted
+//! [`DeviceConfig`] — the paper's Section V check, shared by
+//! `examples/discover_all.rs` and the `validation_matrix` integration test
+//! that gates CI on zero mismatches.
+
+use mt4g_sim::device::{CacheKind, DeviceConfig};
+
+use crate::report::{Attribute, Report};
+
+/// Outcome of validating one report against its planted ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct Validation {
+    /// Number of attributes with both a measured value and a ground truth.
+    pub checked: u32,
+    /// Number of checked attributes that disagreed.
+    pub mismatches: u32,
+    /// One human-readable line per mismatch.
+    pub notes: Vec<String>,
+}
+
+impl Validation {
+    fn mismatch(&mut self, note: String) {
+        self.mismatches += 1;
+        self.notes.push(note);
+    }
+}
+
+/// Checks every discovered attribute of `report` that has planted ground
+/// truth in `cfg`: cache sizes, line sizes, fetch granularities and load
+/// latencies (within a 5-cycle tolerance for the noisy means).
+pub fn validate_against(report: &Report, cfg: &DeviceConfig) -> Validation {
+    let mut v = Validation::default();
+    for m in &report.memory {
+        let spec = cfg.cache(m.kind);
+        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.size) {
+            v.checked += 1;
+            if *value != spec.size {
+                v.mismatch(format!(
+                    "{}: size {} vs planted {}",
+                    m.kind.label(),
+                    value,
+                    spec.size
+                ));
+            }
+        }
+        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.cache_line_bytes) {
+            v.checked += 1;
+            if *value != spec.line_size {
+                v.mismatch(format!(
+                    "{}: line {} vs {}",
+                    m.kind.label(),
+                    value,
+                    spec.line_size
+                ));
+            }
+        }
+        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.fetch_granularity_bytes)
+        {
+            v.checked += 1;
+            if *value != spec.fetch_granularity {
+                v.mismatch(format!(
+                    "{}: fetch granularity {} vs {}",
+                    m.kind.label(),
+                    value,
+                    spec.fetch_granularity
+                ));
+            }
+        }
+        if let Attribute::Measured { value, .. } = &m.load_latency {
+            let truth = match m.kind {
+                CacheKind::SharedMemory | CacheKind::Lds => Some(cfg.scratchpad.load_latency),
+                CacheKind::DeviceMemory => Some(cfg.dram.load_latency),
+                k => cfg.cache(k).map(|s| s.load_latency),
+            };
+            if let Some(truth) = truth {
+                v.checked += 1;
+                if (value.mean - truth as f64).abs() > 5.0 {
+                    v.mismatch(format!(
+                        "{}: latency {:.1} vs {}",
+                        m.kind.label(),
+                        value.mean,
+                        truth
+                    ));
+                }
+            }
+        }
+    }
+    v
+}

@@ -1,4 +1,5 @@
-//! Sectored cache model with true-LRU replacement.
+//! Sectored cache model with true-LRU replacement, backed by a flat tag
+//! store.
 //!
 //! This is the structure whose performance cliffs every MT4G benchmark
 //! exploits:
@@ -21,8 +22,32 @@
 //! access. The **set-associative** one reproduces the paper's Fig. 1
 //! boundary behaviour, where sizes just past the capacity see a *mix* of
 //! hits and misses because only the overflowing sets thrash.
+//!
+//! # The flat tag store
+//!
+//! Both organisations live in contiguous storage with no per-access
+//! allocation — this is the simulation's hottest loop (millions of
+//! pointer-chase loads per discovery), so the data layout matters:
+//!
+//! * **Set-associative**: one `Vec` of packed `{tag, valid_sectors,
+//!   last_use}` slots laid out as `num_sets × ways` way-groups. The set
+//!   index is a bitmask when the set count is a power of two (the common
+//!   case) and a modulo otherwise; lookup and true-LRU victim selection
+//!   are a timestamp scan within one way-group.
+//! * **Fully associative**: an open-addressed index (linear probing,
+//!   backward-shift deletion, deterministic splitmix64 hashing) mapping
+//!   line addresses to a slot arena threaded with an intrusive
+//!   doubly-linked recency list — O(1) lookup, O(1) true-LRU eviction.
+//!   The arena grows lazily up to the line capacity, so huge caches
+//!   (e.g. a 256 MiB L3) cost memory proportional to their *resident*
+//!   lines, and eviction recycles slots in place.
+//!
+//! Replacement is exact true-LRU in both organisations; the retained
+//! [`mod@reference`] implementation plus the differential property test in
+//! `crates/sim/tests/prop.rs` pin the flat store to the original
+//! behaviour access-for-access.
 
-use std::collections::{BTreeMap, HashMap};
+pub mod reference;
 
 use crate::device::CacheSpec;
 
@@ -47,39 +72,251 @@ impl Access {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Line {
+/// One packed tag-store slot. `valid_sectors == 0` marks an empty slot in
+/// the set-associative organisation (a resident line always has at least
+/// the sector it was allocated for).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
     tag: u64,
-    /// Valid bit per sector. Lines have at most 64 sectors by construction.
     valid_sectors: u64,
-    /// Monotonic timestamp of last use, for LRU.
     last_use: u64,
 }
 
-#[derive(Debug, Clone)]
-struct FaLine {
+const EMPTY_SLOT: Slot = Slot {
+    tag: 0,
+    valid_sectors: 0,
+    last_use: 0,
+};
+
+/// Sentinel for "no slot" in the open-addressed index and recency links.
+const NIL: u32 = u32::MAX;
+
+/// A fully-associative slot: the packed tag triple plus intrusive recency
+/// links (`prev` towards LRU, `next` towards MRU).
+#[derive(Debug, Clone, Copy)]
+struct FaSlot {
+    tag: u64,
     valid_sectors: u64,
     last_use: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Open-addressed line-address index + slot arena + recency list.
+#[derive(Debug)]
+struct FlatLru {
+    capacity_lines: u64,
+    /// Open-addressed table of arena indices (`NIL` = empty bucket).
+    index: Vec<u32>,
+    /// `index.len() - 1`; the table length is always a power of two.
+    index_mask: u64,
+    /// Slot arena; grows lazily to `capacity_lines`, then recycles.
+    slots: Vec<FaSlot>,
+    /// Least-recently-used slot (eviction victim), `NIL` when empty.
+    head: u32,
+    /// Most-recently-used slot, `NIL` when empty.
+    tail: u32,
+}
+
+/// Deterministic 64-bit finalizer (splitmix64) — the probe start of a line
+/// address. Seedless on purpose: the simulation must be bit-reproducible.
+#[inline]
+fn hash_line(line_addr: u64) -> u64 {
+    let mut z = line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FlatLru {
+    fn new(capacity_lines: u64) -> Self {
+        FlatLru {
+            capacity_lines,
+            index: vec![NIL; 64],
+            index_mask: 63,
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Probe-finds the arena index of `line_addr`, if resident.
+    #[inline]
+    fn find(&self, line_addr: u64) -> Option<u32> {
+        let mut pos = hash_line(line_addr) & self.index_mask;
+        loop {
+            let slot = self.index[pos as usize];
+            if slot == NIL {
+                return None;
+            }
+            if self.slots[slot as usize].tag == line_addr {
+                return Some(slot);
+            }
+            pos = (pos + 1) & self.index_mask;
+        }
+    }
+
+    /// Inserts `line_addr -> slot` (caller guarantees the key is absent
+    /// and the table has a free bucket).
+    #[inline]
+    fn index_insert(&mut self, line_addr: u64, slot: u32) {
+        let mut pos = hash_line(line_addr) & self.index_mask;
+        while self.index[pos as usize] != NIL {
+            pos = (pos + 1) & self.index_mask;
+        }
+        self.index[pos as usize] = slot;
+    }
+
+    /// Removes `line_addr` from the index with backward-shift deletion, so
+    /// probe chains stay gap-free without tombstones.
+    fn index_remove(&mut self, line_addr: u64) {
+        let mask = self.index_mask;
+        let mut pos = hash_line(line_addr) & mask;
+        while {
+            let slot = self.index[pos as usize];
+            debug_assert_ne!(slot, NIL, "removing a key that is not present");
+            self.slots[slot as usize].tag != line_addr
+        } {
+            pos = (pos + 1) & mask;
+        }
+        // `pos` holds the doomed entry; shift later chain members back.
+        let mut hole = pos;
+        let mut probe = pos;
+        loop {
+            probe = (probe + 1) & mask;
+            let slot = self.index[probe as usize];
+            if slot == NIL {
+                break;
+            }
+            let home = hash_line(self.slots[slot as usize].tag) & mask;
+            // The entry can fill the hole iff the hole lies on its probe
+            // path, i.e. dist(home, hole) <= dist(home, probe).
+            let dist_hole = hole.wrapping_sub(home) & mask;
+            let dist_probe = probe.wrapping_sub(home) & mask;
+            if dist_hole <= dist_probe {
+                self.index[hole as usize] = slot;
+                hole = probe;
+            }
+        }
+        self.index[hole as usize] = NIL;
+    }
+
+    /// Doubles the index table when it is half full, rehashing every
+    /// resident slot. Amortised and rare; the steady state allocates
+    /// nothing per access.
+    fn maybe_grow_index(&mut self) {
+        if (self.slots.len() as u64 + 1) * 2 <= self.index.len() as u64 {
+            return;
+        }
+        let new_len = (self.index.len() * 2).max(64);
+        self.index = vec![NIL; new_len];
+        self.index_mask = new_len as u64 - 1;
+        for i in 0..self.slots.len() {
+            let tag = self.slots[i].tag;
+            let mut pos = hash_line(tag) & self.index_mask;
+            while self.index[pos as usize] != NIL {
+                pos = (pos + 1) & self.index_mask;
+            }
+            self.index[pos as usize] = i as u32;
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Appends `slot` at the MRU end of the recency list.
+    #[inline]
+    fn push_tail(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.prev = self.tail;
+        s.next = NIL;
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.slots[self.tail as usize].next = slot;
+        }
+        self.tail = slot;
+    }
+
+    #[inline]
+    fn touch(&mut self, slot: u32, tick: u64) {
+        if self.tail != slot {
+            self.unlink(slot);
+            self.push_tail(slot);
+        }
+        self.slots[slot as usize].last_use = tick;
+    }
+
+    /// Allocates a slot for a new line: recycles the LRU victim when full,
+    /// otherwise grows the arena. Returns the arena index.
+    fn allocate(&mut self, line_addr: u64, sector_bit: u64, tick: u64) -> u32 {
+        let slot = if (self.slots.len() as u64) < self.capacity_lines {
+            self.maybe_grow_index();
+            let idx = self.slots.len() as u32;
+            self.slots.push(FaSlot {
+                tag: line_addr,
+                valid_sectors: sector_bit,
+                last_use: tick,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        } else {
+            let victim = self.head;
+            debug_assert_ne!(victim, NIL, "full cache implies an LRU victim");
+            let victim_tag = self.slots[victim as usize].tag;
+            self.index_remove(victim_tag);
+            self.unlink(victim);
+            let s = &mut self.slots[victim as usize];
+            s.tag = line_addr;
+            s.valid_sectors = sector_bit;
+            s.last_use = tick;
+            victim
+        };
+        self.index_insert(line_addr, slot);
+        self.push_tail(slot);
+        slot
+    }
+
+    fn flush(&mut self) {
+        self.index.iter_mut().for_each(|b| *b = NIL);
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
 }
 
 #[derive(Debug)]
 enum Organization {
     SetAssociative {
-        sets: Vec<Vec<Line>>,
+        /// `num_sets × ways` packed slots, one way-group per set.
+        slots: Vec<Slot>,
         num_sets: u64,
+        /// `Some(num_sets - 1)` when the set count is a power of two.
+        set_mask: Option<u64>,
         ways: u32,
     },
-    FullyAssociative {
-        /// line address -> state
-        lines: HashMap<u64, FaLine>,
-        /// last_use tick -> line address (LRU order; ticks are unique)
-        lru: BTreeMap<u64, u64>,
-        capacity_lines: u64,
-    },
+    FullyAssociative(FlatLru),
 }
 
 /// A sectored cache with LRU replacement (see module docs for the two
-/// organisations).
+/// organisations and the flat tag store backing them).
 #[derive(Debug)]
 pub struct SectoredCache {
     line_size: u64,
@@ -127,11 +364,7 @@ impl SectoredCache {
         );
         let total_lines = size / line_size;
         let org = if ways as u64 >= total_lines {
-            Organization::FullyAssociative {
-                lines: HashMap::new(),
-                lru: BTreeMap::new(),
-                capacity_lines: total_lines,
-            }
+            Organization::FullyAssociative(FlatLru::new(total_lines))
         } else {
             let mut ways = ways.max(1) as u64;
             while !total_lines.is_multiple_of(ways) {
@@ -139,8 +372,9 @@ impl SectoredCache {
             }
             let num_sets = total_lines / ways;
             Organization::SetAssociative {
-                sets: vec![Vec::new(); num_sets as usize],
+                slots: vec![EMPTY_SLOT; total_lines as usize],
                 num_sets,
+                set_mask: num_sets.is_power_of_two().then(|| num_sets - 1),
                 ways: ways as u32,
             }
         };
@@ -161,9 +395,7 @@ impl SectoredCache {
             Organization::SetAssociative { num_sets, ways, .. } => {
                 num_sets * *ways as u64 * self.line_size
             }
-            Organization::FullyAssociative { capacity_lines, .. } => {
-                capacity_lines * self.line_size
-            }
+            Organization::FullyAssociative(fa) => fa.capacity_lines * self.line_size,
         }
     }
 
@@ -171,9 +403,7 @@ impl SectoredCache {
     pub fn ways(&self) -> u32 {
         match &self.org {
             Organization::SetAssociative { ways, .. } => *ways,
-            Organization::FullyAssociative { capacity_lines, .. } => {
-                (*capacity_lines).min(u32::MAX as u64) as u32
-            }
+            Organization::FullyAssociative(fa) => fa.capacity_lines.min(u32::MAX as u64) as u32,
         }
     }
 
@@ -181,7 +411,7 @@ impl SectoredCache {
     pub fn num_sets(&self) -> u64 {
         match &self.org {
             Organization::SetAssociative { num_sets, .. } => *num_sets,
-            Organization::FullyAssociative { .. } => 1,
+            Organization::FullyAssociative(_) => 1,
         }
     }
 
@@ -199,15 +429,10 @@ impl SectoredCache {
     /// Invalidates all contents (and keeps the counters).
     pub fn flush(&mut self) {
         match &mut self.org {
-            Organization::SetAssociative { sets, .. } => {
-                for set in sets {
-                    set.clear();
-                }
+            Organization::SetAssociative { slots, .. } => {
+                slots.iter_mut().for_each(|s| s.valid_sectors = 0);
             }
-            Organization::FullyAssociative { lines, lru, .. } => {
-                lines.clear();
-                lru.clear();
-            }
+            Organization::FullyAssociative(fa) => fa.flush(),
         }
     }
 
@@ -217,6 +442,7 @@ impl SectoredCache {
     /// if full) and fetches exactly the sector containing `addr` — one
     /// fetch transaction. A [`Access::SectorMiss`] fetches the missing
     /// sector into the already-present line.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> Access {
         self.tick += 1;
         let tick = self.tick;
@@ -225,70 +451,66 @@ impl SectoredCache {
 
         let result = match &mut self.org {
             Organization::SetAssociative {
-                sets,
+                slots,
                 num_sets,
+                set_mask,
                 ways,
-                ..
             } => {
-                let set_idx = (line_addr % *num_sets) as usize;
-                let tag = line_addr / *num_sets;
-                let set = &mut sets[set_idx];
-                if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-                    line.last_use = tick;
-                    if line.valid_sectors & sector_bit != 0 {
+                let set_idx = match set_mask {
+                    Some(mask) => line_addr & *mask,
+                    None => line_addr % *num_sets,
+                };
+                let group = &mut slots
+                    [(set_idx * *ways as u64) as usize..((set_idx + 1) * *ways as u64) as usize];
+                // Hot case first: a plain tag scan of the way-group
+                // (empty slots have `valid_sectors == 0` and never match).
+                let found = group
+                    .iter()
+                    .position(|s| s.valid_sectors != 0 && s.tag == line_addr);
+                if let Some(i) = found {
+                    let slot = &mut group[i];
+                    slot.last_use = tick;
+                    if slot.valid_sectors & sector_bit != 0 {
                         Access::Hit
                     } else {
-                        line.valid_sectors |= sector_bit;
+                        slot.valid_sectors |= sector_bit;
                         Access::SectorMiss
                     }
                 } else {
-                    if set.len() >= *ways as usize {
-                        let lru = set
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, l)| l.last_use)
-                            .map(|(i, _)| i)
-                            .expect("non-empty set");
-                        set.swap_remove(lru);
+                    // Miss: a second timestamp scan picks the first free
+                    // slot or the true-LRU victim.
+                    let mut dst = 0usize;
+                    let mut dst_use = u64::MAX;
+                    for (i, slot) in group.iter().enumerate() {
+                        if slot.valid_sectors == 0 {
+                            dst = i;
+                            break;
+                        }
+                        if slot.last_use < dst_use {
+                            dst_use = slot.last_use;
+                            dst = i;
+                        }
                     }
-                    set.push(Line {
-                        tag,
+                    group[dst] = Slot {
+                        tag: line_addr,
                         valid_sectors: sector_bit,
                         last_use: tick,
-                    });
+                    };
                     Access::LineMiss
                 }
             }
-            Organization::FullyAssociative {
-                lines,
-                lru,
-                capacity_lines,
-            } => {
-                if let Some(state) = lines.get_mut(&line_addr) {
-                    lru.remove(&state.last_use);
-                    state.last_use = tick;
-                    lru.insert(tick, line_addr);
-                    if state.valid_sectors & sector_bit != 0 {
+            Organization::FullyAssociative(fa) => {
+                if let Some(slot) = fa.find(line_addr) {
+                    fa.touch(slot, tick);
+                    let s = &mut fa.slots[slot as usize];
+                    if s.valid_sectors & sector_bit != 0 {
                         Access::Hit
                     } else {
-                        state.valid_sectors |= sector_bit;
+                        s.valid_sectors |= sector_bit;
                         Access::SectorMiss
                     }
                 } else {
-                    if lines.len() as u64 >= *capacity_lines {
-                        let (&victim_tick, &victim_line) =
-                            lru.iter().next().expect("cache full implies LRU entry");
-                        lru.remove(&victim_tick);
-                        lines.remove(&victim_line);
-                    }
-                    lines.insert(
-                        line_addr,
-                        FaLine {
-                            valid_sectors: sector_bit,
-                            last_use: tick,
-                        },
-                    );
-                    lru.insert(tick, line_addr);
+                    fa.allocate(line_addr, sector_bit, tick);
                     Access::LineMiss
                 }
             }
@@ -307,16 +529,27 @@ impl SectoredCache {
         let line_addr = addr / self.line_size;
         let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
         match &self.org {
-            Organization::SetAssociative { sets, num_sets, .. } => {
-                let set_idx = (line_addr % *num_sets) as usize;
-                let tag = line_addr / *num_sets;
-                sets[set_idx]
+            Organization::SetAssociative {
+                slots,
+                num_sets,
+                set_mask,
+                ways,
+            } => {
+                let set_idx = match set_mask {
+                    Some(mask) => line_addr & *mask,
+                    None => line_addr % *num_sets,
+                };
+                slots[(set_idx * *ways as u64) as usize..((set_idx + 1) * *ways as u64) as usize]
                     .iter()
-                    .any(|l| l.tag == tag && l.valid_sectors & sector_bit != 0)
+                    .any(|s| {
+                        s.valid_sectors != 0
+                            && s.tag == line_addr
+                            && s.valid_sectors & sector_bit != 0
+                    })
             }
-            Organization::FullyAssociative { lines, .. } => lines
-                .get(&line_addr)
-                .map(|s| s.valid_sectors & sector_bit != 0)
+            Organization::FullyAssociative(fa) => fa
+                .find(line_addr)
+                .map(|slot| fa.slots[slot as usize].valid_sectors & sector_bit != 0)
                 .unwrap_or(false),
         }
     }
@@ -370,6 +603,19 @@ mod tests {
         let c = SectoredCache::new(192, 64, 64, 2);
         assert_eq!(c.ways(), 1);
         assert_eq!(c.capacity(), 192);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_still_maps_all_lines() {
+        // 6 lines, 2 ways -> 3 sets: the modulo (non-bitmask) path.
+        let mut c = SectoredCache::new(384, 64, 64, 2);
+        assert_eq!(c.num_sets(), 3);
+        for i in 0..6u64 {
+            assert_eq!(c.access(i * 64), Access::LineMiss);
+        }
+        for i in 0..6u64 {
+            assert_eq!(c.access(i * 64), Access::Hit, "line {i}");
+        }
     }
 
     #[test]
@@ -538,6 +784,24 @@ mod tests {
         c.access(16 * 64); // one over
         let resident = (0..17u64).filter(|&i| c.probe(i * 64)).count();
         assert_eq!(resident, 16);
+    }
+
+    #[test]
+    fn fa_index_survives_growth_and_eviction_churn() {
+        // Enough distinct lines to force several index doublings, then a
+        // thrashing pass to exercise backward-shift deletion.
+        let mut c = SectoredCache::new(1 << 16, 64, 64, FULLY_ASSOCIATIVE); // 1024 lines
+        for round in 0..3u64 {
+            for i in 0..2048u64 {
+                c.access((round * 2048 + i) * 64);
+            }
+        }
+        // The last 1024 distinct lines are resident, nothing else.
+        let resident = (0..3 * 2048u64).filter(|&i| c.probe(i * 64)).count();
+        assert_eq!(resident, 1024);
+        for i in (3 * 2048 - 1024)..(3 * 2048u64) {
+            assert!(c.probe(i * 64), "line {i} must be resident");
+        }
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! The original `Vec<Vec<Line>>` / `HashMap`+`BTreeMap` sectored-cache
+//! implementation, retained verbatim as a differential-testing oracle.
+//!
+//! The flat tag store in [`super`] must produce *bit-identical* behaviour
+//! — the same [`Access`] sequence, hit/miss counters and residency for any
+//! access stream — because every measured value of the simulator flows
+//! through it. The property test `flat_store_matches_reference` in
+//! `crates/sim/tests/prop.rs` drives both implementations with random
+//! streams and asserts equivalence; keep this module in sync with nothing:
+//! it is frozen on purpose.
+
+use std::collections::{BTreeMap, HashMap};
+
+use super::Access;
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    /// Valid bit per sector. Lines have at most 64 sectors by construction.
+    valid_sectors: u64,
+    /// Monotonic timestamp of last use, for LRU.
+    last_use: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FaLine {
+    valid_sectors: u64,
+    last_use: u64,
+}
+
+#[derive(Debug)]
+enum Organization {
+    SetAssociative {
+        sets: Vec<Vec<Line>>,
+        num_sets: u64,
+        ways: u32,
+    },
+    FullyAssociative {
+        /// line address -> state
+        lines: HashMap<u64, FaLine>,
+        /// last_use tick -> line address (LRU order; ticks are unique)
+        lru: BTreeMap<u64, u64>,
+        capacity_lines: u64,
+    },
+}
+
+/// The pre-flat-store sectored cache (true-LRU, two organisations) — see
+/// the module docs for why it is kept.
+#[derive(Debug)]
+pub struct ReferenceSectoredCache {
+    line_size: u64,
+    sector_size: u64,
+    org: Organization,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReferenceSectoredCache {
+    /// Builds a cache with explicit geometry; same contract as
+    /// [`super::SectoredCache::new`].
+    pub fn new(size: u64, line_size: u64, sector_size: u64, ways: u32) -> Self {
+        assert!(size > 0 && line_size > 0 && sector_size > 0);
+        assert_eq!(
+            size % line_size,
+            0,
+            "cache size {size} must be a multiple of the line size {line_size}"
+        );
+        assert_eq!(
+            line_size % sector_size,
+            0,
+            "line size {line_size} must be a multiple of the sector size {sector_size}"
+        );
+        let sectors_per_line = (line_size / sector_size) as u32;
+        assert!(
+            sectors_per_line <= 64,
+            "at most 64 sectors per line supported"
+        );
+        let total_lines = size / line_size;
+        let org = if ways as u64 >= total_lines {
+            Organization::FullyAssociative {
+                lines: HashMap::new(),
+                lru: BTreeMap::new(),
+                capacity_lines: total_lines,
+            }
+        } else {
+            let mut ways = ways.max(1) as u64;
+            while !total_lines.is_multiple_of(ways) {
+                ways -= 1;
+            }
+            let num_sets = total_lines / ways;
+            Organization::SetAssociative {
+                sets: vec![Vec::new(); num_sets as usize],
+                num_sets,
+                ways: ways as u32,
+            }
+        };
+        ReferenceSectoredCache {
+            line_size,
+            sector_size,
+            org,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether the fully-associative organisation was selected.
+    pub fn is_fully_associative(&self) -> bool {
+        matches!(self.org, Organization::FullyAssociative { .. })
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Invalidates all contents (and keeps the counters).
+    pub fn flush(&mut self) {
+        match &mut self.org {
+            Organization::SetAssociative { sets, .. } => {
+                for set in sets {
+                    set.clear();
+                }
+            }
+            Organization::FullyAssociative { lines, lru, .. } => {
+                lines.clear();
+                lru.clear();
+            }
+        }
+    }
+
+    /// Performs an access at byte address `addr`, allocating on miss —
+    /// the original algorithm, verbatim.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.tick += 1;
+        let tick = self.tick;
+        let line_addr = addr / self.line_size;
+        let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
+
+        let result = match &mut self.org {
+            Organization::SetAssociative {
+                sets,
+                num_sets,
+                ways,
+                ..
+            } => {
+                let set_idx = (line_addr % *num_sets) as usize;
+                let tag = line_addr / *num_sets;
+                let set = &mut sets[set_idx];
+                if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+                    line.last_use = tick;
+                    if line.valid_sectors & sector_bit != 0 {
+                        Access::Hit
+                    } else {
+                        line.valid_sectors |= sector_bit;
+                        Access::SectorMiss
+                    }
+                } else {
+                    if set.len() >= *ways as usize {
+                        let lru = set
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.last_use)
+                            .map(|(i, _)| i)
+                            .expect("non-empty set");
+                        set.swap_remove(lru);
+                    }
+                    set.push(Line {
+                        tag,
+                        valid_sectors: sector_bit,
+                        last_use: tick,
+                    });
+                    Access::LineMiss
+                }
+            }
+            Organization::FullyAssociative {
+                lines,
+                lru,
+                capacity_lines,
+            } => {
+                if let Some(state) = lines.get_mut(&line_addr) {
+                    lru.remove(&state.last_use);
+                    state.last_use = tick;
+                    lru.insert(tick, line_addr);
+                    if state.valid_sectors & sector_bit != 0 {
+                        Access::Hit
+                    } else {
+                        state.valid_sectors |= sector_bit;
+                        Access::SectorMiss
+                    }
+                } else {
+                    if lines.len() as u64 >= *capacity_lines {
+                        let (&victim_tick, &victim_line) =
+                            lru.iter().next().expect("cache full implies LRU entry");
+                        lru.remove(&victim_tick);
+                        lines.remove(&victim_line);
+                    }
+                    lines.insert(
+                        line_addr,
+                        FaLine {
+                            valid_sectors: sector_bit,
+                            last_use: tick,
+                        },
+                    );
+                    lru.insert(tick, line_addr);
+                    Access::LineMiss
+                }
+            }
+        };
+        if result.is_hit() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        result
+    }
+
+    /// Peeks whether `addr`'s sector is resident without touching LRU or
+    /// allocating.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / self.line_size;
+        let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
+        match &self.org {
+            Organization::SetAssociative { sets, num_sets, .. } => {
+                let set_idx = (line_addr % *num_sets) as usize;
+                let tag = line_addr / *num_sets;
+                sets[set_idx]
+                    .iter()
+                    .any(|l| l.tag == tag && l.valid_sectors & sector_bit != 0)
+            }
+            Organization::FullyAssociative { lines, .. } => lines
+                .get(&line_addr)
+                .map(|s| s.valid_sectors & sector_bit != 0)
+                .unwrap_or(false),
+        }
+    }
+}

@@ -41,6 +41,27 @@ pub struct LaunchResult {
     pub cycles: u64,
 }
 
+/// Descriptor of a batched p-chase execution — the native fast path that
+/// replaces interpreting `KernelBuilder::pchase_kernel` instruction by
+/// instruction. Field semantics mirror the kernel builder's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PchaseBatch {
+    /// Device base address of the chase array.
+    pub base: u64,
+    /// Stride between consecutive chase elements, in bytes.
+    pub elem_bytes: u64,
+    /// Number of elements in the chase ring.
+    pub n_elems: u64,
+    /// Number of timed steps to execute.
+    pub timed_steps: u64,
+    /// Logical memory space of the loads.
+    pub space: MemorySpace,
+    /// Cache-policy flags.
+    pub flags: LoadFlags,
+    /// Whether to run the untimed warm-up pass over the whole ring first.
+    pub warmup: bool,
+}
+
 /// Aggregate counters, used for the run-time accounting of Sec. V-A.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GpuStats {
@@ -239,6 +260,126 @@ impl Gpu {
         self.cycle += lat as u64;
         self.stats.loads_executed += 1;
         (res, lat)
+    }
+
+    /// Executes a p-chase natively — the batched-load fast path.
+    ///
+    /// Cycle-for-cycle, record-for-record and RNG-draw-for-RNG-draw
+    /// equivalent to `launch(KernelBuilder::pchase_kernel(..))`, but
+    /// without building an instruction vector or paying the interpreter's
+    /// per-instruction dispatch: the warm-up and timed loops run as tight
+    /// native loops over the memory hierarchy. The equivalence is pinned
+    /// by the `pchase_batch_*_matches_interpreter` tests below.
+    pub fn pchase_batch(
+        &mut self,
+        sm: usize,
+        core: usize,
+        batch: &PchaseBatch,
+        max_records: usize,
+    ) -> LaunchResult {
+        assert!(batch.n_elems > 0 && batch.timed_steps > 0);
+        // MovImm preamble: base (+1); warm-up addr+counter (+2) when
+        // warming; timed addr+counter (+2).
+        let preamble = if batch.warmup { 5 } else { 3 };
+        let warm_steps = if batch.warmup { batch.n_elems } else { 0 };
+        self.pchase_exec(
+            sm,
+            core,
+            batch,
+            warm_steps,
+            batch.timed_steps,
+            preamble,
+            max_records,
+        )
+    }
+
+    /// Native equivalent of `launch(KernelBuilder::pchase_warm_kernel(..))`:
+    /// one untimed pass over the whole chase array.
+    ///
+    /// Consumes `base`, `elem_bytes`, `n_elems`, `space` and `flags` of
+    /// `batch`; the warm kernel has no timed loop, so `timed_steps` and
+    /// `warmup` are ignored (mirroring `pchase_warm_kernel`, which takes
+    /// neither parameter).
+    pub fn pchase_warm_batch(&mut self, sm: usize, core: usize, batch: &PchaseBatch) {
+        assert!(batch.n_elems > 0);
+        self.pchase_exec(sm, core, batch, batch.n_elems, 0, 3, 0);
+    }
+
+    /// Native equivalent of `launch(KernelBuilder::pchase_timed_kernel(..))`:
+    /// `timed_steps` timed steps with no warm-up.
+    ///
+    /// Consumes `base`, `elem_bytes`, `timed_steps`, `space` and `flags`
+    /// of `batch`; the timed kernel never warms and never wraps a ring,
+    /// so `warmup` and `n_elems` are ignored (mirroring
+    /// `pchase_timed_kernel`, which takes neither parameter).
+    pub fn pchase_timed_batch(
+        &mut self,
+        sm: usize,
+        core: usize,
+        batch: &PchaseBatch,
+        max_records: usize,
+    ) -> LaunchResult {
+        assert!(batch.timed_steps > 0);
+        self.pchase_exec(sm, core, batch, 0, batch.timed_steps, 3, max_records)
+    }
+
+    /// Shared body of the batched p-chase entry points. `preamble_alu` is
+    /// the number of `MovImm` setup instructions the equivalent kernel
+    /// executes; they cost [`ALU_COST`] each and never sit between the two
+    /// clock reads, so summing them up front keeps the cycle accounting
+    /// identical to the interpreter's.
+    #[allow(clippy::too_many_arguments)]
+    fn pchase_exec(
+        &mut self,
+        sm: usize,
+        core: usize,
+        batch: &PchaseBatch,
+        warm_steps: u64,
+        timed_steps: u64,
+        preamble_alu: u64,
+        max_records: usize,
+    ) -> LaunchResult {
+        let start_cycle = self.cycle;
+        self.stats.kernels_launched += 1;
+        self.cycle += preamble_alu * ALU_COST;
+        let overhead = self.config.clock_overhead_cycles as u64;
+        // AMD timed steps are preceded by two `s_waitcnt` fences *outside*
+        // the clocked window (see `KernelBuilder::pchase_timed_step`).
+        let pre_fences = if self.config.vendor == Vendor::Amd {
+            2 * ALU_COST
+        } else {
+            0
+        };
+
+        let mut records = Vec::with_capacity(max_records.min(4096));
+        let mut addr = batch.base;
+        // Warm-up pass: Load + MulImm + Add + BranchDecNz per element.
+        for _ in 0..warm_steps {
+            let res = self.mem.load(sm, core, batch.space, batch.flags, addr);
+            let lat = self.noise.sample(&mut self.rng, res.latency);
+            self.cycle += lat as u64 + 3 * ALU_COST;
+            self.stats.loads_executed += 1;
+            let idx = self.read_mem(addr) as u64;
+            addr = batch.base + idx * batch.elem_bytes;
+        }
+        // Timed pass, restarting from element 0: per step
+        // [fences;] clock; load; store/fences; clock; sub; record; mul; add;
+        // branch — the recorded value is `latency + store cost + overhead`.
+        addr = batch.base;
+        for _ in 0..timed_steps {
+            let res = self.mem.load(sm, core, batch.space, batch.flags, addr);
+            let lat = self.noise.sample(&mut self.rng, res.latency);
+            self.cycle += pre_fences + 2 * overhead + lat as u64 + STORE_SHARED_COST + 4 * ALU_COST;
+            self.stats.loads_executed += 1;
+            if records.len() < max_records {
+                records.push((lat as u64 + STORE_SHARED_COST + overhead) as u32);
+            }
+            let idx = self.read_mem(addr) as u64;
+            addr = batch.base + idx * batch.elem_bytes;
+        }
+        let cycles = self.cycle - start_cycle;
+        self.stats.total_cycles += cycles;
+        LaunchResult { records, cycles }
     }
 
     /// Launches `kernel` on (`sm`, `core`), recording at most `max_records`
@@ -536,6 +677,127 @@ mod tests {
         );
         let run = gpu.launch(0, 0, &kernel, 5);
         assert_eq!(run.records.len(), 5);
+    }
+
+    /// Runs the same full p-chase through the instruction interpreter and
+    /// the batched executor on identically-forked GPUs and asserts
+    /// bit-identical records, cycles and statistics — the contract that
+    /// lets `mt4g_core::pchase` switch to the batch API without changing
+    /// a single measured value.
+    fn assert_batch_matches_interpreter(gpu: &Gpu, space: MemorySpace, flags: LoadFlags) {
+        let setup = |g: &mut Gpu| {
+            let buf = g.alloc(space, 8192).unwrap();
+            let n = g.init_pchase(buf, 8192, 32);
+            (g.buffer_base(buf), n)
+        };
+        for warmup in [true, false] {
+            let mut a = gpu.fork(99);
+            let mut b = gpu.fork(99);
+            let (base_a, n) = setup(&mut a);
+            let (base_b, _) = setup(&mut b);
+            assert_eq!(base_a, base_b);
+            let kernel = KernelBuilder::pchase_kernel(
+                gpu.vendor(),
+                base_a,
+                32,
+                n,
+                200,
+                space,
+                flags,
+                warmup,
+            );
+            let want = a.launch(0, 0, &kernel, 128);
+            let got = b.pchase_batch(
+                0,
+                0,
+                &PchaseBatch {
+                    base: base_b,
+                    elem_bytes: 32,
+                    n_elems: n,
+                    timed_steps: 200,
+                    space,
+                    flags,
+                    warmup,
+                },
+                128,
+            );
+            assert_eq!(want, got, "warmup={warmup}");
+            assert_eq!(a.stats(), b.stats(), "warmup={warmup}");
+            assert_eq!(a.elapsed_cycles(), b.elapsed_cycles(), "warmup={warmup}");
+            // The RNG streams must also be position-identical: a further
+            // identical run on both devices stays in lockstep.
+            let w2 = a.launch(0, 0, &kernel, 128);
+            let g2 = b.launch(0, 0, &kernel, 128);
+            assert_eq!(w2, g2, "post-run RNG positions diverged");
+        }
+    }
+
+    #[test]
+    fn pchase_batch_nvidia_matches_interpreter() {
+        let gpu = Gpu::new(presets::h100_80().config);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Global, LoadFlags::CACHE_ALL);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Global, LoadFlags::CACHE_GLOBAL);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Global, LoadFlags::VOLATILE);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Constant, LoadFlags::CACHE_ALL);
+    }
+
+    #[test]
+    fn pchase_batch_amd_matches_interpreter() {
+        let gpu = Gpu::new(presets::mi300x().config);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Vector, LoadFlags::CACHE_ALL);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Vector, LoadFlags::CACHE_GLOBAL);
+        assert_batch_matches_interpreter(&gpu, MemorySpace::Scalar, LoadFlags::CACHE_ALL);
+    }
+
+    #[test]
+    fn pchase_warm_and_timed_batches_match_interpreter() {
+        for cfg in [presets::h100_80().config, presets::mi210().config] {
+            let gpu = Gpu::new(cfg);
+            let space = match gpu.vendor() {
+                Vendor::Nvidia => MemorySpace::Global,
+                Vendor::Amd => MemorySpace::Vector,
+            };
+            let mut a = gpu.fork(5);
+            let mut b = gpu.fork(5);
+            let buf_a = a.alloc(space, 4096).unwrap();
+            let buf_b = b.alloc(space, 4096).unwrap();
+            let n = a.init_pchase(buf_a, 4096, 64);
+            b.init_pchase(buf_b, 4096, 64);
+            let base = a.buffer_base(buf_a);
+            let batch = PchaseBatch {
+                base,
+                elem_bytes: 64,
+                n_elems: n,
+                timed_steps: 48,
+                space,
+                flags: LoadFlags::CACHE_ALL,
+                warmup: false,
+            };
+            let warm_kernel = KernelBuilder::pchase_warm_kernel(
+                gpu.vendor(),
+                base,
+                64,
+                n,
+                space,
+                LoadFlags::CACHE_ALL,
+            );
+            a.launch(0, 0, &warm_kernel, 0);
+            b.pchase_warm_batch(0, 0, &batch);
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.elapsed_cycles(), b.elapsed_cycles());
+            let timed_kernel = KernelBuilder::pchase_timed_kernel(
+                gpu.vendor(),
+                base,
+                64,
+                48,
+                space,
+                LoadFlags::CACHE_ALL,
+            );
+            let want = a.launch(0, 0, &timed_kernel, 32);
+            let got = b.pchase_timed_batch(0, 0, &batch, 32);
+            assert_eq!(want, got);
+            assert_eq!(a.stats(), b.stats());
+        }
     }
 
     #[test]

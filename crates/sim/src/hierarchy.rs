@@ -29,6 +29,53 @@ pub struct LoadResolution {
     pub first_level_hit: bool,
 }
 
+/// Which physical cache instance a [`PathStep`] touches — a stable index
+/// into the subsystem's instance vectors, resolved once per route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheRef {
+    L1(u32),
+    Tex(u32),
+    Ro(u32),
+    ConstL1(u32),
+    ConstL15,
+    Vl1(u32),
+    Sl1d(u32),
+    L2(u32),
+    L3,
+}
+
+/// One pre-resolved level of a load path: everything `load` needs besides
+/// the cache lookup itself.
+#[derive(Debug, Clone, Copy)]
+struct PathStep {
+    cache: CacheRef,
+    level: CacheKind,
+    latency: u32,
+    /// The `first_level_hit` value a hit at this step reports.
+    first_level_hit: bool,
+}
+
+/// A fully resolved load route: the ordered cache levels to try, then
+/// device memory. Scratchpad loads resolve to a flat-latency route with no
+/// steps and a non-DRAM terminal level.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    steps: [Option<PathStep>; 3],
+    /// Resolution when every step misses (or for scratchpad loads).
+    terminal: LoadResolution,
+}
+
+/// The memo key of a resolved route: routes depend only on the issuing
+/// (SM, core) and the logical path selectors, never on the address or on
+/// cache contents — which is what makes the memoization sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RouteKey {
+    sm: u32,
+    core: u32,
+    space: MemorySpace,
+    flags: LoadFlags,
+}
+
 /// All physical cache instances of one GPU.
 #[derive(Debug)]
 pub struct MemorySubsystem {
@@ -68,6 +115,11 @@ pub struct MemorySubsystem {
 
     scratch_latency: u32,
     dram_latency: u32,
+
+    /// Single-entry route memo: the p-chase hot loop issues millions of
+    /// loads with an identical (sm, core, space, flags) tuple, so the
+    /// resolved path is computed once and replayed until the key changes.
+    route_memo: Option<(RouteKey, Route)>,
 }
 
 impl MemorySubsystem {
@@ -212,6 +264,7 @@ impl MemorySubsystem {
             l3_spec,
             scratch_latency: config.scratchpad.load_latency,
             dram_latency: config.dram.load_latency,
+            route_memo: None,
         }
     }
 
@@ -233,8 +286,11 @@ impl MemorySubsystem {
         self.sl1d_group_of_cu[cu]
     }
 
-    /// Invalidates every cache on the device.
+    /// Invalidates every cache on the device (and drops the route memo —
+    /// routes are pure topology, but a flush marks a benchmark boundary,
+    /// so holding state across it buys nothing).
     pub fn flush_all(&mut self) {
+        self.route_memo = None;
         for c in self
             .l1
             .iter_mut()
@@ -261,6 +317,15 @@ impl MemorySubsystem {
     /// path. Returns where the load was serviced and the end-to-end
     /// latency. Missing levels on the path allocate the accessed sector
     /// (unless `flags.bypass_all`).
+    ///
+    /// The route — which physical instances to try, in what order, at what
+    /// latency — depends only on `(sm, core, space, flags)`, never on the
+    /// address or the cache contents, so it is resolved once and memoized;
+    /// the per-load work is then just the cache lookups themselves. A hit
+    /// at level *n* only ever touches levels `1..=n`, exactly like the
+    /// original nested walk: deeper levels are not consulted and do not
+    /// allocate.
+    #[inline]
     pub fn load(
         &mut self,
         sm: usize,
@@ -270,201 +335,207 @@ impl MemorySubsystem {
         addr: u64,
     ) -> LoadResolution {
         debug_assert!(sm < self.num_sms, "SM {sm} out of range");
-        match space {
-            MemorySpace::Shared | MemorySpace::Lds => LoadResolution {
-                level: if self.vendor == Vendor::Nvidia {
-                    CacheKind::SharedMemory
-                } else {
-                    CacheKind::Lds
-                },
-                latency: self.scratch_latency,
-                first_level_hit: true,
-            },
-            MemorySpace::Constant => self.walk_constant(sm, flags, addr),
-            MemorySpace::Global | MemorySpace::Texture | MemorySpace::Readonly => {
-                self.walk_nvidia_data(sm, core, space, flags, addr)
+        let key = RouteKey {
+            sm: sm as u32,
+            core: core as u32,
+            space,
+            flags,
+        };
+        let route = match &self.route_memo {
+            Some((k, route)) if *k == key => *route,
+            _ => {
+                let route = self.resolve_route(sm, core, space, flags);
+                self.route_memo = Some((key, route));
+                route
             }
-            MemorySpace::Vector => self.walk_amd(sm, true, flags, addr),
-            MemorySpace::Scalar => self.walk_amd(sm, false, flags, addr),
+        };
+        for step in route.steps.iter().flatten() {
+            if self.cache_mut(step.cache).access(addr).is_hit() {
+                return LoadResolution {
+                    level: step.level,
+                    latency: step.latency,
+                    first_level_hit: step.first_level_hit,
+                };
+            }
+        }
+        route.terminal
+    }
+
+    /// The physical cache instance a [`CacheRef`] names.
+    #[inline]
+    fn cache_mut(&mut self, r: CacheRef) -> &mut SectoredCache {
+        match r {
+            CacheRef::L1(i) => &mut self.l1[i as usize],
+            CacheRef::Tex(i) => &mut self.tex[i as usize],
+            CacheRef::Ro(i) => &mut self.ro[i as usize],
+            CacheRef::ConstL1(i) => &mut self.const_l1[i as usize],
+            CacheRef::ConstL15 => self.const_l15.as_mut().expect("route implies CL1.5"),
+            CacheRef::Vl1(i) => &mut self.vl1[i as usize],
+            CacheRef::Sl1d(i) => &mut self.sl1d[i as usize],
+            CacheRef::L2(i) => &mut self.l2[i as usize],
+            CacheRef::L3 => self.l3.as_mut().expect("route implies L3"),
         }
     }
 
-    fn walk_nvidia_data(
-        &mut self,
-        sm: usize,
-        core: usize,
-        space: MemorySpace,
-        flags: LoadFlags,
-        addr: u64,
-    ) -> LoadResolution {
-        debug_assert_eq!(self.vendor, Vendor::Nvidia);
-        if flags.bypass_all {
-            return LoadResolution {
-                level: CacheKind::DeviceMemory,
-                latency: self.dram_latency,
-                first_level_hit: false,
-            };
-        }
-        let mut first = true;
-        // L1-level: either the unified L1 instance or a dedicated
-        // texture/readonly instance, unless bypassed with `.cg`.
-        if !flags.bypass_l1 {
-            let (cache, spec, kind) = match space {
-                MemorySpace::Texture if self.tex_spec.is_some() => (
-                    &mut self.tex[sm],
-                    self.tex_spec.as_ref().unwrap(),
-                    CacheKind::Texture,
-                ),
-                MemorySpace::Readonly if self.ro_spec.is_some() => (
-                    &mut self.ro[sm],
-                    self.ro_spec.as_ref().unwrap(),
-                    CacheKind::Readonly,
-                ),
-                _ => {
-                    let idx = self.l1_instance(sm, core);
-                    let kind = match space {
-                        MemorySpace::Texture => CacheKind::Texture,
-                        MemorySpace::Readonly => CacheKind::Readonly,
-                        _ => CacheKind::L1,
-                    };
-                    (&mut self.l1[idx], self.l1_spec.as_ref().unwrap(), kind)
-                }
-            };
-            let acc = cache.access(addr);
-            if acc.is_hit() {
-                // On the unified cache, texture/readonly paths have their
-                // own (slightly different) measured latencies.
-                let latency = match (space, kind) {
-                    (MemorySpace::Texture, CacheKind::Texture) => {
-                        self.unified_tex_latency.unwrap_or(spec.load_latency)
-                    }
-                    (MemorySpace::Readonly, CacheKind::Readonly) => {
-                        self.unified_ro_latency.unwrap_or(spec.load_latency)
-                    }
-                    _ => spec.load_latency,
-                };
-                return LoadResolution {
-                    level: kind,
-                    latency,
+    /// Resolves the load path for `(sm, core, space, flags)` — the slow
+    /// part of the original per-load walk, now executed only on a memo
+    /// miss.
+    fn resolve_route(&self, sm: usize, core: usize, space: MemorySpace, flags: LoadFlags) -> Route {
+        if matches!(space, MemorySpace::Shared | MemorySpace::Lds) {
+            return Route {
+                steps: [None; 3],
+                terminal: LoadResolution {
+                    level: if self.vendor == Vendor::Nvidia {
+                        CacheKind::SharedMemory
+                    } else {
+                        CacheKind::Lds
+                    },
+                    latency: self.scratch_latency,
                     first_level_hit: true,
-                };
-            }
-            first = false;
+                },
+            };
         }
-        // L2 segment.
-        if let Some(spec) = self.l2_spec {
-            let seg = self.l2_segment_of_sm[sm];
-            let acc = self.l2[seg].access(addr);
-            if acc.is_hit() {
-                return LoadResolution {
-                    level: CacheKind::L2,
-                    latency: spec.load_latency,
-                    first_level_hit: first && flags.bypass_l1,
-                };
-            }
-        }
-        LoadResolution {
+        let dram = LoadResolution {
             level: CacheKind::DeviceMemory,
             latency: self.dram_latency,
             first_level_hit: false,
-        }
-    }
-
-    fn walk_constant(&mut self, sm: usize, flags: LoadFlags, addr: u64) -> LoadResolution {
-        debug_assert_eq!(self.vendor, Vendor::Nvidia);
-        if !flags.bypass_all {
-            if let Some(spec) = self.const_l1_spec {
-                let acc = self.const_l1[sm].access(addr);
-                if acc.is_hit() {
-                    return LoadResolution {
+        };
+        let mut steps: [Option<PathStep>; 3] = [None; 3];
+        let mut n = 0usize;
+        let mut push = |step: PathStep| {
+            steps[n] = Some(step);
+            n += 1;
+        };
+        match space {
+            MemorySpace::Shared | MemorySpace::Lds => unreachable!("handled above"),
+            _ if flags.bypass_all => {}
+            MemorySpace::Constant => {
+                debug_assert_eq!(self.vendor, Vendor::Nvidia);
+                if let Some(spec) = self.const_l1_spec {
+                    push(PathStep {
+                        cache: CacheRef::ConstL1(sm as u32),
                         level: CacheKind::ConstL1,
                         latency: spec.load_latency,
                         first_level_hit: true,
-                    };
+                    });
                 }
-            }
-            if let (Some(spec), Some(cache)) = (self.const_l15_spec, self.const_l15.as_mut()) {
-                let acc = cache.access(addr);
-                if acc.is_hit() {
-                    return LoadResolution {
+                if let (Some(spec), Some(_)) = (self.const_l15_spec, self.const_l15.as_ref()) {
+                    push(PathStep {
+                        cache: CacheRef::ConstL15,
                         level: CacheKind::ConstL15,
                         latency: spec.load_latency,
                         first_level_hit: false,
-                    };
+                    });
                 }
-            }
-            if let Some(spec) = self.l2_spec {
-                let seg = self.l2_segment_of_sm[sm];
-                if self.l2[seg].access(addr).is_hit() {
-                    return LoadResolution {
+                if let Some(spec) = self.l2_spec {
+                    push(PathStep {
+                        cache: CacheRef::L2(self.l2_segment_of_sm[sm] as u32),
                         level: CacheKind::L2,
                         latency: spec.load_latency,
                         first_level_hit: false,
-                    };
+                    });
                 }
             }
-        }
-        LoadResolution {
-            level: CacheKind::DeviceMemory,
-            latency: self.dram_latency,
-            first_level_hit: false,
-        }
-    }
-
-    fn walk_amd(&mut self, cu: usize, vector: bool, flags: LoadFlags, addr: u64) -> LoadResolution {
-        debug_assert_eq!(self.vendor, Vendor::Amd);
-        if flags.bypass_all {
-            return LoadResolution {
-                level: CacheKind::DeviceMemory,
-                latency: self.dram_latency,
-                first_level_hit: false,
-            };
-        }
-        if !flags.bypass_l1 {
-            if vector {
-                if let Some(spec) = self.vl1_spec {
-                    if self.vl1[cu].access(addr).is_hit() {
-                        return LoadResolution {
-                            level: CacheKind::VL1,
+            MemorySpace::Global | MemorySpace::Texture | MemorySpace::Readonly => {
+                debug_assert_eq!(self.vendor, Vendor::Nvidia);
+                // L1-level: either the unified L1 instance or a dedicated
+                // texture/readonly instance, unless bypassed with `.cg`.
+                if !flags.bypass_l1 {
+                    let (cache, spec, kind) = match space {
+                        MemorySpace::Texture if self.tex_spec.is_some() => (
+                            CacheRef::Tex(sm as u32),
+                            self.tex_spec.as_ref().unwrap(),
+                            CacheKind::Texture,
+                        ),
+                        MemorySpace::Readonly if self.ro_spec.is_some() => (
+                            CacheRef::Ro(sm as u32),
+                            self.ro_spec.as_ref().unwrap(),
+                            CacheKind::Readonly,
+                        ),
+                        _ => {
+                            let idx = self.l1_instance(sm, core);
+                            let kind = match space {
+                                MemorySpace::Texture => CacheKind::Texture,
+                                MemorySpace::Readonly => CacheKind::Readonly,
+                                _ => CacheKind::L1,
+                            };
+                            (
+                                CacheRef::L1(idx as u32),
+                                self.l1_spec.as_ref().unwrap(),
+                                kind,
+                            )
+                        }
+                    };
+                    // On the unified cache, texture/readonly paths have
+                    // their own (slightly different) measured latencies.
+                    let latency = match (space, kind) {
+                        (MemorySpace::Texture, CacheKind::Texture) => {
+                            self.unified_tex_latency.unwrap_or(spec.load_latency)
+                        }
+                        (MemorySpace::Readonly, CacheKind::Readonly) => {
+                            self.unified_ro_latency.unwrap_or(spec.load_latency)
+                        }
+                        _ => spec.load_latency,
+                    };
+                    push(PathStep {
+                        cache,
+                        level: kind,
+                        latency,
+                        first_level_hit: true,
+                    });
+                }
+                if let Some(spec) = self.l2_spec {
+                    push(PathStep {
+                        cache: CacheRef::L2(self.l2_segment_of_sm[sm] as u32),
+                        level: CacheKind::L2,
+                        latency: spec.load_latency,
+                        // With `.cg` the L2 is the first level of the path.
+                        first_level_hit: flags.bypass_l1,
+                    });
+                }
+            }
+            MemorySpace::Vector | MemorySpace::Scalar => {
+                debug_assert_eq!(self.vendor, Vendor::Amd);
+                if !flags.bypass_l1 {
+                    if space == MemorySpace::Vector {
+                        if let Some(spec) = self.vl1_spec {
+                            push(PathStep {
+                                cache: CacheRef::Vl1(sm as u32),
+                                level: CacheKind::VL1,
+                                latency: spec.load_latency,
+                                first_level_hit: true,
+                            });
+                        }
+                    } else if let Some(spec) = self.sl1d_spec {
+                        push(PathStep {
+                            cache: CacheRef::Sl1d(self.sl1d_group_of_cu[sm] as u32),
+                            level: CacheKind::SL1D,
                             latency: spec.load_latency,
                             first_level_hit: true,
-                        };
+                        });
                     }
                 }
-            } else if let Some(spec) = self.sl1d_spec {
-                let idx = self.sl1d_group_of_cu[cu];
-                if self.sl1d[idx].access(addr).is_hit() {
-                    return LoadResolution {
-                        level: CacheKind::SL1D,
+                if let Some(spec) = self.l2_spec {
+                    push(PathStep {
+                        cache: CacheRef::L2(self.l2_segment_of_sm[sm] as u32),
+                        level: CacheKind::L2,
                         latency: spec.load_latency,
-                        first_level_hit: true,
-                    };
+                        first_level_hit: false,
+                    });
+                }
+                if let (Some(spec), Some(_)) = (self.l3_spec, self.l3.as_ref()) {
+                    push(PathStep {
+                        cache: CacheRef::L3,
+                        level: CacheKind::L3,
+                        latency: spec.load_latency,
+                        first_level_hit: false,
+                    });
                 }
             }
         }
-        if let Some(spec) = self.l2_spec {
-            let seg = self.l2_segment_of_sm[cu];
-            if self.l2[seg].access(addr).is_hit() {
-                return LoadResolution {
-                    level: CacheKind::L2,
-                    latency: spec.load_latency,
-                    first_level_hit: false,
-                };
-            }
-        }
-        if let (Some(spec), Some(cache)) = (self.l3_spec, self.l3.as_mut()) {
-            if cache.access(addr).is_hit() {
-                return LoadResolution {
-                    level: CacheKind::L3,
-                    latency: spec.load_latency,
-                    first_level_hit: false,
-                };
-            }
-        }
-        LoadResolution {
-            level: CacheKind::DeviceMemory,
-            latency: self.dram_latency,
-            first_level_hit: false,
+        Route {
+            steps,
+            terminal: dram,
         }
     }
 }

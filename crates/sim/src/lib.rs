@@ -39,7 +39,7 @@
 //! whole run parallelises across threads (or CI shards) without changing
 //! a single measured value. See `ARCHITECTURE.md` at the workspace root.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod bandwidth;

@@ -1,6 +1,7 @@
 //! Property-based tests for the cache and hierarchy models — these are the
 //! invariants every MT4G benchmark implicitly relies on.
 
+use mt4g_sim::cache::reference::ReferenceSectoredCache;
 use mt4g_sim::cache::{SectoredCache, FULLY_ASSOCIATIVE};
 use mt4g_sim::device::{LoadFlags, MemorySpace};
 use mt4g_sim::gpu::Gpu;
@@ -89,6 +90,47 @@ proptest! {
             }
             let (h2, _) = c2.stats();
             prop_assert!(h2 > 0, "stride {} < sector {}", small, sector);
+        }
+    }
+
+    /// Differential oracle: the flat tag store must reproduce the original
+    /// `Vec<Vec<Line>>` / `HashMap`+`BTreeMap` implementation *exactly* —
+    /// same `Access` on every step, same hit/miss counters, same residency
+    /// after flushes — across both organisations, random geometries and
+    /// access streams that mix hits, sector misses, evictions and flushes.
+    #[test]
+    fn flat_store_matches_reference(
+        (size, line, sector) in geometry(),
+        ways_raw in 0u32..8,
+        // Bias addresses so streams revisit lines (hits + LRU churn) but
+        // also overflow the capacity (evictions).
+        addrs in proptest::collection::vec((0u64..1 << 14, 0u8..2), 1..600),
+        flush_every in 50usize..200,
+    ) {
+        // 0 selects the fully-associative organisation, 1..8 real way counts.
+        let ways_sel = if ways_raw == 0 { FULLY_ASSOCIATIVE } else { ways_raw };
+        let mut flat = SectoredCache::new(size, line, sector, ways_sel);
+        let mut reference = ReferenceSectoredCache::new(size, line, sector, ways_sel);
+        for (i, &(addr, realign)) in addrs.iter().enumerate() {
+            // Half the stream is sector-aligned to provoke sector hits.
+            let a = if realign == 1 { addr / sector * sector } else { addr };
+            if i % flush_every == flush_every - 1 {
+                flat.flush();
+                reference.flush();
+            }
+            let got = flat.access(a);
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "step {} addr {}", i, a);
+            prop_assert_eq!(flat.probe(a), reference.probe(a), "probe {}", a);
+        }
+        prop_assert_eq!(flat.stats(), reference.stats());
+        // Residency agrees line-for-line over the touched range.
+        for l in 0..(1u64 << 14) / line {
+            prop_assert_eq!(
+                flat.probe(l * line),
+                reference.probe(l * line),
+                "line {}", l
+            );
         }
     }
 

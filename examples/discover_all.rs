@@ -2,83 +2,17 @@
 //! parallel, and validates every discovered attribute against the planted
 //! ground truth — the whole Section V validation in one command.
 //!
+//! The same check gates CI as the `validation_matrix` integration test;
+//! this example keeps the human-readable summary table.
+//!
 //! ```text
 //! cargo run --release --example discover_all
 //! ```
 
-use mt4g::core::report::{Attribute, Report};
 use mt4g::core::suite::{run_discovery, DiscoveryConfig};
-use mt4g::sim::device::{CacheKind, DeviceConfig};
+use mt4g::core::validate::validate_against;
 use mt4g::sim::presets;
 use rayon::prelude::*;
-
-/// Checks discovered attributes against the device's planted ground truth;
-/// returns (checked, mismatches, notes).
-fn validate(report: &Report, cfg: &DeviceConfig) -> (u32, u32, Vec<String>) {
-    let mut checked = 0;
-    let mut mismatches = 0;
-    let mut notes = Vec::new();
-    for m in &report.memory {
-        let spec = cfg.cache(m.kind);
-        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.size) {
-            checked += 1;
-            if *value != spec.size {
-                mismatches += 1;
-                notes.push(format!(
-                    "{}: size {} vs planted {}",
-                    m.kind.label(),
-                    value,
-                    spec.size
-                ));
-            }
-        }
-        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.cache_line_bytes) {
-            checked += 1;
-            if *value != spec.line_size {
-                mismatches += 1;
-                notes.push(format!(
-                    "{}: line {} vs {}",
-                    m.kind.label(),
-                    value,
-                    spec.line_size
-                ));
-            }
-        }
-        if let (Some(spec), Attribute::Measured { value, .. }) = (spec, &m.fetch_granularity_bytes)
-        {
-            checked += 1;
-            if *value != spec.fetch_granularity {
-                mismatches += 1;
-                notes.push(format!(
-                    "{}: fetch granularity {} vs {}",
-                    m.kind.label(),
-                    value,
-                    spec.fetch_granularity
-                ));
-            }
-        }
-        if let Attribute::Measured { value, .. } = &m.load_latency {
-            let truth = match m.kind {
-                CacheKind::SharedMemory | CacheKind::Lds => Some(cfg.scratchpad.load_latency),
-                CacheKind::DeviceMemory => Some(cfg.dram.load_latency),
-                k => cfg.cache(k).map(|s| s.load_latency),
-            };
-            if let Some(truth) = truth {
-                checked += 1;
-                if (value.mean - truth as f64).abs() > 5.0 {
-                    mismatches += 1;
-                    notes.push(format!(
-                        "{}: latency {:.1} vs {}",
-                        m.kind.label(),
-                        value.mean,
-                        truth
-                    ));
-                }
-            }
-        }
-    }
-    (checked, mismatches, notes)
-}
 
 fn main() {
     let results: Vec<_> = presets::all()
@@ -94,8 +28,8 @@ fn main() {
                 ..DiscoveryConfig::thorough()
             };
             let report = run_discovery(&mut gpu, &dcfg);
-            let (checked, mismatches, notes) = validate(&report, &cfg);
-            (cfg.name, report.runtime, checked, mismatches, notes)
+            let v = validate_against(&report, &cfg);
+            (cfg.name, report.runtime, v)
         })
         .collect();
 
@@ -104,15 +38,15 @@ fn main() {
         "GPU", "#bench", "checked", "mismatch", "sim-cycles"
     );
     let mut total_mismatch = 0;
-    for (name, rt, checked, mismatches, notes) in &results {
+    for (name, rt, v) in &results {
         println!(
             "{:<22} {:>8} {:>8} {:>9} {:>11}",
-            name, rt.benchmarks_run, checked, mismatches, rt.gpu_cycles
+            name, rt.benchmarks_run, v.checked, v.mismatches, rt.gpu_cycles
         );
-        for n in notes {
+        for n in &v.notes {
             println!("    ! {n}");
         }
-        total_mismatch += mismatches;
+        total_mismatch += v.mismatches;
     }
     println!(
         "\n{}",

@@ -1,0 +1,52 @@
+//! The full-preset validation matrix as a CI gate: discovery on every
+//! Table II GPU must report **zero** ground-truth mismatches.
+//!
+//! This is the promoted form of `examples/discover_all.rs` — the example
+//! keeps the human-readable table, this test fails the build when any
+//! discovered attribute deviates from the planted configuration (the
+//! historical offender being the MI300X L2 fetch granularity, which the
+//! 8-segment L2's backing L3 pushed from 64 B to 128 B until the
+//! fetch-granularity scan got its strict target-stratum classifier).
+
+use mt4g::core::suite::{run_discovery, DiscoveryConfig};
+use mt4g::core::validate::validate_against;
+use mt4g::sim::presets;
+use rayon::prelude::*;
+
+#[test]
+fn every_preset_matches_its_planted_ground_truth() {
+    let outcomes: Vec<String> = presets::all()
+        .into_par_iter()
+        .map(|mut gpu| {
+            let cfg = gpu.config.clone();
+            // Fast scan resolution: the attributes validated here (sizes,
+            // line sizes, fetch granularities, latencies) are identical
+            // under the fast and thorough configurations; `cu_window`
+            // bounds the CU-sharing pass, `jobs: 1` avoids
+            // oversubscribing the per-GPU rayon fan-out.
+            let dcfg = DiscoveryConfig {
+                cu_window: 4,
+                jobs: 1,
+                ..DiscoveryConfig::fast()
+            };
+            let report = run_discovery(&mut gpu, &dcfg);
+            let v = validate_against(&report, &cfg);
+            assert!(v.checked > 0, "{}: validated nothing", cfg.name);
+            if v.mismatches == 0 {
+                String::new()
+            } else {
+                format!("{}: {}", cfg.name, v.notes.join("; "))
+            }
+        })
+        .collect();
+    let failures: Vec<&String> = outcomes.iter().filter(|s| !s.is_empty()).collect();
+    assert!(
+        failures.is_empty(),
+        "ground-truth mismatches:\n{}",
+        failures
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
