@@ -16,7 +16,7 @@ fn main() {
         "{:<22} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "", "(TFLOP/s)", "", "", "(TOP/s)", "(dense)"
     );
-    for mut gpu in presets::all() {
+    for mut gpu in presets::table2() {
         let name = gpu.config.name.clone();
         let mut row = format!("{name:<22}");
         for dtype in DType::ALL {

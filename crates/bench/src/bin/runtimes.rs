@@ -20,7 +20,7 @@ fn main() {
         cu_window: 4,
         ..DiscoveryConfig::thorough()
     };
-    for mut gpu in presets::all() {
+    for mut gpu in presets::table2() {
         let name = gpu.config.name.clone();
         let vendor = gpu.config.vendor;
         let clock_hz = gpu.config.chip.clock_mhz as f64 * 1e6;

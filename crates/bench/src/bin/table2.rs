@@ -13,7 +13,9 @@ fn main() {
         "{:<9} {:<7} {:<8} {:<22} {:>7} {:>9} {:>10} {:>10}",
         "Name", "Vendor", "µarch", "GPU", "SMs/CUs", "Clock MHz", "Memory", "CC/gfx"
     );
-    for (short, gpu) in presets::ALL_NAMES.iter().zip(presets::all()) {
+    for entry in presets::Registry::global().table2() {
+        let short = entry.name;
+        let gpu = entry.gpu();
         let c = &gpu.config;
         println!(
             "{:<9} {:<7} {:<8} {:<22} {:>7} {:>9} {:>7}GiB {:>10}",

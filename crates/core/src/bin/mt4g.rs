@@ -4,9 +4,10 @@
 //! plan/execute/merge extensions:
 //!
 //! ```text
-//! mt4g --gpu <PRESET> [-j] [-p] [-c] [-q] [--only <ELEMENT>] [--fast]
-//!      [--jobs N] [--shard i/n] [-o <DIR>]
+//! mt4g --gpu <PRESET> [--scenario <SCENARIO>] [-j] [-p] [-c] [-q]
+//!      [--only <ELEMENT>] [--fast] [--jobs N] [--shard i/n] [-o <DIR>]
 //! mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]
+//! mt4g list
 //! ```
 //!
 //! * `-j` — write `<GPU_name>.json` (JSON always goes to stdout otherwise)
@@ -16,13 +17,17 @@
 //! * `-q` — quiet: JSON to stdout only, no progress chatter
 //! * `--only <ELEMENT>` — limit to one memory element (e.g. `L1`, `L2`)
 //! * `--fast` — coarser scans, windowed CU-sharing pass
+//! * `--scenario <S>` — deployment scenario: `bare-metal` (default),
+//!   `mig:<profile>` (run the suite *inside* a MIG instance, e.g.
+//!   `mig:2g.10gb`), or `hostile` (amplified noise, locked-down APIs)
 //! * `--jobs N` — run up to N discovery units concurrently (0 = all
 //!   cores, the default); the report is byte-identical for every N
 //! * `--shard i/n` — run shard `i` of an `n`-way split of the plan and
 //!   emit a mergeable *partial* report instead of a full one
 //! * `mt4g merge` — merge partial reports from a complete shard set into
 //!   the full report (byte-identical to an unsharded run)
-//! * `--list` — list available GPU presets
+//! * `mt4g list` — the preset registry: names, aliases, vendor, family
+//! * `--list` — short form: canonical preset names only
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -33,7 +38,8 @@ use mt4g_core::suite::{
     DiscoveryConfig,
 };
 use mt4g_sim::device::CacheKind;
-use mt4g_sim::presets;
+use mt4g_sim::presets::{self, Registry};
+use mt4g_sim::scenario::Scenario;
 
 struct Args {
     gpu: Option<String>,
@@ -44,7 +50,9 @@ struct Args {
     quiet: bool,
     fast: bool,
     list: bool,
+    list_long: bool,
     only: Option<String>,
+    scenario: Scenario,
     jobs: usize,
     shard: Option<(usize, usize)>,
     merge_inputs: Option<Vec<PathBuf>>,
@@ -72,16 +80,25 @@ fn parse_args() -> Result<Args, String> {
         quiet: false,
         fast: false,
         list: false,
+        list_long: false,
         only: None,
+        scenario: Scenario::BareMetal,
         jobs: 0,
         shard: None,
         merge_inputs: None,
         out_dir: PathBuf::from("."),
     };
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("merge") {
-        it.next();
-        args.merge_inputs = Some(Vec::new());
+    match it.peek().map(String::as_str) {
+        Some("merge") => {
+            it.next();
+            args.merge_inputs = Some(Vec::new());
+        }
+        Some("list") => {
+            it.next();
+            args.list_long = true;
+        }
+        _ => {}
     }
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -94,6 +111,10 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
             "--only" => args.only = Some(it.next().ok_or("--only needs a value")?),
+            "--scenario" => {
+                let v = it.next().ok_or("--scenario needs a value")?;
+                args.scenario = Scenario::parse(&v).map_err(|e| e.to_string())?;
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 args.jobs = v
@@ -121,16 +142,41 @@ fn parse_args() -> Result<Args, String> {
 fn print_help() {
     println!(
         "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
-         USAGE: mt4g --gpu <PRESET> [-j] [-p] [-c] [-g] [-q] [--only <ELEMENT>] [--fast]\n\
-         \x20             [--jobs N] [--shard i/n] [-o <DIR>]\n\
-         \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\n\
+         USAGE: mt4g --gpu <PRESET> [--scenario <SCENARIO>] [-j] [-p] [-c] [-g] [-q]\n\
+         \x20             [--only <ELEMENT>] [--fast] [--jobs N] [--shard i/n] [-o <DIR>]\n\
+         \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\
+         \x20      mt4g list\n\n\
          PRESETS: {}\n\
-         ELEMENTS: L1 L2 L3 Texture Readonly ConstL1 ConstL15 Shared LDS vL1 sL1d Device\n\n\
+         ELEMENTS: L1 L2 L3 Texture Readonly ConstL1 ConstL15 Shared LDS vL1 sL1d Device\n\
+         SCENARIOS: bare-metal (default) | mig:<full|4g.20gb|3g.20gb|2g.10gb|1g.5gb> | hostile\n\n\
+         --scenario S run the discovery inside a deployment scenario; the report\n\
+         \x20             describes what that environment actually exposes\n\
          --jobs N     run up to N discovery units in parallel (0 = all cores; default)\n\
          --shard i/n  run shard i of an n-way split, emit a mergeable partial report\n\
-         merge        reassemble a complete set of partial reports into the full report",
-        presets::ALL_NAMES.join(" ")
+         merge        reassemble a complete set of partial reports into the full report\n\
+         list         the full preset registry (names, aliases, vendor, family)",
+        Registry::global().names().collect::<Vec<_>>().join(" ")
     );
+}
+
+/// `mt4g list`: the registry as a table — canonical name, vendor, family,
+/// device name, and accepted aliases.
+fn print_registry() {
+    let reg = Registry::global();
+    println!(
+        "{:<14} {:<7} {:<10} {:<28} ALIASES",
+        "NAME", "VENDOR", "FAMILY", "DEVICE"
+    );
+    for e in reg.entries() {
+        println!(
+            "{:<14} {:<7} {:<10} {:<28} {}",
+            e.name,
+            e.vendor.to_string(),
+            e.family.label(),
+            e.gpu().config.name,
+            e.aliases.join(", ")
+        );
+    }
 }
 
 fn parse_element(s: &str) -> Option<CacheKind> {
@@ -159,13 +205,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.list_long {
+        print_registry();
+        return;
+    }
     if args.list {
-        for name in presets::ALL_NAMES {
+        for name in Registry::global().names() {
             println!("{name}");
         }
         return;
     }
     if args.merge_inputs.is_some() {
+        if args.scenario != Scenario::BareMetal {
+            // The scenario is baked into each partial's plan fingerprint;
+            // a merge cannot re-scope it after the fact.
+            eprintln!("error: --scenario applies to discovery runs, not to `mt4g merge`");
+            std::process::exit(2);
+        }
         run_merge_mode(&args);
         return;
     }
@@ -173,9 +229,19 @@ fn main() {
         print_help();
         std::process::exit(2);
     };
-    let Some(mut gpu) = presets::by_name(gpu_name) else {
-        eprintln!("error: unknown GPU preset '{gpu_name}' (try --list)");
+    let Some(base) = presets::by_name(gpu_name) else {
+        eprintln!(
+            "error: unknown GPU preset '{gpu_name}'; known presets:\n  {}",
+            Registry::global().known_names()
+        );
         std::process::exit(2);
+    };
+    let mut gpu = match args.scenario.realize(base) {
+        Ok(gpu) => gpu,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     };
 
     let mut cfg = if args.fast {

@@ -17,7 +17,9 @@ pub fn cores_per_sm(arch: Microarch) -> u32 {
         Microarch::Turing => 64,
         Microarch::Ampere => 64,
         Microarch::Hopper => 128,
+        Microarch::Blackwell => 128,
         Microarch::Cdna1 | Microarch::Cdna2 | Microarch::Cdna3 => 64,
+        Microarch::Rdna3 | Microarch::Rdna4 => 64,
     }
 }
 
@@ -31,9 +33,12 @@ pub fn cores_per_sm_by_cc(cc: &str) -> Option<u32> {
         "7.5" => Microarch::Turing,
         "8.0" | "8.6" | "8.7" => Microarch::Ampere,
         "9.0" => Microarch::Hopper,
+        "10.0" | "10.1" | "12.0" => Microarch::Blackwell,
         "gfx908" => Microarch::Cdna1,
         "gfx90a" => Microarch::Cdna2,
         "gfx940" | "gfx941" | "gfx942" => Microarch::Cdna3,
+        "gfx1100" | "gfx1101" | "gfx1102" => Microarch::Rdna3,
+        "gfx1200" | "gfx1201" => Microarch::Rdna4,
         _ => return None,
     };
     Some(cores_per_sm(arch))
@@ -58,6 +63,7 @@ mod tests {
 
     #[test]
     fn unknown_cc_returns_none() {
-        assert_eq!(cores_per_sm_by_cc("12.0"), None);
+        assert_eq!(cores_per_sm_by_cc("99.0"), None);
+        assert_eq!(cores_per_sm_by_cc("gfx9999"), None);
     }
 }

@@ -17,8 +17,9 @@ use super::DiscoveryConfig;
 
 /// Version tag baked into plan fingerprints; bump on any change to unit
 /// enumeration, seeding, or partial-report semantics so stale partial
-/// reports refuse to merge.
-pub(crate) const PLAN_FORMAT: u32 = 1;
+/// reports refuse to merge. v2: quirks + noise model joined the
+/// fingerprint (scenario-transformed devices can share a name).
+pub(crate) const PLAN_FORMAT: u32 = 2;
 
 /// One schedulable unit of discovery work.
 #[derive(Debug, Clone)]
@@ -94,30 +95,55 @@ impl DiscoveryPlan {
             id
         };
 
+        // Units are gated on the *capabilities* the device configuration
+        // declares — which cache elements exist — rather than on a
+        // hardcoded per-vendor list. Registry presets with unusual cache
+        // sets (RDNA's MALL as an L3 level, hypothetical parts without a
+        // texture path) therefore plan correctly without touching this
+        // function; for every Table II preset the enumeration below is
+        // label-for-label identical to the historical vendor match, which
+        // keeps their reports byte-identical.
+        let has = |kind: CacheKind| gpu.config.cache(kind).is_some();
         match gpu.vendor() {
             Vendor::Nvidia => {
-                let l1 = push("nv.l1", UnitKind::NvCache(CacheKind::L1), vec![]);
-                let tex = push("nv.texture", UnitKind::NvCache(CacheKind::Texture), vec![]);
-                let ro = push(
-                    "nv.readonly",
-                    UnitKind::NvCache(CacheKind::Readonly),
-                    vec![],
-                );
-                let cst = push("nv.constant", UnitKind::NvConstPath, vec![]);
-                push("nv.l2", UnitKind::NvL2, vec![]);
+                let l1 = has(CacheKind::L1)
+                    .then(|| push("nv.l1", UnitKind::NvCache(CacheKind::L1), vec![]));
+                let tex = has(CacheKind::Texture)
+                    .then(|| push("nv.texture", UnitKind::NvCache(CacheKind::Texture), vec![]));
+                let ro = has(CacheKind::Readonly).then(|| {
+                    push(
+                        "nv.readonly",
+                        UnitKind::NvCache(CacheKind::Readonly),
+                        vec![],
+                    )
+                });
+                let cst = has(CacheKind::ConstL1)
+                    .then(|| push("nv.constant", UnitKind::NvConstPath, vec![]));
+                if has(CacheKind::L2) {
+                    push("nv.l2", UnitKind::NvL2, vec![]);
+                }
                 push("nv.shared", UnitKind::NvShared, vec![]);
                 push("mem.device", UnitKind::DeviceMem, vec![]);
                 // The sharing scan evicts one cache through another, so it
-                // needs the geometry of all four L1-level elements.
+                // needs the geometry of all four L1-level elements; it is
+                // planned only when all four exist.
                 if cfg.only.is_none() {
-                    push("nv.sharing", UnitKind::NvSharing, vec![l1, tex, ro, cst]);
+                    if let (Some(l1), Some(tex), Some(ro), Some(cst)) = (l1, tex, ro, cst) {
+                        push("nv.sharing", UnitKind::NvSharing, vec![l1, tex, ro, cst]);
+                    }
                 }
             }
             Vendor::Amd => {
-                push("amd.vl1", UnitKind::AmdVl1, vec![]);
-                push("amd.sl1d", UnitKind::AmdSl1d, vec![]);
-                push("amd.l2", UnitKind::AmdL2, vec![]);
-                if gpu.config.cache(CacheKind::L3).is_some() {
+                if has(CacheKind::VL1) {
+                    push("amd.vl1", UnitKind::AmdVl1, vec![]);
+                }
+                if has(CacheKind::SL1D) {
+                    push("amd.sl1d", UnitKind::AmdSl1d, vec![]);
+                }
+                if has(CacheKind::L2) {
+                    push("amd.l2", UnitKind::AmdL2, vec![]);
+                }
+                if has(CacheKind::L3) {
                     push("amd.l3", UnitKind::AmdL3, vec![]);
                 }
                 push("amd.lds", UnitKind::AmdLds, vec![]);
@@ -176,8 +202,10 @@ impl DiscoveryPlan {
 }
 
 /// Encodes everything that must agree between shards for a merge to be
-/// sound: plan format, preset identity, base RNG seed, every config knob
-/// that changes measurements, and the unit enumeration itself.
+/// sound: plan format, preset identity, base RNG seed, the quirk set and
+/// noise model (two same-named devices under different scenario profiles
+/// measure differently), every config knob that changes measurements,
+/// and the unit enumeration itself.
 fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
     let only = match &cfg.only {
         None => "all".to_string(),
@@ -193,11 +221,13 @@ fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "v{PLAN_FORMAT}|{name}|seed={seed:#x}|alpha={alpha}|record_n={record_n}|\
-         scan_points={scan_points}|only={only}|cu_window={cu_window}|bw={bw}|flops={flops}|\
-         plan={labels}",
+        "v{PLAN_FORMAT}|{name}|seed={seed:#x}|quirks={quirks:?}|noise={noise:?}|alpha={alpha}|\
+         record_n={record_n}|scan_points={scan_points}|only={only}|cu_window={cu_window}|\
+         bw={bw}|flops={flops}|plan={labels}",
         name = gpu.config.name,
         seed = gpu.base_seed(),
+        quirks = gpu.config.quirks,
+        noise = gpu.noise(),
         alpha = cfg.alpha,
         record_n = cfg.record_n,
         scan_points = cfg.scan_points,

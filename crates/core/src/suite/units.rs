@@ -418,17 +418,25 @@ pub(crate) fn run_unit(
         UnitKind::AmdL2 => {
             // L2: sizes, line size and amount from APIs (HSA/KFD/XCD
             // count); latency and fetch granularity benchmarked with GLC=1.
+            // When a hostile environment locks those tables down, the
+            // API-only attributes degrade to honest no-results (paper
+            // Sec. V: "no result, not a wrong result").
             if cfg.wants(CacheKind::L2) {
+                let apis_locked = gpu.config.quirks.cache_info_apis_unavailable;
                 if let Some(sizes) = api::hsa_cache_sizes(&gpu) {
                     if let Some(&(_, l2)) = sizes.iter().find(|(k, _)| *k == CacheKind::L2) {
                         rows.element_mut(CacheKind::L2).size = Attribute::FromApi { value: l2 };
                     }
+                } else if apis_locked {
+                    rows.element_mut(CacheKind::L2).size = api_locked();
                 }
                 if let Some(lines) = api::kfd_cache_line_sizes(&gpu) {
                     if let Some(&(_, line)) = lines.iter().find(|(k, _)| *k == CacheKind::L2) {
                         rows.element_mut(CacheKind::L2).cache_line_bytes =
                             Attribute::FromApi { value: line };
                     }
+                } else if apis_locked {
+                    rows.element_mut(CacheKind::L2).cache_line_bytes = api_locked();
                 }
                 if let Some(segs) = l2_segments::run(&mut gpu, 64, cfg.scan_points) {
                     rows.element_mut(CacheKind::L2).amount = Attribute::FromApi {
@@ -437,6 +445,8 @@ pub(crate) fn run_unit(
                             scope: AmountScope::PerGpu,
                         },
                     };
+                } else if apis_locked {
+                    rows.element_mut(CacheKind::L2).amount = api_locked();
                 }
                 tally.bump();
                 if let Some(lr) = latency::run(
@@ -484,16 +494,21 @@ pub(crate) fn run_unit(
             // fetch granularity are the paper's declared gaps; bandwidth
             // measured.
             if gpu.config.cache(CacheKind::L3).is_some() && cfg.wants(CacheKind::L3) {
+                let apis_locked = gpu.config.quirks.cache_info_apis_unavailable;
                 if let Some(sizes) = api::hsa_cache_sizes(&gpu) {
                     if let Some(&(_, l3)) = sizes.iter().find(|(k, _)| *k == CacheKind::L3) {
                         rows.element_mut(CacheKind::L3).size = Attribute::FromApi { value: l3 };
                     }
+                } else if apis_locked {
+                    rows.element_mut(CacheKind::L3).size = api_locked();
                 }
                 if let Some(lines) = api::kfd_cache_line_sizes(&gpu) {
                     if let Some(&(_, line)) = lines.iter().find(|(k, _)| *k == CacheKind::L3) {
                         rows.element_mut(CacheKind::L3).cache_line_bytes =
                             Attribute::FromApi { value: line };
                     }
+                } else if apis_locked {
+                    rows.element_mut(CacheKind::L3).cache_line_bytes = api_locked();
                 }
                 if let Some(n) = api::l3_amount(&gpu) {
                     rows.element_mut(CacheKind::L3).amount = Attribute::FromApi {
@@ -502,6 +517,8 @@ pub(crate) fn run_unit(
                             scope: AmountScope::PerGpu,
                         },
                     };
+                } else if apis_locked {
+                    rows.element_mut(CacheKind::L3).amount = api_locked();
                 }
                 let e = rows.element_mut(CacheKind::L3);
                 e.load_latency = Attribute::Unavailable {
@@ -614,6 +631,14 @@ pub(crate) fn run_unit(
         measured,
         benchmarks_run: tally.0,
         stats: gpu.stats(),
+    }
+}
+
+/// The no-result an API-only attribute degrades to when a hostile
+/// environment locks the HSA/KFD cache tables down.
+fn api_locked<T>() -> Attribute<T> {
+    Attribute::Unavailable {
+        reason: "HSA/KFD cache tables unavailable in this environment".into(),
     }
 }
 

@@ -2,8 +2,16 @@
 //! [`DeviceConfig`] — the paper's Section V check, shared by
 //! `examples/discover_all.rs` and the `validation_matrix` integration test
 //! that gates CI on zero mismatches.
+//!
+//! A scenario run is validated against the *scenario-adjusted* ground
+//! truth ([`validate_scenario`]): discovery inside a MIG partition must
+//! recover the partition's visible L2 and SM count, not the bare-metal
+//! chip's, and a hostile run is held to the same planted geometry as a
+//! quiet one — robustness means the answers don't move, only the
+//! confidence intervals do.
 
 use mt4g_sim::device::{CacheKind, DeviceConfig};
+use mt4g_sim::scenario::{Scenario, ScenarioError};
 
 use crate::report::{Attribute, Report};
 
@@ -23,6 +31,18 @@ impl Validation {
         self.mismatches += 1;
         self.notes.push(note);
     }
+}
+
+/// Validates a scenario discovery run end-to-end: transforms the planted
+/// bare-metal configuration through the scenario (the same transform the
+/// suite ran under — e.g. the MIG-scaled L2 via `mig_view`) and checks the
+/// report against that adjusted expectation table.
+pub fn validate_scenario(
+    report: &Report,
+    full: &DeviceConfig,
+    scenario: &Scenario,
+) -> Result<Validation, ScenarioError> {
+    Ok(validate_against(report, &scenario.apply_config(full)?))
 }
 
 /// Checks every discovered attribute of `report` that has planted ground

@@ -7,20 +7,38 @@ fn mt4g() -> Command {
 }
 
 #[test]
-fn list_prints_all_presets() {
+fn list_prints_all_registry_presets() {
     let out = mt4g().arg("--list").output().expect("runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in mt4g_sim::presets::ALL_NAMES {
+    for name in mt4g_sim::presets::Registry::global().names() {
         assert!(stdout.contains(name), "missing {name}");
     }
 }
 
 #[test]
-fn unknown_gpu_fails_with_code_2() {
+fn list_command_prints_aliases_and_families() {
+    let out = mt4g().arg("list").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["H100-80", "H100", "Blackwell", "RDNA3", "hostile", "MI300"] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn unknown_gpu_fails_with_code_2_and_lists_aliases() {
     let out = mt4g().args(["--gpu", "RTX9090"]).output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown GPU preset"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown GPU preset"));
+    // The error must advertise canonical names *and* accepted aliases.
+    for needle in ["H100-80", "aliases: H100", "MI300", "B200", "RX7900XTX"] {
+        assert!(
+            stderr.contains(needle),
+            "error must list {needle}: {stderr}"
+        );
+    }
 }
 
 #[test]
@@ -86,6 +104,78 @@ fn fast_discovery_smoke_emits_l1_json() {
     );
     // Quiet mode keeps stdout pure JSON and the run deterministic.
     assert_eq!(stdout, run(), "two identical runs must emit identical JSON");
+}
+
+/// The new-preset golden alongside the T1000 one: a full fast B200
+/// discovery must print one parseable JSON report whose L1 row carries
+/// the planted Blackwell geometry, byte-identically across invocations.
+#[test]
+fn b200_fast_discovery_golden_is_byte_identical() {
+    let run = || {
+        let out = mt4g()
+            .args(["--gpu", "B200", "--fast", "-q"])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let stdout = run();
+    let report = mt4g_core::report::from_json(&stdout).expect("valid JSON report");
+    assert_eq!(report.device.name, "B200 180GB HBM3e");
+    assert_eq!(report.compute.num_sms, 148);
+    assert_eq!(report.compute.cores_per_sm, 128, "CC 10.0 lookup row");
+    let l1 = report
+        .element(mt4g_sim::device::CacheKind::L1)
+        .expect("L1 row present");
+    assert_eq!(l1.size.value(), Some(&(256 * 1024)), "planted L1 size");
+    // The planted Blackwell quirk: L1↔CL1 sharing reported unreliable.
+    let cl1 = report
+        .element(mt4g_sim::device::CacheKind::ConstL1)
+        .expect("CL1 row");
+    assert!(
+        !cl1.shared_with.is_available(),
+        "flaky-sharing quirk must surface as a non-result"
+    );
+    assert_eq!(stdout, run(), "two identical runs must emit identical JSON");
+}
+
+/// `--scenario hostile` works end-to-end from the CLI and renames the
+/// device so hostile reports cannot be mistaken for bare-metal ones.
+#[test]
+fn hostile_scenario_runs_from_the_cli() {
+    let out = mt4g()
+        .args([
+            "--gpu",
+            "T1000",
+            "--fast",
+            "-q",
+            "--scenario",
+            "hostile",
+            "--only",
+            "cl1",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = mt4g_core::report::from_json(&String::from_utf8_lossy(&out.stdout))
+        .expect("valid JSON report");
+    assert_eq!(report.device.name, "T1000 (hostile)");
+    let cl1 = report
+        .element(mt4g_sim::device::CacheKind::ConstL1)
+        .expect("CL1 row");
+    assert_eq!(
+        cl1.size.value(),
+        Some(&2048),
+        "hostile noise must not move the discovered size"
+    );
 }
 
 #[test]

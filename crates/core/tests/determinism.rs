@@ -26,10 +26,11 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Runs a full sequential discovery of `gpu`, then an n-way shard split
-/// merged back through `mt4g merge`, and asserts byte identity.
-fn assert_shards_merge_byte_identical(gpu: &str, shards: usize) {
-    let base = ["--gpu", gpu, "--fast", "-q"];
+/// Runs a full sequential discovery of `gpu` (with `extra` CLI flags,
+/// e.g. a `--scenario`), then an n-way shard split merged back through
+/// `mt4g merge`, and asserts byte identity.
+fn assert_shards_merge_byte_identical_with(gpu: &str, extra: &[&str], shards: usize) {
+    let base = [&["--gpu", gpu, "--fast", "-q"][..], extra].concat();
     let sequential = run_stdout(&[&base[..], &["--jobs", "1"]].concat());
 
     let dir = temp_dir(&format!("shards-{gpu}"));
@@ -56,6 +57,10 @@ fn assert_shards_merge_byte_identical(gpu: &str, shards: usize) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn assert_shards_merge_byte_identical(gpu: &str, shards: usize) {
+    assert_shards_merge_byte_identical_with(gpu, &[], shards);
+}
+
 /// `--jobs 1`, `--jobs 4`, and a merged 3-way shard split of the same
 /// fast T1000 run all produce byte-identical reports.
 #[test]
@@ -76,6 +81,52 @@ fn jobs_and_shards_emit_byte_identical_reports() {
 #[test]
 fn mi300x_l3_row_order_survives_merge() {
     assert_shards_merge_byte_identical("MI300X", 2);
+}
+
+/// A MIG-scenario discovery run is as deterministic as a bare-metal one:
+/// `--jobs 1` vs `--jobs 4` vs a merged 2-way shard split of
+/// `--scenario mig:2g.10gb` all emit byte-identical reports, and the
+/// report describes the MIG instance (scaled SM count), not the full
+/// chip.
+#[test]
+fn mig_scenario_is_byte_identical_across_jobs_and_shards() {
+    let base = ["--gpu", "A100", "--fast", "-q", "--scenario", "mig:2g.10gb"];
+    let sequential = run_stdout(&[&base[..], &["--jobs", "1"]].concat());
+    let parallel = run_stdout(&[&base[..], &["--jobs", "4"]].concat());
+    assert_eq!(sequential, parallel, "MIG run must not depend on --jobs");
+    let report = mt4g_core::report::from_json(&sequential).expect("valid report");
+    assert_eq!(report.device.name, "A100 MIG 2g.10gb");
+    assert_eq!(report.compute.num_sms, 108 * 2 / 7, "MIG-scaled SM count");
+    assert_shards_merge_byte_identical_with("A100", &["--scenario", "mig:2g.10gb"], 2);
+}
+
+/// Scenario shards must not merge with bare-metal shards of the same
+/// preset: the scenario is part of the plan fingerprint.
+#[test]
+fn mismatched_scenario_shards_are_rejected() {
+    let dir = temp_dir("scenario-mismatch");
+    let bare = run_stdout(&["--gpu", "A100", "--fast", "-q", "--shard", "1/2"]);
+    let mig = run_stdout(&[
+        "--gpu",
+        "A100",
+        "--fast",
+        "-q",
+        "--scenario",
+        "mig:2g.10gb",
+        "--shard",
+        "2/2",
+    ]);
+    let pa = dir.join("bare.partial.json");
+    let pb = dir.join("mig.partial.json");
+    std::fs::write(&pa, bare).unwrap();
+    std::fs::write(&pb, mig).unwrap();
+    let out = mt4g()
+        .args(["merge", pa.to_str().unwrap(), pb.to_str().unwrap(), "-q"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A shard emits a parseable partial report whose unit results are a
@@ -124,6 +175,18 @@ fn mismatched_shards_are_rejected() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `mt4g merge` rejects `--scenario`: the scenario is baked into each
+/// partial's fingerprint and cannot be re-scoped at merge time.
+#[test]
+fn merge_rejects_scenario_flag() {
+    let out = mt4g()
+        .args(["merge", "whatever.json", "--scenario", "hostile", "-q"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not to `mt4g merge`"));
 }
 
 /// Bad `--shard` specs fail fast with exit code 2.

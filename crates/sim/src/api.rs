@@ -85,7 +85,7 @@ pub fn device_props(gpu: &Gpu) -> DeviceProps {
 /// per-XCD size and L3 if present); the CU-level vL1/sL1d are *not* in the
 /// HSA tables with useful granularity, so MT4G benchmarks them (Table I).
 pub fn hsa_cache_sizes(gpu: &Gpu) -> Option<Vec<(CacheKind, u64)>> {
-    if gpu.vendor() != Vendor::Amd {
+    if gpu.vendor() != Vendor::Amd || gpu.config.quirks.cache_info_apis_unavailable {
         return None;
     }
     let mut out = Vec::new();
@@ -100,7 +100,7 @@ pub fn hsa_cache_sizes(gpu: &Gpu) -> Option<Vec<(CacheKind, u64)>> {
 
 /// KFD driver-file cache line sizes — AMD only (L2 and L3).
 pub fn kfd_cache_line_sizes(gpu: &Gpu) -> Option<Vec<(CacheKind, u32)>> {
-    if gpu.vendor() != Vendor::Amd {
+    if gpu.vendor() != Vendor::Amd || gpu.config.quirks.cache_info_apis_unavailable {
         return None;
     }
     let mut out = Vec::new();
@@ -114,13 +114,22 @@ pub fn kfd_cache_line_sizes(gpu: &Gpu) -> Option<Vec<(CacheKind, u32)>> {
 }
 
 /// Number of XCDs (accelerator complex dies) — AMD only. MT4G assumes one
-/// L2 segment per XCD (paper Sec. IV-F1).
+/// L2 segment per XCD (paper Sec. IV-F1). Part of the same HSA/KFD cache
+/// description surface the hostile environments lock down, so the L2
+/// *amount* honestly degrades to "no result" there instead of leaking
+/// from the API.
 pub fn xcd_count(gpu: &Gpu) -> Option<u32> {
+    if gpu.config.quirks.cache_info_apis_unavailable {
+        return None;
+    }
     gpu.config.xcd_count()
 }
 
 /// Logical→physical CU id mapping — AMD only (paper Sec. III-B).
 pub fn logical_to_physical_cu(gpu: &Gpu) -> Option<Vec<u32>> {
+    if gpu.config.quirks.cu_ids_unavailable {
+        return None;
+    }
     gpu.config
         .cu_layout
         .as_ref()
@@ -129,7 +138,7 @@ pub fn logical_to_physical_cu(gpu: &Gpu) -> Option<Vec<u32>> {
 
 /// Number of L3 instances — AMD only, via API (Table I).
 pub fn l3_amount(gpu: &Gpu) -> Option<u32> {
-    if gpu.vendor() != Vendor::Amd {
+    if gpu.vendor() != Vendor::Amd || gpu.config.quirks.cache_info_apis_unavailable {
         return None;
     }
     gpu.config.cache(CacheKind::L3).map(|s| s.segments)
@@ -174,5 +183,19 @@ mod tests {
         assert_eq!(l3_amount(&gpu), Some(1));
         let sizes = hsa_cache_sizes(&gpu).unwrap();
         assert!(sizes.iter().any(|&(k, _)| k == CacheKind::L3));
+    }
+
+    /// The hostile quirk removes the whole HSA/KFD cache-description
+    /// surface: sizes, line sizes, L3 amount, *and* the XCD count that
+    /// backs the L2 amount.
+    #[test]
+    fn locked_down_apis_hide_every_cache_table() {
+        let gpu = presets::mi210_hostile();
+        assert!(gpu.config.quirks.cache_info_apis_unavailable);
+        assert!(hsa_cache_sizes(&gpu).is_none());
+        assert!(kfd_cache_line_sizes(&gpu).is_none());
+        assert!(l3_amount(&gpu).is_none());
+        assert!(xcd_count(&gpu).is_none());
+        assert!(logical_to_physical_cu(&gpu).is_none());
     }
 }

@@ -63,15 +63,16 @@ pub fn rate_ratio(arch: Microarch, dtype: DType) -> Option<f64> {
     Some(match (arch, dtype) {
         (_, Fp32) => 1.0,
         // FP64: datacenter halves, consumer 1/32.
-        (Volta | Ampere | Hopper, Fp64) => 0.5,
+        (Volta | Ampere | Hopper | Blackwell, Fp64) => 0.5,
         (Cdna1, Fp64) => 0.5,
         (Cdna2 | Cdna3, Fp64) => 1.0, // CDNA2+ full-rate FP64 vector
         (Pascal | Turing, Fp64) => 1.0 / 32.0,
+        (Rdna3 | Rdna4, Fp64) => 1.0 / 16.0, // RDNA native FP64 rate
         // FP16 vector rate.
         (Pascal, Fp16) => 1.0 / 64.0, // GP102's crippled FP16
-        (Volta | Turing | Hopper, Fp16) => 2.0,
+        (Volta | Turing | Hopper | Blackwell, Fp16) => 2.0,
         (Ampere, Fp16) => 4.0,
-        (Cdna1 | Cdna2 | Cdna3, Fp16) => 2.0,
+        (Cdna1 | Cdna2 | Cdna3 | Rdna3 | Rdna4, Fp16) => 2.0,
         // INT32 runs at FP32 rate on everything in scope.
         (_, Int32) => 1.0,
         // Tensor / matrix engines (dense FP16).
@@ -79,8 +80,13 @@ pub fn rate_ratio(arch: Microarch, dtype: DType) -> Option<f64> {
         (Volta | Turing, TensorFp16) => 8.0,
         (Ampere, TensorFp16) => 16.0,
         (Hopper, TensorFp16) => 14.8,
+        (Blackwell, TensorFp16) => 16.0,
         (Cdna1 | Cdna2, TensorFp16) => 8.0,
         (Cdna3, TensorFp16) => 16.0,
+        // RDNA WMMA runs on the shader cores: 4× FP32 on RDNA3, doubled
+        // dense throughput on RDNA4.
+        (Rdna3, TensorFp16) => 4.0,
+        (Rdna4, TensorFp16) => 8.0,
     })
 }
 

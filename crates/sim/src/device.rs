@@ -32,9 +32,12 @@ pub enum Microarch {
     Turing,
     Ampere,
     Hopper,
+    Blackwell,
     Cdna1,
     Cdna2,
     Cdna3,
+    Rdna3,
+    Rdna4,
 }
 
 impl Microarch {
@@ -45,8 +48,13 @@ impl Microarch {
             | Microarch::Volta
             | Microarch::Turing
             | Microarch::Ampere
-            | Microarch::Hopper => Vendor::Nvidia,
-            Microarch::Cdna1 | Microarch::Cdna2 | Microarch::Cdna3 => Vendor::Amd,
+            | Microarch::Hopper
+            | Microarch::Blackwell => Vendor::Nvidia,
+            Microarch::Cdna1
+            | Microarch::Cdna2
+            | Microarch::Cdna3
+            | Microarch::Rdna3
+            | Microarch::Rdna4 => Vendor::Amd,
         }
     }
 }

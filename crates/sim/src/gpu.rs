@@ -155,9 +155,15 @@ impl Gpu {
         forked
     }
 
-    /// Replaces the noise model (e.g. [`NoiseModel::NONE`] in unit tests).
+    /// Replaces the noise model (e.g. [`NoiseModel::NONE`] in unit tests,
+    /// [`NoiseModel::HOSTILE`] in the hostile scenario).
     pub fn set_noise(&mut self, noise: NoiseModel) {
         self.noise = noise;
+    }
+
+    /// The active measurement-noise model.
+    pub fn noise(&self) -> NoiseModel {
+        self.noise
     }
 
     /// The GPU's vendor.

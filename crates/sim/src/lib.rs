@@ -17,8 +17,13 @@
 //! * [`api`] — emulated vendor query APIs with the paper's Table I
 //!   availability matrix,
 //! * [`mig`] — NVIDIA Multi-Instance-GPU partitioning views,
-//! * [`presets`] — ground-truth configurations for the ten GPUs of the
-//!   paper's Table II, with their documented quirks ([`quirks`]).
+//! * [`presets`] — a data-driven registry of ground-truth configurations:
+//!   the ten GPUs of the paper's Table II plus Blackwell (B200/GB200),
+//!   RDNA3/RDNA4 consumer parts and a hostile variant family, with their
+//!   documented quirks ([`quirks`]),
+//! * [`scenario`] — deployment scenarios (bare-metal, MIG partition,
+//!   hostile environment) that transform both the device the suite runs
+//!   on and the expectations the validator checks.
 //!
 //! # Paper map
 //!
@@ -53,7 +58,9 @@ pub mod mig;
 pub mod noise;
 pub mod presets;
 pub mod quirks;
+pub mod scenario;
 
 pub use device::{CacheKind, DeviceConfig, LoadFlags, MemorySpace, Vendor};
 pub use gpu::{Gpu, LaunchResult};
 pub use noise::NoiseModel;
+pub use scenario::Scenario;

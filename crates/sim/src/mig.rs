@@ -96,7 +96,9 @@ pub fn mig_view(full: &DeviceConfig, profile: &MigProfile) -> DeviceConfig {
         "MIG partitioning exists on NVIDIA only"
     );
     let mut cfg = full.clone();
-    cfg.name = format!("{} [MIG {}]", full.name, profile.name);
+    // No `[`/`]` in the name: it becomes a report file stem, and brackets
+    // are glob metacharacters in the CI shell loops that collect shards.
+    cfg.name = format!("{} MIG {}", full.name, profile.name);
 
     let mem_frac = profile.memory_fraction();
     let compute_frac = profile.compute_slices as f64 / profile.compute_total as f64;
@@ -179,5 +181,49 @@ mod tests {
     fn mig_on_amd_panics() {
         let amd = presets::mi210().config;
         mig_view(&amd, &MigProfile::A100_FULL);
+    }
+
+    /// For every NVIDIA registry preset × every MIG profile, the derived
+    /// configuration stays geometrically consistent (size % line == 0,
+    /// line % fetch granularity == 0, ≥ 1 segment, ≥ 1 SM) and the
+    /// visible L2 never exceeds the full device's total L2.
+    #[test]
+    fn mig_view_invariants_hold_across_the_registry() {
+        use crate::device::Vendor;
+        for entry in presets::Registry::global().entries() {
+            if entry.vendor != Vendor::Nvidia {
+                continue;
+            }
+            let full = entry.gpu().config;
+            let full_l2_total = full.l2_total_size().unwrap();
+            for profile in MigProfile::A100_ALL {
+                let view = mig_view(&full, &profile);
+                let tag = format!("{} × {}", entry.name, profile.name);
+                assert!(view.chip.num_sms >= 1, "{tag}: no SMs");
+                assert!(view.dram.size >= 1, "{tag}: no memory");
+                for (kind, spec) in &view.caches {
+                    assert!(spec.segments >= 1, "{tag}: {kind:?} segments");
+                    assert_eq!(
+                        spec.size % spec.line_size as u64,
+                        0,
+                        "{tag}: {kind:?} size {} vs line {}",
+                        spec.size,
+                        spec.line_size
+                    );
+                    assert_eq!(
+                        spec.line_size % spec.fetch_granularity,
+                        0,
+                        "{tag}: {kind:?} line {} vs fetch granularity {}",
+                        spec.line_size,
+                        spec.fetch_granularity
+                    );
+                }
+                assert!(
+                    visible_l2_bytes(&view) <= full_l2_total,
+                    "{tag}: visible L2 {} exceeds full total {full_l2_total}",
+                    visible_l2_bytes(&view)
+                );
+            }
+        }
     }
 }

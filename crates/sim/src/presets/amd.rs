@@ -1,4 +1,13 @@
-//! AMD CDNA presets: MI100 (CDNA1), MI210 (CDNA2), MI300X (CDNA3).
+//! AMD presets: the CDNA compute parts of Table II — MI100 (CDNA1),
+//! MI210 (CDNA2), MI300X (CDNA3) — plus the RDNA3/RDNA4 consumer parts
+//! (RX 7900 XTX, RX 9070 XT) that extend the matrix beyond the paper.
+//!
+//! The RDNA hierarchy is a different cache *set* than CDNA: a 128 B-line
+//! per-CU L0 vector cache (mapped onto [`CacheKind::VL1`]), a per-WGP
+//! scalar cache ([`CacheKind::SL1D`], group size 2), a GPU-level L2, and
+//! the MALL "Infinity Cache" behind it (mapped onto [`CacheKind::L3`],
+//! like the MI300X's Infinity Cache). The per-shader-array graphics L1 of
+//! RDNA3 is read-only for compute and not modeled.
 
 use crate::device::{
     gib, kib, mib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
@@ -232,9 +241,160 @@ pub fn mi300x() -> Gpu {
         cu_layout: Some(cu_layout(320, 304, &disabled, 2)),
         quirks: Quirks {
             no_cu_pinning: true,
-            l1_amount_unschedulable: false,
-            flaky_l1_const_sharing: false,
+            ..Quirks::NONE
         },
         clock_overhead_cycles: 10,
     })
+}
+
+/// Shared RDNA geometry: a 128 B-line L0 vector cache per CU, a per-WGP
+/// scalar cache, one L2, and the MALL Infinity Cache as the L3 level.
+#[allow(clippy::too_many_arguments)]
+fn rdna(
+    name: &str,
+    microarch: Microarch,
+    gfx: &str,
+    num_cus: u32,
+    clock_mhz: u32,
+    mem_clock_mhz: u32,
+    bus_width_bits: u32,
+    l0_lat: u32,
+    scalar_lat: u32,
+    l2_mib: u64,
+    l2_lat: u32,
+    l2_read_bw: f64,
+    l2_write_bw: f64,
+    mall_mib: u64,
+    mall_lat: u32,
+    mall_read_bw: f64,
+    mall_write_bw: f64,
+    dram_gib: u64,
+    dram_lat: u32,
+    dram_read: f64,
+    dram_write: f64,
+) -> Gpu {
+    let l0 = CacheSpec {
+        size: kib(32),
+        line_size: 128,
+        fetch_granularity: 64,
+        associativity: crate::cache::FULLY_ASSOCIATIVE,
+        load_latency: l0_lat,
+        amount_per_sm: Some(1),
+        segments: 1,
+        read_bw_gibs: None,
+        write_bw_gibs: None,
+    };
+    let mall = CacheSpec {
+        size: mib(mall_mib),
+        line_size: 128,
+        fetch_granularity: 128,
+        associativity: crate::cache::FULLY_ASSOCIATIVE,
+        load_latency: mall_lat,
+        amount_per_sm: None,
+        segments: 1,
+        read_bw_gibs: Some(mall_read_bw),
+        write_bw_gibs: Some(mall_write_bw),
+    };
+    Gpu::new(DeviceConfig {
+        name: name.into(),
+        vendor: Vendor::Amd,
+        microarch,
+        chip: ChipSpec {
+            num_sms: num_cus,
+            cores_per_sm: 64,
+            warp_size: 32, // RDNA schedules wave32, not CDNA's wave64
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            regs_per_block: 65536,
+            regs_per_sm: 102400,
+            clock_mhz,
+            mem_clock_mhz,
+            bus_width_bits,
+            compute_capability: gfx.into(),
+        },
+        caches: vec![
+            (CacheKind::VL1, l0),
+            (CacheKind::SL1D, sl1d(kib(16), scalar_lat)),
+            (
+                CacheKind::L2,
+                amd_l2(mib(l2_mib), 1, l2_lat, l2_read_bw, l2_write_bw),
+            ),
+            (CacheKind::L3, mall),
+        ],
+        scratchpad: ScratchpadSpec {
+            size: kib(64),
+            load_latency: 21,
+        },
+        dram: DramSpec {
+            size: gib(dram_gib),
+            load_latency: dram_lat,
+            read_bw_gibs: dram_read,
+            write_bw_gibs: dram_write,
+        },
+        sharing: SharingLayout {
+            l1_tex_ro_unified: false,
+        },
+        // Consumer dies ship fully enabled at these SKUs; the scalar cache
+        // is shared per WGP (2 consecutive CUs).
+        cu_layout: Some(cu_layout(num_cus, num_cus, &[], 2)),
+        quirks: Quirks::NONE,
+        clock_overhead_cycles: 8,
+    })
+}
+
+/// AMD Radeon RX 7900 XTX (RDNA3, Navi 31, gfx1100): 96 CUs, 6 MB L2,
+/// 96 MB MALL Infinity Cache, 24 GB GDDR6.
+pub fn rx7900xtx() -> Gpu {
+    rdna(
+        "Radeon RX 7900 XTX",
+        Microarch::Rdna3,
+        "gfx1100",
+        96,
+        2500,
+        2500,
+        384,
+        35,
+        25,
+        6,
+        110,
+        3000.0,
+        2600.0,
+        96,
+        230,
+        3500.0,
+        3100.0,
+        24,
+        550,
+        870.0,
+        800.0,
+    )
+}
+
+/// AMD Radeon RX 9070 XT (RDNA4, Navi 48, gfx1201): 64 CUs, 8 MB L2,
+/// 64 MB MALL Infinity Cache, 16 GB GDDR6.
+pub fn rx9070xt() -> Gpu {
+    rdna(
+        "Radeon RX 9070 XT",
+        Microarch::Rdna4,
+        "gfx1201",
+        64,
+        2970,
+        2518,
+        256,
+        33,
+        24,
+        8,
+        105,
+        3300.0,
+        2900.0,
+        64,
+        215,
+        3200.0,
+        2800.0,
+        16,
+        540,
+        600.0,
+        560.0,
+    )
 }

@@ -1,56 +1,61 @@
-//! Device presets for the ten validation GPUs of the paper's Table II.
+//! Device presets: planted ground truth the MT4G pipeline must recover.
 //!
-//! Each preset plants the ground truth the MT4G pipeline must recover.
-//! Where the paper's Table III lists an MT4G-measured value (H100-80,
-//! MI210) we plant that; elsewhere we use vendor whitepapers and the
+//! The core set is the ten validation GPUs of the paper's Table II. Where
+//! the paper's Table III lists an MT4G-measured value (H100-80, MI210) we
+//! plant that; elsewhere we use vendor whitepapers and the
 //! reverse-engineering literature the paper cites (Jia et al. for
 //! Volta/Turing, chips-and-cheese for bandwidths), which is precisely the
 //! reference hierarchy the paper's validation uses.
+//!
+//! Beyond Table II the [`Registry`] carries Blackwell-class (B200, GB200)
+//! and RDNA3/RDNA4 consumer presets, plus a hostile variant family
+//! (amplified noise, locked-down APIs — see [`crate::scenario`]) that
+//! keeps the statistical pipeline honest. All lookup goes through the
+//! registry: one table drives the CLI, the planner and the test matrix.
 
 mod amd;
 mod nvidia;
+mod registry;
 
-pub use amd::{mi100, mi210, mi300x};
-pub use nvidia::{a100, h100_80, h100_96, p6000, rtx2080, t1000, v100};
+pub use amd::{mi100, mi210, mi300x, rx7900xtx, rx9070xt};
+pub use nvidia::{a100, b200, gb200, h100_80, h100_96, p6000, rtx2080, t1000, v100};
+pub use registry::{Family, PresetEntry, Registry};
 
 use crate::gpu::Gpu;
+use crate::scenario::hostile_variant;
 
-/// Names of all ten presets, in the paper's Table II order.
-pub const ALL_NAMES: [&str; 10] = [
-    "P6000", "V100", "T1000", "RTX2080", "A100", "H100-80", "H100-96", "MI100", "MI210", "MI300X",
-];
-
-/// Instantiates every preset, in Table II order.
-pub fn all() -> Vec<Gpu> {
-    vec![
-        p6000(),
-        v100(),
-        t1000(),
-        rtx2080(),
-        a100(),
-        h100_80(),
-        h100_96(),
-        mi100(),
-        mi210(),
-        mi300x(),
-    ]
+/// Hostile variant of the Table III NVIDIA reference GPU (H100-80 under
+/// [`crate::noise::NoiseModel::HOSTILE`] with hostile quirks).
+pub fn h100_hostile() -> Gpu {
+    hostile_variant(h100_80())
 }
 
-/// Looks a preset up by its Table II short name (case-insensitive).
+/// Hostile variant of the Table III AMD reference GPU (MI210 with
+/// amplified noise, no CU pinning and locked-down HSA/KFD tables).
+pub fn mi210_hostile() -> Gpu {
+    hostile_variant(mi210())
+}
+
+/// Instantiates every registry preset, in registration order (the ten
+/// Table II GPUs first, then the Blackwell/RDNA extensions, then the
+/// hostile family).
+pub fn all() -> Vec<Gpu> {
+    Registry::global()
+        .entries()
+        .iter()
+        .map(|e| e.gpu())
+        .collect()
+}
+
+/// Instantiates the paper's Table II presets only, in the paper's order —
+/// the set the paper-figure harness bins reproduce.
+pub fn table2() -> Vec<Gpu> {
+    Registry::global().table2().map(|e| e.gpu()).collect()
+}
+
+/// Looks a preset up by registry short name or alias (case-insensitive).
 pub fn by_name(name: &str) -> Option<Gpu> {
-    match name.to_ascii_uppercase().as_str() {
-        "P6000" => Some(p6000()),
-        "V100" => Some(v100()),
-        "T1000" => Some(t1000()),
-        "RTX2080" => Some(rtx2080()),
-        "A100" => Some(a100()),
-        "H100-80" | "H100" => Some(h100_80()),
-        "H100-96" => Some(h100_96()),
-        "MI100" => Some(mi100()),
-        "MI210" => Some(mi210()),
-        "MI300X" | "MI300" => Some(mi300x()),
-        _ => None,
-    }
+    Registry::global().get(name).map(|e| e.gpu())
 }
 
 #[cfg(test)]
@@ -59,8 +64,19 @@ mod tests {
     use crate::device::{CacheKind, Vendor};
 
     #[test]
-    fn all_ten_presets_instantiate() {
+    fn registry_instantiates_every_preset() {
         let gpus = all();
+        assert_eq!(gpus.len(), Registry::global().entries().len());
+        let nvidia = gpus.iter().filter(|g| g.vendor() == Vendor::Nvidia).count();
+        let amd = gpus.iter().filter(|g| g.vendor() == Vendor::Amd).count();
+        // 7 NVIDIA + 3 AMD per Table II, +2 Blackwell, +2 RDNA, +1 hostile
+        // variant per vendor.
+        assert_eq!((nvidia, amd), (10, 6));
+    }
+
+    #[test]
+    fn table2_keeps_the_paper_census() {
+        let gpus = table2();
         assert_eq!(gpus.len(), 10);
         let nvidia = gpus.iter().filter(|g| g.vendor() == Vendor::Nvidia).count();
         let amd = gpus.iter().filter(|g| g.vendor() == Vendor::Amd).count();
@@ -68,9 +84,11 @@ mod tests {
     }
 
     #[test]
-    fn lookup_by_name_is_case_insensitive() {
+    fn lookup_by_name_is_case_insensitive_and_knows_aliases() {
         assert!(by_name("mi210").is_some());
         assert!(by_name("h100-80").is_some());
+        assert!(by_name("H100").is_some(), "alias lookup");
+        assert!(by_name("mi300").is_some(), "alias lookup");
         assert!(by_name("nonexistent").is_none());
     }
 
@@ -143,6 +161,21 @@ mod tests {
     }
 
     #[test]
+    fn rdna_presets_carry_the_mall_cache_set() {
+        for gpu in [rx7900xtx(), rx9070xt()] {
+            let name = &gpu.config.name;
+            assert_eq!(gpu.config.chip.warp_size, 32, "{name}: RDNA is wave32");
+            let l0 = gpu.config.cache(CacheKind::VL1).expect("L0");
+            assert_eq!(l0.line_size, 128, "{name}: RDNA L0 lines are 128 B");
+            let mall = gpu.config.cache(CacheKind::L3).expect("MALL as L3");
+            assert!(mall.size >= 64 * 1024 * 1024, "{name}: MALL is tens of MB");
+            let l2 = gpu.config.cache(CacheKind::L2).unwrap();
+            assert!(l2.load_latency < mall.load_latency);
+            assert!(mall.load_latency < gpu.config.dram.load_latency);
+        }
+    }
+
+    #[test]
     fn mi210_has_104_of_128_cus() {
         let gpu = mi210();
         let layout = gpu.config.cu_layout.as_ref().unwrap();
@@ -181,5 +214,24 @@ mod tests {
         assert!(mi300x().config.quirks.no_cu_pinning);
         assert!(!mi210().config.quirks.no_cu_pinning);
         assert!(!h100_80().config.quirks.l1_amount_unschedulable);
+    }
+
+    #[test]
+    fn blackwell_plants_its_quirks() {
+        assert!(b200().config.quirks.flaky_l1_const_sharing);
+        assert!(gb200().config.quirks.l1_amount_unschedulable);
+        assert_eq!(b200().config.chip.compute_capability, "10.0");
+    }
+
+    #[test]
+    fn hostile_variants_amplify_noise_and_lock_apis() {
+        use crate::noise::NoiseModel;
+        let nv = h100_hostile();
+        assert_eq!(nv.noise(), NoiseModel::HOSTILE);
+        assert!(nv.config.quirks.flaky_l1_const_sharing);
+        let amd = mi210_hostile();
+        assert_eq!(amd.noise(), NoiseModel::HOSTILE);
+        assert!(amd.config.quirks.cache_info_apis_unavailable);
+        assert!(amd.config.quirks.no_cu_pinning);
     }
 }

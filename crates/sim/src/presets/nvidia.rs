@@ -1,5 +1,7 @@
 //! NVIDIA presets: P6000 (Pascal), V100 (Volta), T1000 / RTX 2080 Ti
-//! (Turing), A100 (Ampere), H100-80 / H100-96 (Hopper).
+//! (Turing), A100 (Ampere), H100-80 / H100-96 (Hopper), and the
+//! Blackwell-class B200 / GB200 extrapolations beyond the paper's
+//! Table II.
 
 use crate::device::{
     gib, kib, mib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
@@ -157,9 +159,9 @@ pub fn p6000() -> Gpu {
         },
         cu_layout: NO_CU_LAYOUT,
         quirks: Quirks {
-            no_cu_pinning: false,
             l1_amount_unschedulable: true,
             flaky_l1_const_sharing: true,
+            ..Quirks::NONE
         },
         clock_overhead_cycles: 8,
     })
@@ -463,4 +465,116 @@ pub fn h100_80() -> Gpu {
 /// NVIDIA H100 96GB HBM3 (Hopper).
 pub fn h100_96() -> Gpu {
     h100("H100 96GB HBM3", 96, 850, 2600.0, 2800.0)
+}
+
+/// Shared Blackwell-class (GB100) geometry: 148 SMs, a 256 KiB unified L1,
+/// and a 126 MB L2 in two 63 MB segments behind a 8192-bit HBM3e bus.
+/// Values extrapolate the Hopper→Blackwell whitepaper deltas the same way
+/// the paper's reference hierarchy extrapolates from the literature; they
+/// are planted ground truth for the discovery pipeline, not measurements.
+#[allow(clippy::too_many_arguments)]
+fn blackwell(
+    name: &str,
+    clock_mhz: u32,
+    mem_clock_mhz: u32,
+    dram_gib: u64,
+    dram_lat: u32,
+    dram_read: f64,
+    dram_write: f64,
+    quirks: Quirks,
+) -> Gpu {
+    Gpu::new(DeviceConfig {
+        name: name.into(),
+        vendor: Vendor::Nvidia,
+        microarch: Microarch::Blackwell,
+        chip: ChipSpec {
+            num_sms: 148,
+            cores_per_sm: 128,
+            warp_size: 32,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            regs_per_block: 65536,
+            regs_per_sm: 65536,
+            clock_mhz,
+            mem_clock_mhz,
+            bus_width_bits: 8192,
+            compute_capability: "10.0".into(),
+        },
+        caches: nvidia_caches(
+            kib(256),
+            128,
+            32,
+            40,
+            41,
+            37,
+            22,
+            kib(128),
+            100,
+            mib(63),
+            2,
+            128,
+            32,
+            240,
+            5200.0,
+            4100.0,
+        ),
+        scratchpad: ScratchpadSpec {
+            size: kib(228),
+            load_latency: 31,
+        },
+        dram: DramSpec {
+            size: gib(dram_gib),
+            load_latency: dram_lat,
+            read_bw_gibs: dram_read,
+            write_bw_gibs: dram_write,
+        },
+        sharing: SharingLayout {
+            l1_tex_ro_unified: true,
+        },
+        cu_layout: NO_CU_LAYOUT,
+        quirks,
+        clock_overhead_cycles: 6,
+    })
+}
+
+/// NVIDIA B200 180GB HBM3e (Blackwell, GB100). Planted quirk: early
+/// Blackwell drivers misreport L1 / Constant-L1 physical sharing, so that
+/// pair is surfaced with zero confidence (a Pascal-style non-result on a
+/// brand-new part).
+pub fn b200() -> Gpu {
+    blackwell(
+        "B200 180GB HBM3e",
+        1965,
+        3200,
+        180,
+        895,
+        6600.0,
+        6100.0,
+        Quirks {
+            flaky_l1_const_sharing: true,
+            ..Quirks::NONE
+        },
+    )
+}
+
+/// NVIDIA GB200 (Blackwell, the Grace-coupled superchip's GPU view):
+/// same GB100 silicon as the B200 at NVL-cabinet clocks and capacity.
+/// Planted quirk: the cgroup-pinned NVL deployment cannot schedule
+/// benchmark threads on the last warp, so the L1 Amount benchmark reports
+/// no result (the P6000 failure mode on a modern part).
+pub fn gb200() -> Gpu {
+    blackwell(
+        "GB200 186GB HBM3e",
+        2100,
+        3400,
+        186,
+        880,
+        7000.0,
+        6400.0,
+        Quirks {
+            l1_amount_unschedulable: true,
+            ..Quirks::NONE
+        },
+    )
 }

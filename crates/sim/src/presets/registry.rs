@@ -1,0 +1,331 @@
+//! The data-driven preset registry.
+//!
+//! Target selection used to be a hand-written `match` over ten constructor
+//! functions; every new device meant touching the lookup, the `--list`
+//! output, the help text and the validation matrix separately. The
+//! [`Registry`] replaces all of that with one table of [`PresetEntry`]
+//! records — name, aliases, vendor, family, builder — that the CLI, the
+//! suite planner, the validator and the test matrix all iterate. Adding a
+//! preset is now one entry (plus its builder), and every surface picks it
+//! up automatically.
+
+use crate::device::Vendor;
+use crate::gpu::Gpu;
+
+use super::{
+    a100, b200, gb200, h100_80, h100_96, h100_hostile, mi100, mi210, mi210_hostile, mi300x, p6000,
+    rtx2080, rx7900xtx, rx9070xt, t1000, v100,
+};
+
+/// Device family a preset belongs to. Families group presets for
+/// reporting and filtering; [`Family::Hostile`] marks the stress-variant
+/// entries that are not physical SKUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// NVIDIA Pascal (P6000).
+    Pascal,
+    /// NVIDIA Volta (V100).
+    Volta,
+    /// NVIDIA Turing (T1000, RTX 2080 Ti).
+    Turing,
+    /// NVIDIA Ampere (A100).
+    Ampere,
+    /// NVIDIA Hopper (H100).
+    Hopper,
+    /// NVIDIA Blackwell (B200, GB200) — beyond the paper's Table II.
+    Blackwell,
+    /// AMD CDNA compute parts (MI100, MI210, MI300X).
+    Cdna,
+    /// AMD RDNA3 consumer parts (RX 7900 XTX).
+    Rdna3,
+    /// AMD RDNA4 consumer parts (RX 9070 XT).
+    Rdna4,
+    /// Hostile stress variants of base presets (amplified noise,
+    /// locked-down APIs) — exercises the statistical pipeline, not a SKU.
+    Hostile,
+}
+
+impl Family {
+    /// Human-readable family label for `mt4g list`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Pascal => "Pascal",
+            Family::Volta => "Volta",
+            Family::Turing => "Turing",
+            Family::Ampere => "Ampere",
+            Family::Hopper => "Hopper",
+            Family::Blackwell => "Blackwell",
+            Family::Cdna => "CDNA",
+            Family::Rdna3 => "RDNA3",
+            Family::Rdna4 => "RDNA4",
+            Family::Hostile => "hostile",
+        }
+    }
+
+    /// Whether the family is part of the paper's Table II validation set.
+    pub fn in_paper_table2(self) -> bool {
+        !matches!(
+            self,
+            Family::Blackwell | Family::Rdna3 | Family::Rdna4 | Family::Hostile
+        )
+    }
+}
+
+/// One registry record: everything the CLI, planner and test matrix need
+/// to know about a preset without instantiating it.
+#[derive(Debug, Clone, Copy)]
+pub struct PresetEntry {
+    /// Canonical short name (`--gpu` spelling, `--list` output).
+    pub name: &'static str,
+    /// Accepted alternate spellings, also matched case-insensitively.
+    pub aliases: &'static [&'static str],
+    /// Device vendor.
+    pub vendor: Vendor,
+    /// Device family.
+    pub family: Family,
+    /// Instantiates the preset with its planted ground truth.
+    pub build: fn() -> Gpu,
+}
+
+impl PresetEntry {
+    /// Whether `name` (case-insensitively) names this entry or one of its
+    /// aliases.
+    pub fn matches(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+
+    /// Instantiates the preset.
+    pub fn gpu(&self) -> Gpu {
+        (self.build)()
+    }
+}
+
+/// Every known preset, in registration order: the ten Table II GPUs first
+/// (paper order), then the Blackwell and RDNA extensions, then the
+/// hostile variant family.
+static ENTRIES: [PresetEntry; 16] = [
+    PresetEntry {
+        name: "P6000",
+        aliases: &["QUADRO-P6000"],
+        vendor: Vendor::Nvidia,
+        family: Family::Pascal,
+        build: p6000,
+    },
+    PresetEntry {
+        name: "V100",
+        aliases: &["V100-16"],
+        vendor: Vendor::Nvidia,
+        family: Family::Volta,
+        build: v100,
+    },
+    PresetEntry {
+        name: "T1000",
+        aliases: &[],
+        vendor: Vendor::Nvidia,
+        family: Family::Turing,
+        build: t1000,
+    },
+    PresetEntry {
+        name: "RTX2080",
+        aliases: &["RTX2080TI", "2080TI"],
+        vendor: Vendor::Nvidia,
+        family: Family::Turing,
+        build: rtx2080,
+    },
+    PresetEntry {
+        name: "A100",
+        aliases: &["A100-40"],
+        vendor: Vendor::Nvidia,
+        family: Family::Ampere,
+        build: a100,
+    },
+    PresetEntry {
+        name: "H100-80",
+        aliases: &["H100"],
+        vendor: Vendor::Nvidia,
+        family: Family::Hopper,
+        build: h100_80,
+    },
+    PresetEntry {
+        name: "H100-96",
+        aliases: &[],
+        vendor: Vendor::Nvidia,
+        family: Family::Hopper,
+        build: h100_96,
+    },
+    PresetEntry {
+        name: "MI100",
+        aliases: &[],
+        vendor: Vendor::Amd,
+        family: Family::Cdna,
+        build: mi100,
+    },
+    PresetEntry {
+        name: "MI210",
+        aliases: &[],
+        vendor: Vendor::Amd,
+        family: Family::Cdna,
+        build: mi210,
+    },
+    PresetEntry {
+        name: "MI300X",
+        aliases: &["MI300"],
+        vendor: Vendor::Amd,
+        family: Family::Cdna,
+        build: mi300x,
+    },
+    PresetEntry {
+        name: "B200",
+        aliases: &["B200-SXM"],
+        vendor: Vendor::Nvidia,
+        family: Family::Blackwell,
+        build: b200,
+    },
+    PresetEntry {
+        name: "GB200",
+        aliases: &["GB200-NVL"],
+        vendor: Vendor::Nvidia,
+        family: Family::Blackwell,
+        build: gb200,
+    },
+    PresetEntry {
+        name: "RX7900XTX",
+        aliases: &["7900XTX", "RX7900"],
+        vendor: Vendor::Amd,
+        family: Family::Rdna3,
+        build: rx7900xtx,
+    },
+    PresetEntry {
+        name: "RX9070XT",
+        aliases: &["9070XT", "RX9070"],
+        vendor: Vendor::Amd,
+        family: Family::Rdna4,
+        build: rx9070xt,
+    },
+    PresetEntry {
+        name: "H100-hostile",
+        aliases: &["HOSTILE-NV"],
+        vendor: Vendor::Nvidia,
+        family: Family::Hostile,
+        build: h100_hostile,
+    },
+    PresetEntry {
+        name: "MI210-hostile",
+        aliases: &["HOSTILE-AMD"],
+        vendor: Vendor::Amd,
+        family: Family::Hostile,
+        build: mi210_hostile,
+    },
+];
+
+/// The preset registry: the single lookup surface for every preset.
+#[derive(Debug)]
+pub struct Registry {
+    entries: &'static [PresetEntry],
+}
+
+/// The one global registry instance.
+static GLOBAL: Registry = Registry { entries: &ENTRIES };
+
+impl Registry {
+    /// The global registry.
+    pub fn global() -> &'static Registry {
+        &GLOBAL
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[PresetEntry] {
+        self.entries
+    }
+
+    /// Looks an entry up by canonical name or alias, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&PresetEntry> {
+        self.entries.iter().find(|e| e.matches(name))
+    }
+
+    /// Canonical names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|e| e.name)
+    }
+
+    /// The paper's Table II subset, in paper order.
+    pub fn table2(&self) -> impl Iterator<Item = &PresetEntry> + '_ {
+        self.entries.iter().filter(|e| e.family.in_paper_table2())
+    }
+
+    /// One line per entry of the form `NAME (aliases: A, B)` — the
+    /// unknown-`--gpu` error and the help text print this so accepted
+    /// aliases (e.g. `H100`, `MI300`) are discoverable, not just the
+    /// canonical names.
+    pub fn known_names(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| {
+                if e.aliases.is_empty() {
+                    e.name.to_string()
+                } else {
+                    format!("{} (aliases: {})", e.name, e.aliases.join(", "))
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_aliases_are_unique_case_insensitively() {
+        let mut seen: Vec<String> = Vec::new();
+        for e in Registry::global().entries() {
+            for name in std::iter::once(&e.name).chain(e.aliases) {
+                let lower = name.to_ascii_lowercase();
+                assert!(!seen.contains(&lower), "duplicate preset name {name}");
+                seen.push(lower);
+            }
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_their_entry() {
+        let reg = Registry::global();
+        assert_eq!(reg.get("h100").unwrap().name, "H100-80");
+        assert_eq!(reg.get("MI300").unwrap().name, "MI300X");
+        assert_eq!(reg.get("2080ti").unwrap().name, "RTX2080");
+        assert_eq!(reg.get("hostile-amd").unwrap().name, "MI210-hostile");
+        assert!(reg.get("RTX9090").is_none());
+    }
+
+    #[test]
+    fn entry_vendor_and_family_match_the_built_device() {
+        for e in Registry::global().entries() {
+            let gpu = e.gpu();
+            assert_eq!(gpu.vendor(), e.vendor, "{}", e.name);
+            if e.family == Family::Hostile {
+                assert!(gpu.config.name.ends_with("(hostile)"), "{}", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_is_the_paper_ten() {
+        let reg = Registry::global();
+        let names: Vec<&str> = reg.table2().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "P6000", "V100", "T1000", "RTX2080", "A100", "H100-80", "H100-96", "MI100",
+                "MI210", "MI300X"
+            ]
+        );
+    }
+
+    #[test]
+    fn registry_meets_the_scenario_matrix_floor() {
+        // The (preset × scenario) validation matrix needs ≥ 14 presets.
+        assert!(Registry::global().entries().len() >= 14);
+    }
+}

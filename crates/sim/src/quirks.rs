@@ -1,5 +1,5 @@
-//! Hardware / environment quirks that make specific benchmarks unable to
-//! produce a result.
+//! Hardware / environment quirks that make specific benchmarks or query
+//! APIs unable to produce a result.
 //!
 //! The paper's validation (Sec. V) documents exactly three such cases, all
 //! of which end in "no result or zero confidence, *not a wrong result*":
@@ -12,11 +12,21 @@
 //! 3. **P6000** sometimes incorrectly indicates L1 / Constant-L1 physical
 //!    sharing — likely related to (2); our model surfaces it as an
 //!    inconclusive (zero-confidence) sharing result for that pair.
+//!
+//! The `hostile` preset family and the hostile *scenario* (see
+//! [`crate::scenario`]) pile additional quirks on top of these — locked-down
+//! query APIs that force the pipeline back onto its benchmarks. The newer
+//! flags carry `#[serde(default)]` so reports serialized before they
+//! existed still deserialize.
 
 use serde::{Deserialize, Serialize};
 
 /// Per-device quirk flags (all default to "no quirk").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// [`Quirks::NONE`] is the single source of truth for the no-quirk value;
+/// `Quirks::default()` is defined as exactly that constant (pinned by a
+/// test), so the two can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Quirks {
     /// Thread blocks cannot be pinned to CU ids (virtualised pass-through,
     /// e.g. MI300X VF). Disables the AMD sL1d CU-sharing benchmark.
@@ -29,15 +39,35 @@ pub struct Quirks {
     /// (observed on Pascal P6000); the result is reported with zero
     /// confidence.
     pub flaky_l1_const_sharing: bool,
+    /// The HSA/KFD cache-description tables are unavailable (locked-down or
+    /// virtualised AMD environments — the hostile family). The pipeline
+    /// loses the Table I API shortcuts for L2/L3 size, line size and
+    /// amount; attributes it cannot benchmark instead are reported as
+    /// unavailable, never guessed.
+    #[serde(default)]
+    pub cache_info_apis_unavailable: bool,
+    /// The logical→physical CU id mapping is not exposed (hostile family).
+    /// CU-identity-based reporting degrades to "unavailable"; the sL1d
+    /// CU-sharing benchmark still runs if pinning works.
+    #[serde(default)]
+    pub cu_ids_unavailable: bool,
 }
 
 impl Quirks {
-    /// No quirks — the common case.
+    /// No quirks — the common case, and the definition `default()` reuses.
     pub const NONE: Quirks = Quirks {
         no_cu_pinning: false,
         l1_amount_unschedulable: false,
         flaky_l1_const_sharing: false,
+        cache_info_apis_unavailable: false,
+        cu_ids_unavailable: false,
     };
+}
+
+impl Default for Quirks {
+    fn default() -> Self {
+        Self::NONE
+    }
 }
 
 #[cfg(test)]
@@ -47,5 +77,31 @@ mod tests {
     #[test]
     fn default_is_none() {
         assert_eq!(Quirks::default(), Quirks::NONE);
+    }
+
+    /// Reports serialized before the hostile-family flags existed carry no
+    /// such fields; they must still deserialize (to `false`).
+    #[test]
+    fn pre_hostile_serialized_quirks_still_deserialize() {
+        let old = r#"{
+            "no_cu_pinning": true,
+            "l1_amount_unschedulable": false,
+            "flaky_l1_const_sharing": false
+        }"#;
+        let q: Quirks = serde_json::from_str(old).expect("old quirks parse");
+        assert!(q.no_cu_pinning);
+        assert!(!q.cache_info_apis_unavailable);
+        assert!(!q.cu_ids_unavailable);
+    }
+
+    #[test]
+    fn round_trip_preserves_new_flags() {
+        let q = Quirks {
+            cache_info_apis_unavailable: true,
+            cu_ids_unavailable: true,
+            ..Quirks::NONE
+        };
+        let json = serde_json::to_string(&q).unwrap();
+        assert_eq!(serde_json::from_str::<Quirks>(&json).unwrap(), q);
     }
 }

@@ -1,0 +1,290 @@
+//! Deployment scenarios: the *environment* a discovery run executes in.
+//!
+//! A preset answers "which GPU"; a [`Scenario`] answers "under what
+//! conditions". The same preset can be discovered bare-metal, inside a MIG
+//! partition (fewer SMs, a slice of the L2 and the memory — paper
+//! Sec. VI-C), or in a hostile multi-tenant environment (amplified
+//! measurement noise, locked-down query APIs). Crucially the scenario
+//! transforms *both* sides of the validation contract the same way: the
+//! [`DeviceConfig`] the suite runs on **and** the planted expectations the
+//! validator checks (e.g. the MIG-scaled visible L2), so a scenario run is
+//! validated end-to-end against scenario-adjusted ground truth instead of
+//! being compared to the bare-metal chip it no longer resembles.
+
+use crate::device::{DeviceConfig, Vendor};
+use crate::gpu::Gpu;
+use crate::mig::{mig_view, MigProfile};
+use crate::noise::NoiseModel;
+use crate::quirks::Quirks;
+
+/// Parameters of a hostile (multi-tenant / virtualised / oversubscribed)
+/// environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostileProfile {
+    /// The amplified measurement-noise model every timed load sees.
+    pub noise: NoiseModel,
+    /// Whether the environment also locks down the optional query APIs
+    /// (AMD HSA/KFD cache tables, CU id mapping), forcing the pipeline
+    /// back onto its benchmarks or into honest "no result" rows.
+    pub lock_down_apis: bool,
+}
+
+impl HostileProfile {
+    /// The standard hostile profile: [`NoiseModel::HOSTILE`] plus
+    /// locked-down query APIs.
+    pub const DEFAULT: HostileProfile = HostileProfile {
+        noise: NoiseModel::HOSTILE,
+        lock_down_apis: true,
+    };
+}
+
+impl Default for HostileProfile {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// One deployment scenario. Applying a scenario is idempotent: a hostile
+/// preset under the hostile scenario is the same device, not a doubly
+/// noisy one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Scenario {
+    /// The paper's Table II setting: the whole GPU, realistic noise.
+    #[default]
+    BareMetal,
+    /// Discovery *inside* one MIG instance of an NVIDIA GPU: the suite
+    /// sees (and the validator expects) the [`mig_view`] of the device.
+    Mig(MigProfile),
+    /// A hostile multi-tenant environment: amplified noise and, by
+    /// default, locked-down query APIs.
+    Hostile(HostileProfile),
+}
+
+/// Why a scenario cannot apply to a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// MIG partitioning requested on a non-NVIDIA device.
+    MigNeedsNvidia {
+        /// The offending device's name.
+        device: String,
+    },
+    /// The scenario string did not parse.
+    Unparseable {
+        /// The offending CLI argument.
+        input: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::MigNeedsNvidia { device } => {
+                write!(f, "MIG partitioning exists on NVIDIA only, not on {device}")
+            }
+            ScenarioError::Unparseable { input } => write!(
+                f,
+                "unknown scenario '{input}' (expected 'bare-metal', 'mig:<profile>' \
+                 with a profile from {}, or 'hostile')",
+                MigProfile::A100_ALL.map(|p| p.name).join("/")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The device-name suffix a hostile transform appends.
+const HOSTILE_SUFFIX: &str = " (hostile)";
+
+impl Scenario {
+    /// Parses a CLI scenario spec: `bare-metal` (or `bare`/`baremetal`),
+    /// `mig:<profile>` (an A100-nomenclature profile such as `2g.10gb`),
+    /// or `hostile`.
+    pub fn parse(spec: &str) -> Result<Scenario, ScenarioError> {
+        let lower = spec.trim().to_ascii_lowercase();
+        if let Some(profile) = lower.strip_prefix("mig:") {
+            return MigProfile::A100_ALL
+                .into_iter()
+                .find(|p| p.name == profile)
+                .map(Scenario::Mig)
+                .ok_or_else(|| ScenarioError::Unparseable {
+                    input: spec.to_string(),
+                });
+        }
+        match lower.as_str() {
+            "bare-metal" | "baremetal" | "bare" => Ok(Scenario::BareMetal),
+            "hostile" => Ok(Scenario::Hostile(HostileProfile::DEFAULT)),
+            _ => Err(ScenarioError::Unparseable {
+                input: spec.to_string(),
+            }),
+        }
+    }
+
+    /// Stable label, used in help text and progress chatter.
+    ///
+    /// The label is *descriptive, not a serialization*: every hostile
+    /// profile labels as `hostile`, and `parse("hostile")` reconstructs
+    /// the [`HostileProfile::DEFAULT`] only. Anything that must
+    /// distinguish custom profiles (the shard-merge fingerprint does)
+    /// keys on the realized device's quirks and noise model instead.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::BareMetal => "bare-metal".to_string(),
+            Scenario::Mig(p) => format!("mig:{}", p.name),
+            Scenario::Hostile(_) => "hostile".to_string(),
+        }
+    }
+
+    /// The scenario-adjusted ground truth: what the planted configuration
+    /// looks like *from inside* the scenario. This is simultaneously the
+    /// configuration the suite runs on and the expectation table the
+    /// validator checks — one transform, both sides of the contract.
+    pub fn apply_config(&self, full: &DeviceConfig) -> Result<DeviceConfig, ScenarioError> {
+        match self {
+            Scenario::BareMetal => Ok(full.clone()),
+            Scenario::Mig(profile) => {
+                if full.vendor != Vendor::Nvidia {
+                    return Err(ScenarioError::MigNeedsNvidia {
+                        device: full.name.clone(),
+                    });
+                }
+                Ok(mig_view(full, profile))
+            }
+            Scenario::Hostile(profile) => {
+                let mut cfg = full.clone();
+                if !cfg.name.ends_with(HOSTILE_SUFFIX) {
+                    cfg.name.push_str(HOSTILE_SUFFIX);
+                }
+                cfg.quirks = hostile_quirks(cfg.vendor, cfg.quirks, profile);
+                Ok(cfg)
+            }
+        }
+    }
+
+    /// Realizes the scenario on an instantiated device: transforms the
+    /// configuration via [`Scenario::apply_config`] and installs the
+    /// scenario's noise model, preserving the base seed so scenario runs
+    /// stay deterministic and shardable.
+    pub fn realize(&self, base: Gpu) -> Result<Gpu, ScenarioError> {
+        let cfg = self.apply_config(&base.config)?;
+        let noise = match self {
+            Scenario::Hostile(profile) => profile.noise,
+            _ => base.noise(),
+        };
+        let mut gpu = Gpu::with_seed(cfg, base.base_seed());
+        gpu.set_noise(noise);
+        Ok(gpu)
+    }
+}
+
+/// The quirk set a hostile environment imposes on top of a device's own:
+/// NVIDIA loses the flaky sharing measurement's reliability; AMD
+/// additionally loses CU pinning and (when the profile locks APIs down)
+/// the HSA/KFD cache tables and the CU id mapping.
+fn hostile_quirks(vendor: Vendor, base: Quirks, profile: &HostileProfile) -> Quirks {
+    let mut q = base;
+    match vendor {
+        Vendor::Nvidia => {
+            q.flaky_l1_const_sharing = true;
+        }
+        Vendor::Amd => {
+            q.no_cu_pinning = true;
+            if profile.lock_down_apis {
+                q.cache_info_apis_unavailable = true;
+                q.cu_ids_unavailable = true;
+            }
+        }
+    }
+    q
+}
+
+/// Builds the hostile variant of a device — the `*-hostile` preset
+/// family's transform, identical to realizing [`Scenario::Hostile`] with
+/// the default profile.
+pub fn hostile_variant(base: Gpu) -> Gpu {
+    Scenario::Hostile(HostileProfile::DEFAULT)
+        .realize(base)
+        .expect("hostile applies to every vendor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::CacheKind;
+    use crate::presets;
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for spec in ["bare-metal", "mig:4g.20gb", "mig:1g.5gb", "hostile"] {
+            let s = Scenario::parse(spec).unwrap();
+            assert_eq!(s.label(), spec);
+        }
+        assert_eq!(Scenario::parse("bare").unwrap(), Scenario::BareMetal);
+        assert!(Scenario::parse("mig:9g.99gb").is_err());
+        assert!(Scenario::parse("adversarial").is_err());
+    }
+
+    #[test]
+    fn bare_metal_is_identity() {
+        let gpu = presets::t1000();
+        let cfg = Scenario::BareMetal.apply_config(&gpu.config).unwrap();
+        assert_eq!(cfg, gpu.config);
+    }
+
+    #[test]
+    fn mig_scenario_scales_the_expectations() {
+        let full = presets::a100().config;
+        let cfg = Scenario::Mig(MigProfile::A100_2G_10GB)
+            .apply_config(&full)
+            .unwrap();
+        assert_eq!(
+            cfg.cache(CacheKind::L2).unwrap().size,
+            10 * 1024 * 1024,
+            "the validator must expect the MIG-scaled L2"
+        );
+        assert_eq!(cfg.chip.num_sms, full.chip.num_sms * 2 / 7);
+    }
+
+    #[test]
+    fn mig_scenario_rejects_amd() {
+        let err = Scenario::Mig(MigProfile::A100_FULL)
+            .apply_config(&presets::mi210().config)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::MigNeedsNvidia { .. }));
+    }
+
+    #[test]
+    fn hostile_scenario_is_idempotent() {
+        let once = hostile_variant(presets::mi210());
+        let twice = hostile_variant(hostile_variant(presets::mi210()));
+        assert_eq!(once.config, twice.config);
+        assert_eq!(once.noise(), twice.noise());
+        assert_eq!(once.config.name, "Instinct MI210 (hostile)");
+    }
+
+    #[test]
+    fn hostile_quirks_depend_on_vendor() {
+        let nv = hostile_variant(presets::h100_80());
+        assert!(nv.config.quirks.flaky_l1_const_sharing);
+        assert!(!nv.config.quirks.cache_info_apis_unavailable);
+        let amd = hostile_variant(presets::mi210());
+        assert!(amd.config.quirks.no_cu_pinning);
+        assert!(amd.config.quirks.cache_info_apis_unavailable);
+        assert!(amd.config.quirks.cu_ids_unavailable);
+    }
+
+    #[test]
+    fn realize_preserves_seed_and_amplifies_noise() {
+        let base = presets::h100_80();
+        let hostile = Scenario::Hostile(HostileProfile::DEFAULT)
+            .realize(presets::h100_80())
+            .unwrap();
+        assert_eq!(base.base_seed(), hostile.base_seed());
+        assert_eq!(hostile.noise(), NoiseModel::HOSTILE);
+        let mig = Scenario::Mig(MigProfile::A100_1G_5GB)
+            .realize(presets::a100())
+            .unwrap();
+        assert_eq!(mig.base_seed(), presets::a100().base_seed());
+        assert_eq!(mig.noise(), NoiseModel::DEFAULT);
+    }
+}

@@ -138,9 +138,10 @@ proptest! {
     /// the clock overhead plus one cycle, and loads never corrupt the
     /// chase values (the chain stays circular).
     #[test]
-    fn preset_load_latencies_are_sane(preset_idx in 0usize..10, addr in 0u64..65536) {
+    fn preset_load_latencies_are_sane(preset_idx in 0usize..64, addr in 0u64..65536) {
         let mut gpus = presets::all();
-        let gpu: &mut Gpu = &mut gpus[preset_idx];
+        let idx = preset_idx % gpus.len(); // covers the whole registry
+        let gpu: &mut Gpu = &mut gpus[idx];
         let space = match gpu.vendor() {
             mt4g_sim::Vendor::Nvidia => MemorySpace::Global,
             mt4g_sim::Vendor::Amd => MemorySpace::Vector,

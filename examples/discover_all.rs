@@ -1,6 +1,7 @@
-//! Runs MT4G discovery on all ten validation GPUs (paper Table II), in
-//! parallel, and validates every discovered attribute against the planted
-//! ground truth — the whole Section V validation in one command.
+//! Runs MT4G discovery on every registry preset (the ten Table II GPUs
+//! plus the Blackwell, RDNA and hostile-family extensions), in parallel,
+//! and validates every discovered attribute against the planted ground
+//! truth — the whole Section V validation in one command.
 //!
 //! The same check gates CI as the `validation_matrix` integration test;
 //! this example keeps the human-readable summary table.
@@ -51,7 +52,7 @@ fn main() {
     println!(
         "\n{}",
         if total_mismatch == 0 {
-            "all discovered attributes match the planted ground truth across all ten GPUs"
+            "all discovered attributes match the planted ground truth across the registry"
         } else {
             "some attributes deviate — see notes above"
         }

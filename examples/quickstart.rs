@@ -15,8 +15,8 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "T1000".into());
     let mut gpu = presets::by_name(&name).unwrap_or_else(|| {
         eprintln!(
-            "unknown preset '{name}'; available: {:?}",
-            presets::ALL_NAMES
+            "unknown preset '{name}'; available:\n  {}",
+            presets::Registry::global().known_names()
         );
         std::process::exit(2);
     });

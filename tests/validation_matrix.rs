@@ -1,41 +1,92 @@
-//! The full-preset validation matrix as a CI gate: discovery on every
-//! Table II GPU must report **zero** ground-truth mismatches.
+//! The (preset × scenario) validation matrix as a CI gate: discovery on
+//! every registry preset, under every applicable scenario, must report
+//! **zero** ground-truth mismatches against the *scenario-adjusted*
+//! planted configuration.
 //!
-//! This is the promoted form of `examples/discover_all.rs` — the example
-//! keeps the human-readable table, this test fails the build when any
-//! discovered attribute deviates from the planted configuration (the
-//! historical offender being the MI300X L2 fetch granularity, which the
-//! 8-segment L2's backing L3 pushed from 64 B to 128 B until the
-//! fetch-granularity scan got its strict target-stratum classifier).
+//! This is the promoted form of `examples/discover_all.rs`, widened from
+//! the paper's ten Table II GPUs to the full registry (Blackwell, RDNA,
+//! hostile variants) and from bare-metal only to the scenario layer:
+//!
+//! * **bare-metal** — the paper's Section V check, every entry;
+//! * **hostile** — amplified noise and locked-down APIs; robustness means
+//!   the *answers* don't move (zero mismatches), only confidences do;
+//! * **mig:&lt;profile&gt;** — discovery *inside* a MIG instance, validated
+//!   against MIG-scaled expectations (e.g. `visible_l2_bytes`), on NVIDIA
+//!   entries.
 
 use mt4g::core::suite::{run_discovery, DiscoveryConfig};
-use mt4g::core::validate::validate_against;
-use mt4g::sim::presets;
+use mt4g::core::validate::validate_scenario;
+use mt4g::sim::device::Vendor;
+use mt4g::sim::mig::MigProfile;
+use mt4g::sim::presets::{Family, PresetEntry, Registry};
+use mt4g::sim::scenario::Scenario;
 use rayon::prelude::*;
 
+/// Scenarios an entry is validated under. Every entry runs bare-metal and
+/// hostile (the hostile transform is idempotent, so the hostile *presets*
+/// participate too); NVIDIA entries additionally run inside a MIG
+/// partition, alternating profiles across the registry so several
+/// different memory fractions stay covered without quadratic cost.
+fn scenarios_for(entry: &PresetEntry, nv_index: usize) -> Vec<Scenario> {
+    let mut scenarios = vec![Scenario::BareMetal];
+    // The hostile transform is idempotent, so for the hostile *presets*
+    // the hostile scenario is the same device again — skip the duplicate
+    // cell instead of running it twice.
+    if entry.family != Family::Hostile {
+        scenarios.push(Scenario::Hostile(Default::default()));
+    }
+    if entry.vendor == Vendor::Nvidia {
+        const PROFILES: [MigProfile; 3] = [
+            MigProfile::A100_2G_10GB,
+            MigProfile::A100_4G_20GB,
+            MigProfile::A100_1G_5GB,
+        ];
+        scenarios.push(Scenario::Mig(PROFILES[nv_index % PROFILES.len()]));
+    }
+    scenarios
+}
+
 #[test]
-fn every_preset_matches_its_planted_ground_truth() {
-    let outcomes: Vec<String> = presets::all()
+fn every_preset_matches_its_planted_ground_truth_in_every_scenario() {
+    let mut nv_seen = 0usize;
+    let mut cells: Vec<(&PresetEntry, Scenario)> = Vec::new();
+    for entry in Registry::global().entries() {
+        let nv_index = nv_seen;
+        if entry.vendor == Vendor::Nvidia {
+            nv_seen += 1;
+        }
+        for scenario in scenarios_for(entry, nv_index) {
+            cells.push((entry, scenario));
+        }
+    }
+    // The acceptance floor for this matrix: ≥ 14 presets × ≥ 2 scenarios.
+    let presets = Registry::global().entries().len();
+    assert!(presets >= 14, "registry shrank below the matrix floor");
+    assert!(cells.len() >= presets * 2, "scenario coverage shrank");
+
+    let outcomes: Vec<String> = cells
         .into_par_iter()
-        .map(|mut gpu| {
-            let cfg = gpu.config.clone();
+        .map(|(entry, scenario)| {
+            let full = entry.gpu().config;
+            let mut gpu = scenario.realize(entry.gpu()).expect("scenario applies");
+            let tag = format!("{} × {}", entry.name, scenario.label());
             // Fast scan resolution: the attributes validated here (sizes,
             // line sizes, fetch granularities, latencies) are identical
             // under the fast and thorough configurations; `cu_window`
             // bounds the CU-sharing pass, `jobs: 1` avoids
-            // oversubscribing the per-GPU rayon fan-out.
+            // oversubscribing the per-cell rayon fan-out.
             let dcfg = DiscoveryConfig {
                 cu_window: 4,
                 jobs: 1,
                 ..DiscoveryConfig::fast()
             };
             let report = run_discovery(&mut gpu, &dcfg);
-            let v = validate_against(&report, &cfg);
-            assert!(v.checked > 0, "{}: validated nothing", cfg.name);
+            let v = validate_scenario(&report, &full, &scenario).expect("scenario applies");
+            assert!(v.checked > 0, "{tag}: validated nothing");
             if v.mismatches == 0 {
                 String::new()
             } else {
-                format!("{}: {}", cfg.name, v.notes.join("; "))
+                format!("{tag}: {}", v.notes.join("; "))
             }
         })
         .collect();
@@ -49,4 +100,28 @@ fn every_preset_matches_its_planted_ground_truth() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// The hostile entries must actually be stress variants: same planted
+/// geometry as their base preset, different noise and quirks. Guards the
+/// registry against a hostile entry silently drifting to easier ground
+/// truth.
+#[test]
+fn hostile_entries_share_their_base_geometry() {
+    let reg = Registry::global();
+    for (hostile, base) in [("H100-hostile", "H100-80"), ("MI210-hostile", "MI210")] {
+        let h = reg.get(hostile).unwrap().gpu();
+        let b = reg.get(base).unwrap().gpu();
+        assert_eq!(
+            h.config.caches, b.config.caches,
+            "{hostile} must plant {base}'s cache geometry"
+        );
+        assert_eq!(h.config.chip, b.config.chip);
+        assert_ne!(h.noise(), b.noise(), "{hostile} must amplify noise");
+        assert_eq!(
+            reg.get(hostile).unwrap().family,
+            Family::Hostile,
+            "{hostile} belongs to the hostile family"
+        );
+    }
 }
