@@ -11,10 +11,13 @@
 //! | [`sharing_nv`] | IV-G | physical unification of logical spaces |
 //! | [`sharing_amd`] | IV-H | CU ids sharing one sL1d |
 //! | [`bandwidth`] | IV-I | achieved read/write stream bandwidth |
+//! | [`tlb`] | II-C/IV methodology | L1/L2 TLB reach via page-stride p-chase |
+//! | [`contention`] | VI-C observations | shared-L2 contention, segment cross-check |
 //! | [`flops`] | VII (future work) | FLOPS per datatype, tensor engines |
 
 pub mod amount;
 pub mod bandwidth;
+pub mod contention;
 pub mod fetch_granularity;
 pub mod flops;
 pub mod l2_segments;
@@ -23,3 +26,4 @@ pub mod line_size;
 pub mod sharing_amd;
 pub mod sharing_nv;
 pub mod size;
+pub mod tlb;

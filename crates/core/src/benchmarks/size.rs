@@ -42,6 +42,11 @@ pub struct SizeConfig {
     pub scan_points: usize,
     /// K-S significance level.
     pub alpha: f64,
+    /// Trace the boundary-confirmation walk to stderr. Threaded from
+    /// `DiscoveryConfig::debug` (CLI `--debug`) — a real config knob
+    /// instead of the old ad-hoc `MT4G_DEBUG` environment sniffing, so
+    /// tests can exercise both paths and the flag is documented.
+    pub debug: bool,
 }
 
 impl SizeConfig {
@@ -57,6 +62,7 @@ impl SizeConfig {
             record_n: 256,
             scan_points: 24,
             alpha: 0.05,
+            debug: false,
         }
     }
 }
@@ -255,13 +261,21 @@ pub fn run(gpu: &mut Gpu, cfg: &SizeConfig) -> SizeResult {
                     // Largest array size that still fully fits — confirmed
                     // by fresh measurements so that a single outlier-laden
                     // scan row cannot shift the boundary (workflow step 3's
-                    // outlier guard, applied at full resolution).
-                    let bytes = confirm_boundary(gpu, cfg, &reference, boundary_lo, fg, overhead);
+                    // outlier guard, applied at full resolution). When the
+                    // walk cannot confirm (oscillating probes or a
+                    // measurement failure) the CPD boundary is kept — never
+                    // a drifted, unconfirmed walk position — and reported
+                    // at half the K-S significance.
+                    let (bytes, confidence) =
+                        match confirm_boundary(gpu, cfg, &reference, boundary_lo, fg, overhead) {
+                            Some(confirmed) => (confirmed, cp.confidence),
+                            None => (boundary_lo, cp.confidence * 0.5),
+                        };
                     let mut final_scan = scan;
                     final_scan.change_index = Some(cp.index);
                     return SizeResult::Found {
                         bytes,
-                        confidence: cp.confidence,
+                        confidence,
                         scan: final_scan,
                     };
                 }
@@ -293,6 +307,16 @@ pub fn run(gpu: &mut Gpu, cfg: &SizeConfig) -> SizeResult {
 /// Confirms a candidate capacity with fresh measurements: the reported
 /// size must not diverge from the all-hit reference, and size + one fetch
 /// granularity must. Walks at most a few steps if either check fails.
+///
+/// Returns `Some(size)` only for a size the pair-check actually
+/// *confirmed* — `fits(size)` and `!fits(size + fg)` observed on fresh
+/// measurements. `None` signals the caller that no probed size was
+/// confirmed: the probes oscillated around the boundary until the walk
+/// budget ran out, or a measurement failed. The historical version
+/// returned the walk's current position in both of those cases, which is
+/// whatever unconfirmed size the last oscillation step happened to land
+/// on — indistinguishable from success (see the
+/// `oscillating_boundary_*` regression tests).
 fn confirm_boundary(
     gpu: &mut Gpu,
     cfg: &SizeConfig,
@@ -300,27 +324,40 @@ fn confirm_boundary(
     candidate: u64,
     fg: u64,
     overhead: f64,
-) -> u64 {
-    let debug = std::env::var_os("MT4G_DEBUG").is_some();
-    let fits = |gpu: &mut Gpu, size: u64| -> Option<bool> {
-        let sample = measure(gpu, cfg, size, overhead)?;
-        Some(!diverges(reference, &sample, cfg.alpha))
-    };
-    let mut c = candidate;
-    for _ in 0..4 {
-        let lo_fits = fits(gpu, c);
-        let hi_fits = fits(gpu, c + fg);
+) -> Option<u64> {
+    let debug = cfg.debug;
+    confirm_boundary_walk(candidate, fg, 4, |size| {
+        let fits = measure(gpu, cfg, size, overhead)
+            .map(|sample| !diverges(reference, &sample, cfg.alpha));
         if debug {
-            eprintln!("confirm_boundary: c={c} fits={lo_fits:?} next={hi_fits:?}");
+            eprintln!("confirm_boundary: probe size={size} fits={fits:?}");
         }
+        fits
+    })
+}
+
+/// The confirmation walk itself, decoupled from the measurement probe so
+/// the oscillation regression tests can plant adversarial probe
+/// sequences. `fits` answers "does an array of this size still fully
+/// fit?" (`None` = measurement failure).
+fn confirm_boundary_walk(
+    candidate: u64,
+    fg: u64,
+    max_steps: usize,
+    mut fits: impl FnMut(u64) -> Option<bool>,
+) -> Option<u64> {
+    let mut c = candidate;
+    for _ in 0..max_steps {
+        let lo_fits = fits(c);
+        let hi_fits = fits(c + fg);
         match (lo_fits, hi_fits) {
-            (Some(true), Some(false)) => return c, // confirmed
+            (Some(true), Some(false)) => return Some(c), // confirmed
             (Some(false), _) => c = c.saturating_sub(fg).max(fg), // too high
-            (Some(true), Some(true)) => c += fg,   // too low
-            _ => return c,                         // measurement failure
+            (Some(true), Some(true)) => c += fg,         // too low
+            _ => return None,                            // measurement failure
         }
     }
-    c
+    None // walk budget exhausted without a confirmed pair
 }
 
 /// Scans `[lo, hi]` with the given step and reduces each row (public so the
@@ -485,6 +522,109 @@ mod tests {
         };
         let r = run(&mut gpu, &cfg);
         assert_eq!(r.bytes(), Some(truth), "{r:?}");
+    }
+
+    /// The historical `confirm_boundary` algorithm, kept verbatim as the
+    /// regression reference: it returns the walk's current position when
+    /// the step budget runs out or a measurement fails — an *unconfirmed*
+    /// size indistinguishable from a confirmed one.
+    fn old_confirm_boundary(
+        candidate: u64,
+        fg: u64,
+        mut fits: impl FnMut(u64) -> Option<bool>,
+    ) -> u64 {
+        let mut c = candidate;
+        for _ in 0..4 {
+            let lo_fits = fits(c);
+            let hi_fits = fits(c + fg);
+            match (lo_fits, hi_fits) {
+                (Some(true), Some(false)) => return c,
+                (Some(false), _) => c = c.saturating_sub(fg).max(fg),
+                (Some(true), Some(true)) => c += fg,
+                _ => return c,
+            }
+        }
+        c
+    }
+
+    /// A probe that oscillates at a planted boundary `b`: sizes strictly
+    /// below fit, sizes strictly above don't, and `b` itself flips on
+    /// every probe (a noisy measurement straddling the cliff). The
+    /// `(Some(false), _)` and `(Some(true), Some(true))` arms then bounce
+    /// the walk between `b` and `b - fg` forever without ever observing a
+    /// confirmed `(fits, !fits)` pair.
+    fn oscillating_probe(b: u64) -> impl FnMut(u64) -> Option<bool> {
+        let mut flaky_calls = 0u32;
+        move |size: u64| {
+            Some(if size == b {
+                flaky_calls += 1;
+                flaky_calls.is_multiple_of(2) // false, true, false, true, ...
+            } else {
+                size < b
+            })
+        }
+    }
+
+    #[test]
+    fn oscillating_boundary_old_walk_returned_an_unconfirmed_size() {
+        let fg = 64u64;
+        let b = 4096u64;
+        // Track every (size, answer) the probe gave so the test can prove
+        // the returned size was never part of a confirmed pair.
+        let mut confirmed_at: Vec<u64> = Vec::new();
+        let mut probe = oscillating_probe(b);
+        let mut last: Option<(u64, bool)> = None;
+        let result = old_confirm_boundary(b, fg, |size| {
+            let fits = probe(size).unwrap();
+            if let Some((lo_size, lo_fits)) = last.take() {
+                if size == lo_size + fg && lo_fits && !fits {
+                    confirmed_at.push(lo_size);
+                }
+            }
+            last = Some((size, fits));
+            Some(fits)
+        });
+        // The old code hands back a size...
+        assert_eq!(result, b);
+        // ...that no probe pair ever confirmed.
+        assert!(
+            !confirmed_at.contains(&result),
+            "old walk returned {result}, confirmed sizes: {confirmed_at:?}"
+        );
+    }
+
+    #[test]
+    fn oscillating_boundary_new_walk_signals_unconfirmed() {
+        let fg = 64u64;
+        let b = 4096u64;
+        assert_eq!(
+            confirm_boundary_walk(b, fg, 4, oscillating_probe(b)),
+            None,
+            "an oscillating boundary must be reported as unconfirmed"
+        );
+    }
+
+    #[test]
+    fn measurement_failure_is_distinguishable_from_success() {
+        // The old code's `_ => return c` arm conflated "probe failed" with
+        // "confirmed at c"; the new walk signals the failure.
+        assert_eq!(confirm_boundary_walk(4096, 64, 4, |_| None), None);
+    }
+
+    #[test]
+    fn clean_boundaries_confirm_exactly() {
+        let fg = 64u64;
+        let b = 4096u64;
+        let monotone = |size: u64| Some(size <= b);
+        // Spot-on candidate, one step low, one step high: all converge on
+        // the planted boundary.
+        for candidate in [b, b - fg, b + fg] {
+            assert_eq!(
+                confirm_boundary_walk(candidate, fg, 4, monotone),
+                Some(b),
+                "candidate {candidate}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * `-q` — quiet: JSON to stdout only, no progress chatter
 //! * `--only <ELEMENT>` — limit to one memory element (e.g. `L1`, `L2`)
 //! * `--fast` — coarser scans, windowed CU-sharing pass
+//! * `--tlb` — also discover the L1/L2 TLB reaches (adds a `tlb` report
+//!   section)
+//! * `--contention` — also run the shared-L2 contention benchmark (adds
+//!   a `contention` report section)
+//! * `--debug` — trace boundary-confirmation walks to stderr
 //! * `--scenario <S>` — deployment scenario: `bare-metal` (default),
 //!   `mig:<profile>` (run the suite *inside* a MIG instance, e.g.
 //!   `mig:2g.10gb`), or `hostile` (amplified noise, locked-down APIs)
@@ -52,6 +57,9 @@ struct Args {
     list: bool,
     list_long: bool,
     only: Option<String>,
+    tlb: bool,
+    contention: bool,
+    debug: bool,
     scenario: Scenario,
     jobs: usize,
     shard: Option<(usize, usize)>,
@@ -82,6 +90,9 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         list_long: false,
         only: None,
+        tlb: false,
+        contention: false,
+        debug: false,
         scenario: Scenario::BareMetal,
         jobs: 0,
         shard: None,
@@ -108,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
             "-g" | "--graphs" => args.graphs = true,
             "-q" | "--quiet" => args.quiet = true,
             "--fast" => args.fast = true,
+            "--tlb" => args.tlb = true,
+            "--contention" => args.contention = true,
+            "--debug" => args.debug = true,
             "--list" => args.list = true,
             "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
             "--only" => args.only = Some(it.next().ok_or("--only needs a value")?),
@@ -143,7 +157,8 @@ fn print_help() {
     println!(
         "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
          USAGE: mt4g --gpu <PRESET> [--scenario <SCENARIO>] [-j] [-p] [-c] [-g] [-q]\n\
-         \x20             [--only <ELEMENT>] [--fast] [--jobs N] [--shard i/n] [-o <DIR>]\n\
+         \x20             [--only <ELEMENT>] [--fast] [--tlb] [--contention] [--debug]\n\
+         \x20             [--jobs N] [--shard i/n] [-o <DIR>]\n\
          \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\
          \x20      mt4g list\n\n\
          PRESETS: {}\n\
@@ -151,6 +166,9 @@ fn print_help() {
          SCENARIOS: bare-metal (default) | mig:<full|4g.20gb|3g.20gb|2g.10gb|1g.5gb> | hostile\n\n\
          --scenario S run the discovery inside a deployment scenario; the report\n\
          \x20             describes what that environment actually exposes\n\
+         --tlb        also discover L1/L2 TLB reach, entries and walk penalties\n\
+         --contention also measure shared-L2 contention (same vs cross segment)\n\
+         --debug      trace boundary-confirmation walks to stderr\n\
          --jobs N     run up to N discovery units in parallel (0 = all cores; default)\n\
          --shard i/n  run shard i of an n-way split, emit a mergeable partial report\n\
          merge        reassemble a complete set of partial reports into the full report\n\
@@ -250,6 +268,9 @@ fn main() {
         DiscoveryConfig::thorough()
     };
     cfg.jobs = args.jobs;
+    cfg.measure_tlb = args.tlb;
+    cfg.measure_contention = args.contention;
+    cfg.debug = args.debug;
     if let Some(only) = args.only.as_deref() {
         match parse_element(only) {
             Some(kind) => cfg.only = Some(vec![kind]),
@@ -307,7 +328,8 @@ fn run_shard_mode(
         );
     }
     let partial = run_shard(gpu, cfg, index, count);
-    let json = partial_to_json(&partial).expect("partial report serialises");
+    let json = partial_to_json(&partial)
+        .unwrap_or_else(|e| fail(format_args!("cannot serialise the partial report: {e}")));
     if args.json_file {
         let stem = partial.device.name.replace([' ', '/'], "_");
         let path = args
@@ -368,7 +390,8 @@ fn run_merge_mode(args: &Args) {
 
 /// Writes the full report to stdout or to `-j`/`-p`/`-c` files.
 fn emit_report(args: &Args, report: &mt4g_core::report::Report) {
-    let json = report::to_json_pretty(report).expect("report serialises");
+    let json = report::to_json_pretty(report)
+        .unwrap_or_else(|e| fail(format_args!("cannot serialise the report: {e}")));
     let stem = report.device.name.replace([' ', '/'], "_");
     if args.json_file {
         let path = args.out_dir.join(format!("{stem}.json"));
@@ -462,9 +485,17 @@ fn write_graphs(
     }
 }
 
+/// Prints a one-line error and exits with code 1 (I/O or serialisation
+/// failure — distinct from the usage errors' exit code 2). Never panics:
+/// a full backtrace on a missing output directory helps nobody.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
 fn write_file(path: &std::path::Path, contents: &str) {
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
-    f.write_all(contents.as_bytes())
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let result = std::fs::File::create(path).and_then(|mut f| f.write_all(contents.as_bytes()));
+    if let Err(e) = result {
+        fail(format_args!("cannot write {}: {e}", path.display()));
+    }
 }

@@ -14,8 +14,30 @@
 //! are comparable across vendors.
 
 use mt4g_sim::device::{LoadFlags, MemorySpace, Vendor};
-use mt4g_sim::gpu::{AllocError, Gpu, PchaseBatch};
+use mt4g_sim::gpu::{AllocError, BufferId, Gpu, PchaseBatch};
 use mt4g_sim::isa::{Instr, KernelBuilder};
+
+/// Strides at or above this threshold allocate the chase ring *sparsely*
+/// ([`Gpu::alloc_strided`]): a page-stride TLB chase spans gigabytes of
+/// address space but only ever reads one word per element, and the sparse
+/// representation is read-for-read identical to a dense zero-initialised
+/// buffer. Every cache benchmark strides below this (≤ 1 KiB lines), so
+/// their allocations are bit-for-bit unchanged.
+const SPARSE_CHASE_MIN_STRIDE: u64 = 64 * 1024;
+
+/// Allocates a chase ring, sparsely for page-scale strides.
+fn alloc_chase(
+    gpu: &mut Gpu,
+    space: MemorySpace,
+    array_bytes: u64,
+    stride_bytes: u64,
+) -> Result<BufferId, AllocError> {
+    if stride_bytes >= SPARSE_CHASE_MIN_STRIDE {
+        gpu.alloc_strided(space, array_bytes, stride_bytes)
+    } else {
+        gpu.alloc(space, array_bytes)
+    }
+}
 
 /// Configuration of one p-chase run.
 #[derive(Debug, Clone, Copy)]
@@ -129,7 +151,7 @@ pub fn run_pchase_with_overhead(
     overhead: f64,
 ) -> Result<PchaseRun, AllocError> {
     assert!(cfg.stride_bytes >= 4 && cfg.stride_bytes.is_multiple_of(4));
-    let buf = gpu.alloc(cfg.space, cfg.array_bytes)?;
+    let buf = alloc_chase(gpu, cfg.space, cfg.array_bytes, cfg.stride_bytes)?;
     let elements = gpu.init_pchase(buf, cfg.array_bytes, cfg.stride_bytes);
     // The chase is a ring, so a warmed run can record a full N latencies
     // even for arrays shorter than N elements — keeping every row of a
@@ -190,7 +212,7 @@ pub fn prepare_chase(
     array_bytes: u64,
     stride_bytes: u64,
 ) -> Result<ChaseBuffer, AllocError> {
-    let buf = gpu.alloc(space, array_bytes)?;
+    let buf = alloc_chase(gpu, space, array_bytes, stride_bytes)?;
     let elements = gpu.init_pchase(buf, array_bytes, stride_bytes);
     Ok(ChaseBuffer {
         base: gpu.buffer_base(buf),

@@ -74,6 +74,41 @@ pub fn to_csv(report: &Report) -> String {
         };
         push(&label, "amount", amount);
     }
+    for t in &report.tlb {
+        let label = t.level.label().replace(' ', "_");
+        push(&label, "reach_bytes", cell(&t.reach_bytes));
+        push(&label, "entries", cell(&t.entries));
+        push(&label, "page_bytes", cell(&t.page_bytes));
+        let penalty = match &t.miss_penalty_cycles {
+            Attribute::Measured { value, confidence } => (
+                format!("{value:.1}"),
+                "measured".into(),
+                format!("{confidence:.4}"),
+            ),
+            Attribute::Unavailable { reason } => {
+                ("".into(), format!("unavailable: {reason}"), "0.0000".into())
+            }
+            _ => ("".into(), "n/a".into(), "".into()),
+        };
+        push(&label, "miss_penalty_cycles", penalty);
+    }
+    for r in &report.contention {
+        let label = format!("L2_contention_sm{}", r.victim_sm);
+        push(&label, "segments_estimate", cell(&r.segments_estimate));
+        push(&label, "same_segment_sm", cell(&r.same_segment_sm));
+        push(&label, "cross_segment_sm", cell(&r.cross_segment_sm));
+        push(&label, "solo_latency_cycles", cell(&r.solo_latency_cycles));
+        push(
+            &label,
+            "same_segment_latency_cycles",
+            cell(&r.same_segment_latency_cycles),
+        );
+        push(
+            &label,
+            "cross_segment_latency_cycles",
+            cell(&r.cross_segment_latency_cycles),
+        );
+    }
     for e in &report.compute_throughput {
         push(e.dtype.label(), "achieved_gflops", cell(&e.achieved_gflops));
     }
@@ -111,6 +146,8 @@ mod tests {
             },
             memory: Vec::new(),
             compute_throughput: Vec::new(),
+            tlb: Vec::new(),
+            contention: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         r.element_mut(CacheKind::VL1).size = Attribute::Measured {

@@ -49,6 +49,8 @@ mod tests {
             },
             memory: Vec::new(),
             compute_throughput: Vec::new(),
+            tlb: Vec::new(),
+            contention: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         r.element_mut(CacheKind::L1).size = Attribute::Measured {

@@ -131,6 +131,56 @@ pub fn to_markdown(report: &Report) -> String {
             fmt_sharing(&m.shared_with),
         ));
     }
+    if !report.tlb.is_empty() {
+        out.push_str("\n## Address Translation (extension)\n\n");
+        out.push_str(
+            "| Level | Reach | Entries | Page | Walk Penalty (cyc) |\n|---|---|---|---|---|\n",
+        );
+        for t in &report.tlb {
+            let entries = match &t.entries {
+                Attribute::Measured { value, .. } => value.to_string(),
+                Attribute::AtLeast { value } => format!(">{value}"),
+                _ => "—".into(),
+            };
+            let penalty = match &t.miss_penalty_cycles {
+                Attribute::Measured { value, .. } => format!("{value:.0}"),
+                _ => "—".into(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                t.level.label(),
+                fmt_size(&t.reach_bytes),
+                entries,
+                fmt_size(&t.page_bytes),
+                penalty,
+            ));
+        }
+    }
+    if !report.contention.is_empty() {
+        out.push_str("\n## Shared-L2 Contention (extension)\n\n");
+        out.push_str(
+            "| Victim SM | Segments (est.) | Solo (cyc) | Same-segment co-run | Cross-segment co-run |\n\
+             |---|---|---|---|---|\n",
+        );
+        let cyc = |a: &Attribute<f64>| match a {
+            Attribute::Measured { value, .. } => format!("{value:.0}"),
+            _ => "—".into(),
+        };
+        for r in &report.contention {
+            let est = match &r.segments_estimate {
+                Attribute::Measured { value, .. } => value.to_string(),
+                _ => "—".into(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                r.victim_sm,
+                est,
+                cyc(&r.solo_latency_cycles),
+                cyc(&r.same_segment_latency_cycles),
+                cyc(&r.cross_segment_latency_cycles),
+            ));
+        }
+    }
     if !report.compute_throughput.is_empty() {
         out.push_str("\n## Arithmetic Throughput (extension)\n\n");
         out.push_str("| Engine | Achieved | Best ILP |\n|---|---|---|\n");

@@ -176,6 +176,106 @@ impl MemoryElementReport {
     }
 }
 
+/// Which translation level a [`TlbReport`] row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlbLevel {
+    /// The per-SM/CU L1 TLB.
+    L1Tlb,
+    /// The GPU-level L2 TLB.
+    L2Tlb,
+}
+
+impl TlbLevel {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TlbLevel::L1Tlb => "L1 TLB",
+            TlbLevel::L2Tlb => "L2 TLB",
+        }
+    }
+}
+
+/// Everything the TLB-reach benchmark reports about one translation level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlbReport {
+    /// Which level.
+    pub level: TlbLevel,
+    /// Reach in bytes: the largest footprint one SM/CU can touch before
+    /// this level starts re-missing.
+    pub reach_bytes: Attribute<u64>,
+    /// Entry count (`reach / page size`).
+    pub entries: Attribute<u32>,
+    /// Translation page size in bytes (a driver constant, from the API).
+    pub page_bytes: Attribute<u64>,
+    /// Walk penalty a re-miss of this level adds, in cycles.
+    pub miss_penalty_cycles: Attribute<f64>,
+}
+
+impl TlbReport {
+    /// A row whose every attribute is unavailable for one `reason` — the
+    /// honest no-result shape of locked-down environments.
+    pub fn unavailable(level: TlbLevel, reason: &str) -> Self {
+        fn gone<T>(reason: &str) -> Attribute<T> {
+            Attribute::Unavailable {
+                reason: reason.to_string(),
+            }
+        }
+        TlbReport {
+            level,
+            reach_bytes: gone(reason),
+            entries: gone(reason),
+            page_bytes: gone(reason),
+            miss_penalty_cycles: gone(reason),
+        }
+    }
+}
+
+/// The shared-L2 contention measurement: what a co-running polluter on a
+/// same-segment vs. cross-segment SM does to one SM's L2 latency — an
+/// independent cross-check of the L2 segment mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionReport {
+    /// The victim SM the latencies were observed from (always SM 0 in
+    /// this implementation — including on the all-unavailable rows of
+    /// environments where the benchmark could not run; the per-attribute
+    /// `Unavailable` reasons carry that distinction).
+    pub victim_sm: u32,
+    /// Segment count estimated from the same-segment peer fraction.
+    pub segments_estimate: Attribute<u32>,
+    /// A discovered SM sharing the victim's L2 segment.
+    pub same_segment_sm: Attribute<u32>,
+    /// A discovered SM wired to a different segment (unavailable on
+    /// single-segment parts).
+    pub cross_segment_sm: Attribute<u32>,
+    /// Victim median latency with no co-runner, in cycles.
+    pub solo_latency_cycles: Attribute<f64>,
+    /// Victim median latency with a same-segment polluter.
+    pub same_segment_latency_cycles: Attribute<f64>,
+    /// Victim median latency with a cross-segment polluter.
+    pub cross_segment_latency_cycles: Attribute<f64>,
+}
+
+impl ContentionReport {
+    /// A row whose every attribute is unavailable for one `reason` — the
+    /// honest no-result shape, mirroring [`TlbReport::unavailable`].
+    pub fn unavailable(victim_sm: u32, reason: &str) -> Self {
+        fn gone<T>(reason: &str) -> Attribute<T> {
+            Attribute::Unavailable {
+                reason: reason.to_string(),
+            }
+        }
+        ContentionReport {
+            victim_sm,
+            segments_estimate: gone(reason),
+            same_segment_sm: gone(reason),
+            cross_segment_sm: gone(reason),
+            solo_latency_cycles: gone(reason),
+            same_segment_latency_cycles: gone(reason),
+            cross_segment_latency_cycles: gone(reason),
+        }
+    }
+}
+
 /// General device information (paper Sec. III-A) — all from APIs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceInfo {
@@ -257,6 +357,14 @@ pub struct Report {
     /// Arithmetic-throughput extension (empty when not measured).
     #[serde(default)]
     pub compute_throughput: Vec<FlopsEntry>,
+    /// Discovered TLB levels (`--tlb`; absent from the JSON when the
+    /// TLB-reach unit did not run, so pre-TLB reports are byte-stable).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tlb: Vec<TlbReport>,
+    /// Shared-L2 contention measurements (`--contention`; absent from the
+    /// JSON when the unit did not run).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub contention: Vec<ContentionReport>,
     /// Run-time accounting.
     pub runtime: RuntimeInfo,
 }
@@ -361,12 +469,112 @@ mod tests {
             },
             memory: Vec::new(),
             compute_throughput: Vec::new(),
+            tlb: Vec::new(),
+            contention: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         report.element_mut(CacheKind::L1).size = Attribute::FromApi { value: 1 };
         report.element_mut(CacheKind::L1).cache_line_bytes = Attribute::FromApi { value: 128 };
         assert_eq!(report.memory.len(), 1);
         assert!(report.element(CacheKind::L1).unwrap().size.is_available());
+    }
+
+    fn minimal_report() -> Report {
+        Report {
+            device: DeviceInfo {
+                name: "x".into(),
+                vendor: Vendor::Nvidia,
+                compute_capability: "9.0".into(),
+                clock_mhz: 1,
+                mem_clock_mhz: 1,
+                bus_width_bits: 1,
+            },
+            compute: ComputeInfo {
+                num_sms: 1,
+                cores_per_sm: 1,
+                warp_size: 32,
+                warps_per_sm: 1,
+                max_blocks_per_sm: 1,
+                max_threads_per_block: 1,
+                max_threads_per_sm: 32,
+                regs_per_block: 1,
+                regs_per_sm: 1,
+                cu_physical_ids: None,
+            },
+            memory: Vec::new(),
+            compute_throughput: Vec::new(),
+            tlb: Vec::new(),
+            contention: Vec::new(),
+            runtime: RuntimeInfo::default(),
+        }
+    }
+
+    /// The extension sections must be invisible in the JSON until their
+    /// units run: pre-TLB reports stay byte-stable, and JSON serialized
+    /// before the sections existed still parses.
+    #[test]
+    fn empty_extension_sections_are_skipped_and_tolerated() {
+        let report = minimal_report();
+        let json = to_json_pretty(&report).unwrap();
+        assert!(!json.contains("\"tlb\""), "empty tlb section serialized");
+        assert!(!json.contains("\"contention\""));
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn tlb_and_contention_sections_round_trip() {
+        let mut report = minimal_report();
+        report.tlb.push(TlbReport {
+            level: TlbLevel::L1Tlb,
+            reach_bytes: Attribute::Measured {
+                value: 32 << 20,
+                confidence: 0.99,
+            },
+            entries: Attribute::Measured {
+                value: 16,
+                confidence: 0.99,
+            },
+            page_bytes: Attribute::FromApi { value: 2 << 20 },
+            miss_penalty_cycles: Attribute::Measured {
+                value: 48.0,
+                confidence: 0.9,
+            },
+        });
+        report
+            .tlb
+            .push(TlbReport::unavailable(TlbLevel::L2Tlb, "locked down"));
+        report.contention.push(ContentionReport {
+            victim_sm: 0,
+            segments_estimate: Attribute::Measured {
+                value: 2,
+                confidence: 0.9,
+            },
+            same_segment_sm: Attribute::Measured {
+                value: 2,
+                confidence: 1.0,
+            },
+            cross_segment_sm: Attribute::Measured {
+                value: 1,
+                confidence: 1.0,
+            },
+            solo_latency_cycles: Attribute::Measured {
+                value: 200.0,
+                confidence: 0.9,
+            },
+            same_segment_latency_cycles: Attribute::Measured {
+                value: 680.0,
+                confidence: 0.9,
+            },
+            cross_segment_latency_cycles: Attribute::Measured {
+                value: 200.0,
+                confidence: 0.9,
+            },
+        });
+        let json = to_json_pretty(&report).unwrap();
+        assert!(json.contains("\"L1Tlb\""));
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -17,7 +17,8 @@ use serde::{Deserialize, Serialize};
 use mt4g_sim::gpu::Gpu;
 
 use crate::report::{
-    ComputeInfo, DeviceInfo, FlopsEntry, MemoryElementReport, Report, RuntimeInfo,
+    ComputeInfo, ContentionReport, DeviceInfo, FlopsEntry, MemoryElementReport, Report,
+    RuntimeInfo, TlbReport,
 };
 
 use super::plan::DiscoveryPlan;
@@ -36,6 +37,13 @@ pub struct UnitResult {
     pub elements: Vec<MemoryElementReport>,
     /// FLOPS-extension entries this unit produced.
     pub flops: Vec<FlopsEntry>,
+    /// TLB rows this unit produced (`#[serde(default)]` so pre-TLB
+    /// partials still parse — they refuse to merge on format anyway).
+    #[serde(default)]
+    pub tlb: Vec<TlbReport>,
+    /// Contention rows this unit produced.
+    #[serde(default)]
+    pub contention: Vec<ContentionReport>,
     /// Benchmark instances executed (Sec. V-A accounting).
     pub benchmarks_run: u32,
     /// Kernels launched on the unit's forked GPU.
@@ -123,6 +131,8 @@ pub fn execute_plan(
             label: plan.units()[id].label.clone(),
             elements: output.elements,
             flops: output.flops,
+            tlb: output.tlb,
+            contention: output.contention,
             benchmarks_run: output.benchmarks_run,
             kernels_launched: output.stats.kernels_launched,
             loads_executed: output.stats.loads_executed,
@@ -142,6 +152,8 @@ pub(crate) fn assemble_report(
         compute,
         memory: Vec::new(),
         compute_throughput: Vec::new(),
+        tlb: Vec::new(),
+        contention: Vec::new(),
         runtime: RuntimeInfo::default(),
     };
     let mut runtime = RuntimeInfo::default();
@@ -152,6 +164,8 @@ pub(crate) fn assemble_report(
         report
             .compute_throughput
             .extend(result.flops.iter().cloned());
+        report.tlb.extend(result.tlb.iter().cloned());
+        report.contention.extend(result.contention.iter().cloned());
         runtime.benchmarks_run += result.benchmarks_run;
         runtime.kernels_launched += result.kernels_launched;
         runtime.loads_executed += result.loads_executed;

@@ -66,6 +66,19 @@ pub struct DiscoveryConfig {
     /// Whether to run the FLOPS/tensor-engine benchmarks — the paper's
     /// future-work extension, on by default in this reproduction.
     pub measure_flops: bool,
+    /// Whether to run the TLB-reach discovery (CLI `--tlb`). Off by
+    /// default: the TLB section is an extension beyond the paper's
+    /// Table I, and keeping it opt-in leaves the Table II reports
+    /// byte-stable across tool versions.
+    pub measure_tlb: bool,
+    /// Whether to run the shared-L2 contention benchmark (CLI
+    /// `--contention`). Off by default, like [`Self::measure_tlb`].
+    pub measure_contention: bool,
+    /// Trace boundary-confirmation walks to stderr (CLI `--debug`) —
+    /// the successor of the old undocumented `MT4G_DEBUG` env sniffing.
+    /// Purely diagnostic: it never changes a measurement, so it stays out
+    /// of the plan fingerprint.
+    pub debug: bool,
     /// Worker threads for independent discovery units (CLI `--jobs`;
     /// `0` = all available cores). Any value produces the same report —
     /// parallelism only changes wall-clock time.
@@ -82,6 +95,9 @@ impl Default for DiscoveryConfig {
             cu_window: 0,
             measure_bandwidth: true,
             measure_flops: true,
+            measure_tlb: false,
+            measure_contention: false,
+            debug: false,
             jobs: 0,
         }
     }

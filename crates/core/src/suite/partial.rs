@@ -17,8 +17,9 @@ use super::plan::DiscoveryPlan;
 use super::{report_header, DiscoveryConfig};
 
 /// Serialisation format version of [`PartialReport`]; bump on breaking
-/// changes so stale shard artifacts refuse to merge.
-pub const PARTIAL_FORMAT: u32 = 1;
+/// changes so stale shard artifacts refuse to merge. v2: unit results
+/// carry `tlb` / `contention` row sections.
+pub const PARTIAL_FORMAT: u32 = 2;
 
 /// The output of one shard of a discovery plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -18,8 +18,11 @@ use super::DiscoveryConfig;
 /// Version tag baked into plan fingerprints; bump on any change to unit
 /// enumeration, seeding, or partial-report semantics so stale partial
 /// reports refuse to merge. v2: quirks + noise model joined the
-/// fingerprint (scenario-transformed devices can share a name).
-pub(crate) const PLAN_FORMAT: u32 = 2;
+/// fingerprint (scenario-transformed devices can share a name). v3: the
+/// TLB-reach and L2-contention units joined the enumeration (and their
+/// opt-in knobs the fingerprint), and unit results grew `tlb` /
+/// `contention` row sections.
+pub(crate) const PLAN_FORMAT: u32 = 3;
 
 /// One schedulable unit of discovery work.
 #[derive(Debug, Clone)]
@@ -151,6 +154,17 @@ impl DiscoveryPlan {
             }
         }
 
+        // Extension units, opt-in and capability-gated like everything
+        // else: TLB reach needs a translation hierarchy to exist, the
+        // contention benchmark needs an L2. Both are element-agnostic, so
+        // an `--only` run skips them (mirroring the sharing scan).
+        if cfg.measure_tlb && cfg.only.is_none() && gpu.config.tlb.is_some() {
+            push("mem.tlb", UnitKind::TlbReach, vec![]);
+        }
+        if cfg.measure_contention && cfg.only.is_none() && has(CacheKind::L2) {
+            push("mem.l2contention", UnitKind::L2Contention, vec![]);
+        }
+
         if cfg.measure_flops && cfg.only.is_none() {
             for dtype in DType::ALL {
                 push(
@@ -223,7 +237,7 @@ fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
     format!(
         "v{PLAN_FORMAT}|{name}|seed={seed:#x}|quirks={quirks:?}|noise={noise:?}|alpha={alpha}|\
          record_n={record_n}|scan_points={scan_points}|only={only}|cu_window={cu_window}|\
-         bw={bw}|flops={flops}|plan={labels}",
+         bw={bw}|flops={flops}|tlb={tlb}|contention={contention}|plan={labels}",
         name = gpu.config.name,
         seed = gpu.base_seed(),
         quirks = gpu.config.quirks,
@@ -234,6 +248,8 @@ fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
         cu_window = cfg.cu_window,
         bw = cfg.measure_bandwidth,
         flops = cfg.measure_flops,
+        tlb = cfg.measure_tlb,
+        contention = cfg.measure_contention,
     )
 }
 
@@ -285,6 +301,49 @@ mod tests {
         let plan = DiscoveryPlan::new(&gpu, &cfg);
         assert!(!plan.units().iter().any(|u| u.label == "nv.sharing"));
         assert!(!plan.units().iter().any(|u| u.label.starts_with("flops.")));
+    }
+
+    #[test]
+    fn extension_units_are_opt_in_and_fingerprinted() {
+        let gpu = presets::t1000();
+        let plain = DiscoveryPlan::new(&gpu, &DiscoveryConfig::fast());
+        assert!(
+            !plain
+                .units()
+                .iter()
+                .any(|u| u.label.starts_with("mem.tlb") || u.label.starts_with("mem.l2contention")),
+            "extension units must not enter the default plan"
+        );
+        let extended = DiscoveryPlan::new(
+            &gpu,
+            &DiscoveryConfig {
+                measure_tlb: true,
+                measure_contention: true,
+                ..DiscoveryConfig::fast()
+            },
+        );
+        assert!(extended.units().iter().any(|u| u.label == "mem.tlb"));
+        assert!(extended
+            .units()
+            .iter()
+            .any(|u| u.label == "mem.l2contention"));
+        assert_ne!(plain.fingerprint(), extended.fingerprint());
+    }
+
+    #[test]
+    fn tlb_unit_is_capability_gated() {
+        // A device with no declared translation hierarchy plans no TLB
+        // unit even when asked for one.
+        let mut gpu = presets::t1000();
+        gpu.config.tlb = None;
+        let plan = DiscoveryPlan::new(
+            &gpu,
+            &DiscoveryConfig {
+                measure_tlb: true,
+                ..DiscoveryConfig::fast()
+            },
+        );
+        assert!(!plan.units().iter().any(|u| u.label == "mem.tlb"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use mt4g_sim::gpu::{Gpu, GpuStats};
 
 use crate::benchmarks::amount::{self, AmountConfig, AmountResult};
 use crate::benchmarks::bandwidth;
+use crate::benchmarks::contention::{self, ContentionConfig, ContentionOutcome};
 use crate::benchmarks::fetch_granularity::{self, FetchGranularityConfig};
 use crate::benchmarks::flops;
 use crate::benchmarks::l2_segments;
@@ -26,8 +27,10 @@ use crate::benchmarks::line_size::{self, LineSizeConfig};
 use crate::benchmarks::sharing_amd::{self, CuSharingConfig, CuSharingResult};
 use crate::benchmarks::sharing_nv::{self, SpaceProbe};
 use crate::benchmarks::size::{self, SizeConfig, SizeResult};
+use crate::benchmarks::tlb::{self, TlbConfig, TlbLevelOutcome};
 use crate::report::{
-    AmountReport, AmountScope, Attribute, FlopsEntry, MemoryElementReport, SharingReport,
+    AmountReport, AmountScope, Attribute, ContentionReport, FlopsEntry, MemoryElementReport,
+    SharingReport, TlbLevel, TlbReport,
 };
 
 use super::DiscoveryConfig;
@@ -99,6 +102,12 @@ pub(crate) enum UnitKind {
     AmdLds,
     /// Device memory (both vendors).
     DeviceMem,
+    /// TLB-reach discovery (both vendors; needs a declared translation
+    /// hierarchy and the page-size API).
+    TlbReach,
+    /// Shared-L2 contention + segment-mapping cross-check (both vendors;
+    /// needs SM/CU co-residency control).
+    L2Contention,
     /// One datatype/engine of the FLOPS extension.
     Flops(DType),
 }
@@ -110,6 +119,10 @@ pub(crate) struct UnitOutput {
     pub(crate) elements: Vec<MemoryElementReport>,
     /// FLOPS entries (only `UnitKind::Flops` units produce these).
     pub(crate) flops: Vec<FlopsEntry>,
+    /// TLB rows (only `UnitKind::TlbReach` units produce these).
+    pub(crate) tlb: Vec<TlbReport>,
+    /// Contention rows (only `UnitKind::L2Contention` units).
+    pub(crate) contention: Vec<ContentionReport>,
     /// Measurements exported to dependent units.
     pub(crate) measured: Vec<(CacheKind, Measured)>,
     /// Benchmark instances executed (Sec. V-A accounting).
@@ -130,6 +143,8 @@ pub(crate) fn run_unit(
     let mut rows = ElementRows::default();
     let mut tally = Tally(0);
     let mut flops_entries = Vec::new();
+    let mut tlb_rows = Vec::new();
+    let mut contention_rows = Vec::new();
     let mut measured = Vec::new();
 
     match kind {
@@ -601,6 +616,86 @@ pub(crate) fn run_unit(
             }
         }
 
+        UnitKind::TlbReach => {
+            tally.bump();
+            match api::page_size(&gpu) {
+                Some(page) => {
+                    let t_cfg = TlbConfig {
+                        record_n: cfg.record_n.min(192),
+                        scan_points: cfg.scan_points.min(16),
+                        alpha: cfg.alpha,
+                        debug: cfg.debug,
+                        ..TlbConfig::new(gpu.vendor(), page)
+                    };
+                    let d = tlb::run(&mut gpu, &t_cfg);
+                    tlb_rows.push(tlb_row(TlbLevel::L1Tlb, page, d.l1));
+                    tlb_rows.push(tlb_row(TlbLevel::L2Tlb, page, d.l2));
+                }
+                None => {
+                    // Locked-down page-size API: no chase stride, so the
+                    // whole section is an honest no-result.
+                    let reason = "driver page-size query unavailable in this environment";
+                    tlb_rows.push(TlbReport::unavailable(TlbLevel::L1Tlb, reason));
+                    tlb_rows.push(TlbReport::unavailable(TlbLevel::L2Tlb, reason));
+                }
+            }
+        }
+
+        UnitKind::L2Contention => {
+            tally.bump();
+            let c_cfg = ContentionConfig {
+                record_n: cfg.record_n.min(192),
+                ..ContentionConfig::new(&gpu)
+            };
+            contention_rows.push(match contention::run(&mut gpu, &c_cfg) {
+                ContentionOutcome::Found(m) => {
+                    let opt = |v: Option<u32>, why: &str| match v {
+                        Some(x) => Attribute::Measured {
+                            value: x,
+                            confidence: 1.0,
+                        },
+                        None => Attribute::Unavailable { reason: why.into() },
+                    };
+                    let lat = |v: Option<f64>, why: &str| match v {
+                        Some(x) => Attribute::Measured {
+                            value: x,
+                            confidence: 0.9,
+                        },
+                        None => Attribute::Unavailable { reason: why.into() },
+                    };
+                    ContentionReport {
+                        victim_sm: m.victim_sm,
+                        segments_estimate: Attribute::Measured {
+                            value: m.segments_estimate,
+                            confidence: 0.9,
+                        },
+                        same_segment_sm: opt(
+                            m.same_segment_sm,
+                            "no same-segment SM among the probed candidates",
+                        ),
+                        cross_segment_sm: opt(
+                            m.cross_segment_sm,
+                            "no cross-segment SM among the probed candidates \
+                             (single visible segment)",
+                        ),
+                        solo_latency_cycles: Attribute::Measured {
+                            value: m.solo_latency,
+                            confidence: 0.9,
+                        },
+                        same_segment_latency_cycles: lat(
+                            m.same_segment_latency,
+                            "no same-segment peer to co-run",
+                        ),
+                        cross_segment_latency_cycles: lat(
+                            m.cross_segment_latency,
+                            "no cross-segment peer to co-run",
+                        ),
+                    }
+                }
+                ContentionOutcome::NoResult { reason } => ContentionReport::unavailable(0, &reason),
+            });
+        }
+
         UnitKind::Flops(dtype) => {
             // Future-work extension: arithmetic throughput per datatype /
             // engine.
@@ -628,9 +723,61 @@ pub(crate) fn run_unit(
     UnitOutput {
         elements: rows.0,
         flops: flops_entries,
+        tlb: tlb_rows,
+        contention: contention_rows,
         measured,
         benchmarks_run: tally.0,
         stats: gpu.stats(),
+    }
+}
+
+/// Maps one discovered TLB level into its report row.
+fn tlb_row(level: TlbLevel, page: u64, outcome: TlbLevelOutcome) -> TlbReport {
+    match outcome {
+        TlbLevelOutcome::Found {
+            reach_bytes,
+            entries,
+            confidence,
+            miss_penalty_cycles,
+        } => TlbReport {
+            level,
+            reach_bytes: Attribute::Measured {
+                value: reach_bytes,
+                confidence,
+            },
+            entries: Attribute::Measured {
+                value: entries,
+                confidence,
+            },
+            page_bytes: Attribute::FromApi { value: page },
+            miss_penalty_cycles: match miss_penalty_cycles {
+                Some(value) => Attribute::Measured {
+                    value,
+                    confidence: 0.9,
+                },
+                None => Attribute::Unavailable {
+                    reason: "walk-penalty probes could not run (beyond-reach \
+                             footprint unallocatable)"
+                        .into(),
+                },
+            },
+        },
+        TlbLevelOutcome::ExceedsCap { cap } => TlbReport {
+            level,
+            reach_bytes: Attribute::AtLeast { value: cap },
+            entries: Attribute::AtLeast {
+                value: (cap / page.max(1)) as u32,
+            },
+            page_bytes: Attribute::FromApi { value: page },
+            miss_penalty_cycles: Attribute::Unavailable {
+                reason: "no re-miss regime within the testable range".into(),
+            },
+        },
+        TlbLevelOutcome::NoResult { reason } => {
+            let mut row = TlbReport::unavailable(level, &reason);
+            row.page_bytes = Attribute::FromApi { value: page };
+            row
+        }
     }
 }
 
@@ -697,6 +844,7 @@ fn discover_cache_element(
     size_cfg.alpha = cfg.alpha;
     size_cfg.record_n = cfg.record_n;
     size_cfg.scan_points = cfg.scan_points;
+    size_cfg.debug = cfg.debug;
     if let Some(lo) = search_lo {
         size_cfg.search_lo = lo;
     }

@@ -13,7 +13,7 @@
 use mt4g_sim::device::{CacheKind, DeviceConfig};
 use mt4g_sim::scenario::{Scenario, ScenarioError};
 
-use crate::report::{Attribute, Report};
+use crate::report::{Attribute, Report, TlbLevel};
 
 /// Outcome of validating one report against its planted ground truth.
 #[derive(Debug, Clone, Default)]
@@ -105,5 +105,136 @@ pub fn validate_against(report: &Report, cfg: &DeviceConfig) -> Validation {
             }
         }
     }
+    validate_tlb(report, cfg, &mut v);
+    validate_contention(report, cfg, &mut v);
     v
+}
+
+/// Checks discovered TLB rows against the planted translation hierarchy:
+/// reach, entry count, page size exactly; walk penalties within the same
+/// latency tolerance as the load latencies (they ride on noisy means).
+fn validate_tlb(report: &Report, cfg: &DeviceConfig, v: &mut Validation) {
+    let Some(truth) = cfg.tlb else { return };
+    for row in &report.tlb {
+        let (spec, reach) = match row.level {
+            TlbLevel::L1Tlb => (truth.l1, truth.l1_reach_bytes()),
+            TlbLevel::L2Tlb => (truth.l2, truth.l2_reach_bytes()),
+        };
+        if let Attribute::Measured { value, .. } = &row.reach_bytes {
+            v.checked += 1;
+            if *value != reach {
+                v.mismatch(format!(
+                    "{}: reach {value} vs planted {reach}",
+                    row.level.label()
+                ));
+            }
+        }
+        if let Attribute::Measured { value, .. } = &row.entries {
+            v.checked += 1;
+            if *value != spec.entries {
+                v.mismatch(format!(
+                    "{}: entries {value} vs planted {}",
+                    row.level.label(),
+                    spec.entries
+                ));
+            }
+        }
+        if let Some(&page) = row.page_bytes.value() {
+            v.checked += 1;
+            if page != truth.page_bytes {
+                v.mismatch(format!(
+                    "{}: page size {page} vs planted {}",
+                    row.level.label(),
+                    truth.page_bytes
+                ));
+            }
+        }
+        if let Attribute::Measured { value, .. } = &row.miss_penalty_cycles {
+            v.checked += 1;
+            if (value - spec.miss_penalty_cycles as f64).abs() > 8.0 {
+                v.mismatch(format!(
+                    "{}: walk penalty {value:.1} vs planted {}",
+                    row.level.label(),
+                    spec.miss_penalty_cycles
+                ));
+            }
+        }
+    }
+}
+
+/// Checks the contention measurement against first principles: the
+/// discovered same/cross-segment peers must agree with the planted
+/// `l2_segment_of` mapping, the solo latency must sit at the planted L2
+/// latency, a same-segment polluter must inflate the victim at least
+/// halfway toward the backing level (L3 where present, DRAM otherwise),
+/// and a cross-segment polluter must not.
+fn validate_contention(report: &Report, cfg: &DeviceConfig, v: &mut Validation) {
+    if report.contention.is_empty() {
+        return;
+    }
+    let Some(l2) = cfg.cache(CacheKind::L2) else {
+        return;
+    };
+    let l2_lat = l2.load_latency as f64;
+    let backing = cfg
+        .cache(CacheKind::L3)
+        .map(|s| s.load_latency)
+        .unwrap_or(cfg.dram.load_latency) as f64;
+    for row in &report.contention {
+        let victim_seg = cfg.l2_segment_of(row.victim_sm as usize);
+        if let Attribute::Measured { value, .. } = &row.segments_estimate {
+            v.checked += 1;
+            if *value != l2.segments {
+                v.mismatch(format!(
+                    "contention: segment estimate {value} vs planted {}",
+                    l2.segments
+                ));
+            }
+        }
+        if let Attribute::Measured { value, .. } = &row.same_segment_sm {
+            v.checked += 1;
+            if cfg.l2_segment_of(*value as usize) != victim_seg {
+                v.mismatch(format!(
+                    "contention: SM {value} reported same-segment but maps elsewhere"
+                ));
+            }
+        }
+        if let Attribute::Measured { value, .. } = &row.cross_segment_sm {
+            v.checked += 1;
+            if cfg.l2_segment_of(*value as usize) == victim_seg {
+                v.mismatch(format!(
+                    "contention: SM {value} reported cross-segment but shares the segment"
+                ));
+            }
+        }
+        let solo = match &row.solo_latency_cycles {
+            Attribute::Measured { value, .. } => {
+                v.checked += 1;
+                if (value - l2_lat).abs() > 10.0 {
+                    v.mismatch(format!(
+                        "contention: solo latency {value:.1} vs L2 {l2_lat}"
+                    ));
+                }
+                *value
+            }
+            _ => continue,
+        };
+        if let Attribute::Measured { value, .. } = &row.same_segment_latency_cycles {
+            v.checked += 1;
+            if *value < solo + 0.5 * (backing - l2_lat) {
+                v.mismatch(format!(
+                    "contention: same-segment latency {value:.1} not inflated \
+                     (solo {solo:.1}, backing {backing})"
+                ));
+            }
+        }
+        if let Attribute::Measured { value, .. } = &row.cross_segment_latency_cycles {
+            v.checked += 1;
+            if (value - solo).abs() > 0.25 * (backing - l2_lat) {
+                v.mismatch(format!(
+                    "contention: cross-segment latency {value:.1} deviates from solo {solo:.1}"
+                ));
+            }
+        }
+    }
 }

@@ -178,6 +178,60 @@ fn hostile_scenario_runs_from_the_cli() {
     );
 }
 
+/// I/O failures on the write path must exit with a one-line error and a
+/// non-zero code — not a panic backtrace (the old `expect()` path).
+#[test]
+fn unwritable_output_dir_fails_with_one_line_error() {
+    let out = mt4g()
+        .args(["--gpu", "T1000", "-q", "--fast", "--only", "cl1", "-j"])
+        .args(["-o", "/nonexistent-mt4g-dir/sub"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "I/O failure exits 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: cannot write"),
+        "one-line message expected, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic with a backtrace: {stderr}"
+    );
+}
+
+/// `--tlb --contention` surface the extension sections in the report; a
+/// plain run omits them entirely (byte-stable JSON).
+#[test]
+fn tlb_and_contention_flags_add_their_sections() {
+    let plain = mt4g()
+        .args(["--gpu", "T1000", "--fast", "-q"])
+        .output()
+        .expect("runs");
+    assert!(plain.status.success());
+    let plain_json = String::from_utf8_lossy(&plain.stdout).to_string();
+    assert!(!plain_json.contains("\"tlb\""), "plain run must omit tlb");
+
+    let out = mt4g()
+        .args(["--gpu", "T1000", "--fast", "-q", "--tlb", "--contention"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = mt4g_core::report::from_json(&String::from_utf8_lossy(&out.stdout))
+        .expect("valid JSON report");
+    assert_eq!(report.tlb.len(), 2);
+    let truth = mt4g_sim::presets::t1000().config.tlb.unwrap();
+    assert_eq!(
+        report.tlb[0].reach_bytes.value(),
+        Some(&truth.l1_reach_bytes()),
+        "L1-TLB reach must be discovered, not copied"
+    );
+    assert_eq!(report.contention.len(), 1);
+}
+
 #[test]
 fn json_flag_writes_named_file() {
     let dir = std::env::temp_dir().join(format!("mt4g-cli-test-{}", std::process::id()));

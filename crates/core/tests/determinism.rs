@@ -100,6 +100,47 @@ fn mig_scenario_is_byte_identical_across_jobs_and_shards() {
     assert_shards_merge_byte_identical_with("A100", &["--scenario", "mig:2g.10gb"], 2);
 }
 
+/// The TLB-reach and L2-contention units inherit every determinism
+/// guarantee: a `--tlb --contention` run is byte-identical across
+/// `--jobs` values and merged shard splits, and the report carries both
+/// extension sections.
+#[test]
+fn tlb_and_contention_units_are_byte_identical_across_jobs_and_shards() {
+    let base = ["--gpu", "A100", "--fast", "-q", "--tlb", "--contention"];
+    let sequential = run_stdout(&[&base[..], &["--jobs", "1"]].concat());
+    let parallel = run_stdout(&[&base[..], &["--jobs", "4"]].concat());
+    assert_eq!(
+        sequential, parallel,
+        "--tlb/--contention must not depend on --jobs"
+    );
+    let report = mt4g_core::report::from_json(&sequential).expect("valid report");
+    assert_eq!(report.tlb.len(), 2, "L1 and L2 TLB rows");
+    assert!(report.tlb.iter().all(|t| t.reach_bytes.is_available()));
+    assert_eq!(report.contention.len(), 1);
+    assert!(report.contention[0].solo_latency_cycles.is_available());
+    assert_shards_merge_byte_identical_with("A100", &["--tlb", "--contention"], 2);
+}
+
+/// Extended (`--tlb`) shards must not merge with plain shards of the same
+/// preset: the knobs are part of the plan fingerprint.
+#[test]
+fn extension_shards_do_not_merge_with_plain_shards() {
+    let dir = temp_dir("tlb-mismatch");
+    let plain = run_stdout(&["--gpu", "T1000", "--fast", "-q", "--shard", "1/2"]);
+    let tlb = run_stdout(&["--gpu", "T1000", "--fast", "-q", "--tlb", "--shard", "2/2"]);
+    let pa = dir.join("plain.partial.json");
+    let pb = dir.join("tlb.partial.json");
+    std::fs::write(&pa, plain).unwrap();
+    std::fs::write(&pb, tlb).unwrap();
+    let out = mt4g()
+        .args(["merge", pa.to_str().unwrap(), pb.to_str().unwrap(), "-q"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Scenario shards must not merge with bare-metal shards of the same
 /// preset: the scenario is part of the plan fingerprint.
 #[test]

@@ -99,6 +99,8 @@ mod tests {
             },
             memory: Vec::new(),
             compute_throughput: Vec::new(),
+            tlb: Vec::new(),
+            contention: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         r.element_mut(CacheKind::L2).read_bandwidth_gibs = Attribute::Measured {

@@ -232,6 +232,8 @@ mod tests {
             },
             memory: Vec::new(),
             compute_throughput: Vec::new(),
+            tlb: Vec::new(),
+            contention: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         // L2: the suite reports the API total (40 MiB) as the size and the

@@ -125,6 +125,19 @@ pub fn xcd_count(gpu: &Gpu) -> Option<u32> {
     gpu.config.xcd_count()
 }
 
+/// Page size of the driver's large-page allocations, in bytes — the
+/// translation granule the TLB-reach benchmark chases with. A driver
+/// constant on both vendors (like the device properties), but part of the
+/// query surface a locked-down hostile environment withholds
+/// ([`crate::quirks::Quirks::page_size_api_unavailable`]): without it the
+/// TLB rows honestly degrade to "no result" instead of guessing a stride.
+pub fn page_size(gpu: &Gpu) -> Option<u64> {
+    if gpu.config.quirks.page_size_api_unavailable {
+        return None;
+    }
+    gpu.config.tlb.map(|t| t.page_bytes)
+}
+
 /// Logical→physical CU id mapping — AMD only (paper Sec. III-B).
 pub fn logical_to_physical_cu(gpu: &Gpu) -> Option<Vec<u32>> {
     if gpu.config.quirks.cu_ids_unavailable {

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::quirks::Quirks;
+use crate::tlb::TlbSpec;
 
 /// GPU vendor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -317,6 +318,12 @@ pub struct DeviceConfig {
     pub sharing: SharingLayout,
     /// AMD CU layout (None on NVIDIA).
     pub cu_layout: Option<CuLayout>,
+    /// Address-translation ground truth (page size, L1/L2 TLB geometry
+    /// and walk penalties). `#[serde(default)]` so configurations
+    /// serialized before the TLB layer existed still deserialize (to "no
+    /// TLB modeled").
+    #[serde(default)]
+    pub tlb: Option<TlbSpec>,
     /// Hardware/driver quirks that make specific benchmarks fail, modeled
     /// after the three documented non-results in the paper's Section V.
     pub quirks: Quirks,
@@ -344,6 +351,25 @@ impl DeviceConfig {
             self.cache(CacheKind::L2).map(|s| s.segments)
         } else {
             None
+        }
+    }
+
+    /// The L2 segment index an SM/CU is wired to — a pure function of the
+    /// configuration (paper Sec. IV-F1 / VI-C observation 2): NVIDIA
+    /// stripes SMs across segments, on AMD the segment is the CU's XCD.
+    /// Shared by the memory subsystem's wiring and the contention
+    /// validator, which must agree on the mapping by construction.
+    pub fn l2_segment_of(&self, sm: usize) -> usize {
+        let segments = self
+            .cache(CacheKind::L2)
+            .map(|s| s.segments.max(1))
+            .unwrap_or(1) as usize;
+        match (self.vendor, self.cu_layout.as_ref()) {
+            (Vendor::Amd, Some(layout)) => {
+                let per_xcd = (layout.physical_total as usize).div_ceil(segments);
+                (layout.physical_ids[sm] as usize / per_xcd).min(segments - 1)
+            }
+            _ => sm % segments,
         }
     }
 }

@@ -23,7 +23,19 @@ pub struct BufferId(usize);
 #[derive(Debug)]
 struct Buffer {
     base: u64,
+    /// Bytes of device address space each stored word covers: 4 for dense
+    /// buffers, the element stride for sparse chase buffers
+    /// ([`Gpu::alloc_strided`]). Reads between the stored words of a
+    /// sparse buffer return 0 — bit-identical to a dense zero-initialised
+    /// buffer whose chase pointers are the only non-zero words.
+    bytes_per_word: u64,
     data: Vec<u32>,
+}
+
+impl Buffer {
+    fn len_bytes(&self) -> u64 {
+        self.data.len() as u64 * self.bytes_per_word
+    }
 }
 
 /// Cycle cost of simple ALU instructions.
@@ -182,19 +194,45 @@ impl Gpu {
     /// is what stops MT4G from sizing the Constant L1.5 cache (Table III's
     /// ">64KiB" entry).
     pub fn alloc(&mut self, space: MemorySpace, bytes: u64) -> Result<BufferId, AllocError> {
+        self.alloc_inner(space, bytes, 4)
+    }
+
+    /// Allocates `bytes` of device address space backed by one stored word
+    /// per `stride_bytes` — the sparse representation of a page-stride
+    /// chase ring, whose footprint (what the device maps and the TLB
+    /// covers) can span gigabytes while host memory stays proportional to
+    /// the element count. Reads at non-element offsets return 0, exactly
+    /// like the untouched words of a dense zero-initialised buffer.
+    pub fn alloc_strided(
+        &mut self,
+        space: MemorySpace,
+        bytes: u64,
+        stride_bytes: u64,
+    ) -> Result<BufferId, AllocError> {
+        assert!(stride_bytes >= 4 && stride_bytes.is_multiple_of(4));
+        self.alloc_inner(space, bytes, stride_bytes)
+    }
+
+    fn alloc_inner(
+        &mut self,
+        space: MemorySpace,
+        bytes: u64,
+        bytes_per_word: u64,
+    ) -> Result<BufferId, AllocError> {
         if space == MemorySpace::Constant && bytes > CONSTANT_ARRAY_LIMIT {
             return Err(AllocError::ConstantLimitExceeded { requested: bytes });
         }
         if self.allocated + bytes > self.config.dram.size {
             return Err(AllocError::OutOfMemory);
         }
-        let words = bytes.div_ceil(4) as usize;
+        let words = bytes.div_ceil(bytes_per_word) as usize;
         let base = self.next_base;
         // Page-align the next allocation so buffers never share a line.
         self.next_base += bytes.div_ceil(4096) * 4096 + 4096;
         self.allocated += bytes;
         self.buffers.push(Buffer {
             base,
+            bytes_per_word,
             data: vec![0u32; words],
         });
         Ok(BufferId(self.buffers.len() - 1))
@@ -224,8 +262,14 @@ impl Gpu {
     pub fn init_pchase(&mut self, id: BufferId, array_bytes: u64, stride_bytes: u64) -> u64 {
         assert!(stride_bytes >= 4 && stride_bytes.is_multiple_of(4));
         let n = (array_bytes / stride_bytes).max(1);
-        let stride_words = (stride_bytes / 4) as usize;
         let buf = &mut self.buffers[id.0];
+        assert!(
+            stride_bytes.is_multiple_of(buf.bytes_per_word),
+            "chase stride {stride_bytes} must be a multiple of the buffer's \
+             storage granule {}",
+            buf.bytes_per_word
+        );
+        let stride_words = (stride_bytes / buf.bytes_per_word) as usize;
         for i in 0..n {
             let next = (i + 1) % n;
             // The stored value is the *element index* of the successor; the
@@ -237,9 +281,18 @@ impl Gpu {
 
     fn read_mem(&self, addr: u64) -> u32 {
         for buf in &self.buffers {
-            let end = buf.base + (buf.data.len() as u64) * 4;
+            let end = buf.base + buf.len_bytes();
             if addr >= buf.base && addr + 4 <= end {
-                return buf.data[((addr - buf.base) / 4) as usize];
+                let off = addr - buf.base;
+                if buf.bytes_per_word == 4 {
+                    return buf.data[(off / 4) as usize];
+                }
+                // Sparse buffer: only element-start words are backed.
+                return if off.is_multiple_of(buf.bytes_per_word) {
+                    buf.data[(off / buf.bytes_per_word) as usize]
+                } else {
+                    0
+                };
             }
         }
         0 // unmapped reads return zero, like a zero page

@@ -15,6 +15,7 @@
 
 use crate::cache::SectoredCache;
 use crate::device::{CacheKind, CacheSpec, DeviceConfig, LoadFlags, MemorySpace, Vendor};
+use crate::tlb::{Tlb, TlbAccess, TlbSpec};
 
 /// Where a load was resolved, and at what cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +116,16 @@ pub struct MemorySubsystem {
 
     scratch_latency: u32,
     dram_latency: u32,
+
+    /// Address translation: one L1 TLB per SM/CU plus the shared L2 TLB
+    /// (absent when the configuration models no TLB). Translation happens
+    /// per *address*, so it deliberately lives outside the route memo —
+    /// the memoized route stays a pure function of (sm, core, space,
+    /// flags) and the walk penalty is added per load on top of whatever
+    /// level serviced it.
+    tlb_spec: Option<TlbSpec>,
+    l1_tlb: Vec<Tlb>,
+    l2_tlb: Option<Tlb>,
 
     /// Single-entry route memo: the p-chase hot loop issues millions of
     /// loads with an identical (sm, core, space, flags) tuple, so the
@@ -220,20 +231,18 @@ impl MemorySubsystem {
             .unwrap_or_default();
 
         // L2 segment visibility: an SM/CU only ever talks to one segment
-        // (paper Sec. IV-F1 / VI-C observation 2). On NVIDIA we stripe SMs
-        // across segments; on AMD the segment is the CU's XCD.
-        let l2_segment_of_sm = (0..num_sms)
-            .map(|sm| match (config.vendor, config.cu_layout.as_ref()) {
-                (Vendor::Amd, Some(layout)) => {
-                    let per_xcd = (layout.physical_total as usize).div_ceil(l2_segments.max(1));
-                    (layout.physical_ids[sm] as usize / per_xcd).min(l2_segments - 1)
-                }
-                _ => sm % l2_segments,
-            })
-            .collect();
+        // (paper Sec. IV-F1 / VI-C observation 2); the mapping itself is
+        // pure configuration, shared with the contention validator.
+        let l2_segment_of_sm = (0..num_sms).map(|sm| config.l2_segment_of(sm)).collect();
 
         let l3_spec = get(CacheKind::L3);
         let l3 = l3_spec.map(|s| SectoredCache::from_spec(&s));
+
+        let tlb_spec = config.tlb;
+        let l1_tlb = tlb_spec
+            .map(|t| (0..num_sms).map(|_| Tlb::new(&t.l1)).collect())
+            .unwrap_or_default();
+        let l2_tlb = tlb_spec.map(|t| Tlb::new(&t.l2));
 
         MemorySubsystem {
             vendor: config.vendor,
@@ -264,6 +273,9 @@ impl MemorySubsystem {
             l3_spec,
             scratch_latency: config.scratchpad.load_latency,
             dram_latency: config.dram.load_latency,
+            tlb_spec,
+            l1_tlb,
+            l2_tlb,
             route_memo: None,
         }
     }
@@ -309,6 +321,47 @@ impl MemorySubsystem {
         if let Some(c) = self.l3.as_mut() {
             c.flush();
         }
+        for t in self.l1_tlb.iter_mut() {
+            t.flush();
+        }
+        if let Some(t) = self.l2_tlb.as_mut() {
+            t.flush();
+        }
+    }
+
+    /// Translates `addr` for a load issued from `sm` and returns the walk
+    /// penalty in cycles. First-ever touches of a page install its
+    /// translation for free (see [`crate::tlb`]); only re-misses of a
+    /// previously resident page pay. An L1-TLB hit never consults the L2
+    /// TLB, mirroring real hierarchies.
+    #[inline]
+    fn translate(&mut self, sm: usize, addr: u64) -> u32 {
+        let Some(spec) = self.tlb_spec else { return 0 };
+        let page = addr / spec.page_bytes;
+        let l1_outcome = self.l1_tlb[sm].access(page);
+        if l1_outcome == TlbAccess::Hit {
+            return 0;
+        }
+        let l2_outcome = self
+            .l2_tlb
+            .as_mut()
+            .map(|t| t.access(page))
+            .unwrap_or(TlbAccess::Hit);
+        if l1_outcome == TlbAccess::FirstTouch {
+            // This SM never saw the page: the free allocation-time path
+            // (the L2 TLB was still consulted above so its LRU state and
+            // first-touch history stay coherent).
+            return 0;
+        }
+        match l2_outcome {
+            // L1 re-miss answered by the L2 TLB.
+            TlbAccess::Hit => spec.l1.miss_penalty_cycles,
+            // Evicted from the whole hierarchy: the full table walk.
+            TlbAccess::ReMiss => spec.l2.miss_penalty_cycles,
+            // Unreachable (an L1 re-miss implies the L2 TLB saw the page),
+            // kept total for safety.
+            TlbAccess::FirstTouch => 0,
+        }
     }
 
     /// Routes one load and updates cache state.
@@ -349,16 +402,28 @@ impl MemorySubsystem {
                 route
             }
         };
+        // Translate before the cache walk. Scratchpad spaces are
+        // driver-managed physical windows and skip the TLB entirely; the
+        // walk penalty rides on top of whatever level services the load,
+        // which keeps the memoized route a pure function of the key.
+        let tlb_penalty = if matches!(space, MemorySpace::Shared | MemorySpace::Lds) {
+            0
+        } else {
+            self.translate(sm, addr)
+        };
         for step in route.steps.iter().flatten() {
             if self.cache_mut(step.cache).access(addr).is_hit() {
                 return LoadResolution {
                     level: step.level,
-                    latency: step.latency,
+                    latency: step.latency + tlb_penalty,
                     first_level_hit: step.first_level_hit,
                 };
             }
         }
-        route.terminal
+        LoadResolution {
+            latency: route.terminal.latency + tlb_penalty,
+            ..route.terminal
+        }
     }
 
     /// The physical cache instance a [`CacheRef`] names.
@@ -703,6 +768,96 @@ mod tests {
             256,
         );
         assert_eq!(r.level, CacheKind::L3);
+    }
+
+    /// The contention validator re-derives segment wiring from the pure
+    /// `DeviceConfig::l2_segment_of`; it must agree with the subsystem's
+    /// actual wiring on every registry preset, by construction.
+    #[test]
+    fn config_segment_mapping_matches_the_wired_subsystem() {
+        for entry in presets::Registry::global().entries() {
+            let cfg = entry.gpu().config;
+            let mem = MemorySubsystem::new(&cfg);
+            for sm in 0..cfg.chip.num_sms as usize {
+                assert_eq!(
+                    mem.l2_segment_of(sm),
+                    cfg.l2_segment_of(sm),
+                    "{} sm {sm}",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_first_touches_are_free_and_reach_overflow_pays() {
+        use crate::tlb::TlbSpec;
+        let mut cfg = presets::t1000().config;
+        // Tiny TLB: 4-page L1 reach, 8-page L2 reach over 64 KiB pages.
+        cfg.tlb = Some(TlbSpec::fully_associative(65536, 4, 50, 8, 400));
+        let l2_lat = cfg.cache(CacheKind::L2).unwrap().load_latency;
+        let mut mem = MemorySubsystem::new(&cfg);
+        let page = 65536u64;
+        let load = |mem: &mut MemorySubsystem, addr: u64| {
+            mem.load(0, 0, MemorySpace::Global, LoadFlags::CACHE_GLOBAL, addr)
+        };
+        // First pass over 6 pages: compulsory translations install free,
+        // the loads themselves are cold DRAM fetches.
+        for p in 0..6u64 {
+            assert_eq!(
+                load(&mut mem, p * page).latency,
+                cfg.dram.load_latency,
+                "page {p}"
+            );
+        }
+        // Second pass: 6 pages > 4 L1 entries thrash the L1 TLB but fit
+        // the L2 TLB -> every re-visit pays the L1-TLB miss penalty.
+        for p in 0..6u64 {
+            assert_eq!(load(&mut mem, p * page).latency, l2_lat + 50, "page {p}");
+        }
+        // A 12-page ring exceeds both levels: the full walk.
+        for p in 0..12u64 {
+            load(&mut mem, p * page);
+        }
+        for p in 0..12u64 {
+            assert_eq!(load(&mut mem, p * page).latency, l2_lat + 400, "page {p}");
+        }
+        // Flush clears residency *and* first-touch history.
+        mem.flush_all();
+        let r = mem.load(0, 0, MemorySpace::Global, LoadFlags::CACHE_GLOBAL, 0);
+        assert_eq!(r.latency, cfg.dram.load_latency, "cold again, no penalty");
+    }
+
+    #[test]
+    fn tlb_within_reach_ring_stays_free() {
+        use crate::tlb::TlbSpec;
+        let mut cfg = presets::t1000().config;
+        cfg.tlb = Some(TlbSpec::fully_associative(65536, 4, 50, 8, 400));
+        let l2_lat = cfg.cache(CacheKind::L2).unwrap().load_latency;
+        let mut mem = MemorySubsystem::new(&cfg);
+        for p in 0..4u64 {
+            // Cold pass: DRAM-serviced, translation installed for free.
+            let r = mem.load(
+                0,
+                0,
+                MemorySpace::Global,
+                LoadFlags::CACHE_GLOBAL,
+                p * 65536,
+            );
+            assert_eq!(r.latency, cfg.dram.load_latency, "page {p}");
+        }
+        for _ in 0..3 {
+            for p in 0..4u64 {
+                let r = mem.load(
+                    0,
+                    0,
+                    MemorySpace::Global,
+                    LoadFlags::CACHE_GLOBAL,
+                    p * 65536,
+                );
+                assert_eq!(r.latency, l2_lat, "a ring at reach never pays");
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   documented quirks ([`quirks`]),
 //! * [`scenario`] — deployment scenarios (bare-metal, MIG partition,
 //!   hostile environment) that transform both the device the suite runs
-//!   on and the expectations the validator checks.
+//!   on and the expectations the validator checks,
+//! * [`tlb`] — the address-translation layer: per-SM L1 TLBs behind one
+//!   GPU-level L2 TLB, whose reach the TLB-reach benchmark discovers.
 //!
 //! # Paper map
 //!
@@ -59,6 +61,7 @@ pub mod noise;
 pub mod presets;
 pub mod quirks;
 pub mod scenario;
+pub mod tlb;
 
 pub use device::{CacheKind, DeviceConfig, LoadFlags, MemorySpace, Vendor};
 pub use gpu::{Gpu, LaunchResult};

@@ -121,6 +121,7 @@ pub fn mi100() -> Gpu {
             l1_tex_ro_unified: false,
         },
         cu_layout: Some(cu_layout(128, 120, &disabled, 3)),
+        tlb: super::preset_tlb(16, 64, 128, 520),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 10,
     })
@@ -175,6 +176,7 @@ pub fn mi210() -> Gpu {
             l1_tex_ro_unified: false,
         },
         cu_layout: Some(cu_layout(128, 104, &disabled, 2)),
+        tlb: super::preset_tlb(16, 64, 128, 540),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 10,
     })
@@ -239,6 +241,7 @@ pub fn mi300x() -> Gpu {
             l1_tex_ro_unified: false,
         },
         cu_layout: Some(cu_layout(320, 304, &disabled, 2)),
+        tlb: super::preset_tlb(32, 72, 256, 560),
         quirks: Quirks {
             no_cu_pinning: true,
             ..Quirks::NONE
@@ -338,6 +341,7 @@ fn rdna(
         // Consumer dies ship fully enabled at these SKUs; the scalar cache
         // is shared per WGP (2 consecutive CUs).
         cu_layout: Some(cu_layout(num_cus, num_cus, &[], 2)),
+        tlb: super::preset_tlb(32, 56, 256, 460),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 8,
     })

@@ -21,8 +21,34 @@ pub use amd::{mi100, mi210, mi300x, rx7900xtx, rx9070xt};
 pub use nvidia::{a100, b200, gb200, h100_80, h100_96, p6000, rtx2080, t1000, v100};
 pub use registry::{Family, PresetEntry, Registry};
 
+use crate::device::mib;
 use crate::gpu::Gpu;
 use crate::scenario::hostile_variant;
+use crate::tlb::TlbSpec;
+
+/// Shared translation-hierarchy helper for the preset builders: 2 MiB
+/// driver large pages, a per-SM/CU L1 TLB and a GPU-level L2 TLB, both
+/// fully associative like the data caches. L1 reaches are sized so the
+/// TLB comfortably covers every cache benchmark's footprint (size scans
+/// go up to 2x the L2 total) — walk penalties are a *TLB* signal, not a
+/// confound in the cache measurements, exactly as on real parts where
+/// benchmark arrays use large pages for this reason; the penalties sit
+/// above each vendor's L2-latency stratum so the reach cliff is
+/// unambiguous.
+pub(crate) const fn preset_tlb(
+    l1_entries: u32,
+    l1_penalty: u32,
+    l2_entries: u32,
+    l2_penalty: u32,
+) -> Option<TlbSpec> {
+    Some(TlbSpec::fully_associative(
+        mib(2),
+        l1_entries,
+        l1_penalty,
+        l2_entries,
+        l2_penalty,
+    ))
+}
 
 /// Hostile variant of the Table III NVIDIA reference GPU (H100-80 under
 /// [`crate::noise::NoiseModel::HOSTILE`] with hostile quirks).

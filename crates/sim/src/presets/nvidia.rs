@@ -158,6 +158,7 @@ pub fn p6000() -> Gpu {
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(16, 48, 128, 400),
         quirks: Quirks {
             l1_amount_unschedulable: true,
             flaky_l1_const_sharing: true,
@@ -220,6 +221,7 @@ pub fn v100() -> Gpu {
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(16, 48, 128, 420),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -277,6 +279,7 @@ pub fn t1000() -> Gpu {
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(16, 48, 128, 430),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -334,6 +337,7 @@ pub fn rtx2080() -> Gpu {
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(16, 48, 128, 430),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -392,6 +396,7 @@ pub fn a100() -> Gpu {
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(64, 52, 512, 450),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -452,6 +457,7 @@ fn h100(name: &str, dram_gib: u64, dram_lat: u32, dram_read: f64, dram_write: f6
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(64, 52, 512, 480),
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -533,6 +539,7 @@ fn blackwell(
             l1_tex_ro_unified: true,
         },
         cu_layout: NO_CU_LAYOUT,
+        tlb: super::preset_tlb(128, 56, 1024, 500),
         quirks,
         clock_overhead_cycles: 6,
     })

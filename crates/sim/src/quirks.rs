@@ -51,6 +51,18 @@ pub struct Quirks {
     /// CU-sharing benchmark still runs if pinning works.
     #[serde(default)]
     pub cu_ids_unavailable: bool,
+    /// The driver does not expose its page-size / large-page allocation
+    /// granule (locked-down hostile environments). Without the page size
+    /// the TLB-reach benchmark has no stride to chase with, so TLB rows
+    /// degrade to honest "no result" entries.
+    #[serde(default)]
+    pub page_size_api_unavailable: bool,
+    /// The environment cannot guarantee two benchmark blocks stay
+    /// co-resident on operator-chosen SMs/CUs (oversubscribed multi-tenant
+    /// schedulers). Disables the shared-L2 contention benchmark, which
+    /// needs a victim and a polluter pinned to specific SMs.
+    #[serde(default)]
+    pub no_co_residency: bool,
 }
 
 impl Quirks {
@@ -61,6 +73,8 @@ impl Quirks {
         flaky_l1_const_sharing: false,
         cache_info_apis_unavailable: false,
         cu_ids_unavailable: false,
+        page_size_api_unavailable: false,
+        no_co_residency: false,
     };
 }
 
@@ -92,6 +106,8 @@ mod tests {
         assert!(q.no_cu_pinning);
         assert!(!q.cache_info_apis_unavailable);
         assert!(!q.cu_ids_unavailable);
+        assert!(!q.page_size_api_unavailable);
+        assert!(!q.no_co_residency);
     }
 
     #[test]

@@ -180,9 +180,17 @@ impl Scenario {
 /// The quirk set a hostile environment imposes on top of a device's own:
 /// NVIDIA loses the flaky sharing measurement's reliability; AMD
 /// additionally loses CU pinning and (when the profile locks APIs down)
-/// the HSA/KFD cache tables and the CU id mapping.
+/// the HSA/KFD cache tables and the CU id mapping. Both vendors lose
+/// benchmark-block co-residency (the multi-tenant scheduler owns SM
+/// placement, so the shared-L2 contention benchmark cannot pin its
+/// victim/polluter pair) and, under API lockdown, the page-size query
+/// the TLB-reach benchmark needs for its chase stride.
 fn hostile_quirks(vendor: Vendor, base: Quirks, profile: &HostileProfile) -> Quirks {
     let mut q = base;
+    q.no_co_residency = true;
+    if profile.lock_down_apis {
+        q.page_size_api_unavailable = true;
+    }
     match vendor {
         Vendor::Nvidia => {
             q.flaky_l1_const_sharing = true;
@@ -271,6 +279,21 @@ mod tests {
         assert!(amd.config.quirks.no_cu_pinning);
         assert!(amd.config.quirks.cache_info_apis_unavailable);
         assert!(amd.config.quirks.cu_ids_unavailable);
+        // Both vendors lose co-residency and (under lockdown) the
+        // page-size query — the new-subsystem lockdown.
+        for gpu in [&nv, &amd] {
+            assert!(gpu.config.quirks.no_co_residency);
+            assert!(gpu.config.quirks.page_size_api_unavailable);
+        }
+    }
+
+    /// The hostile transform must not touch the planted TLB geometry:
+    /// robustness means locked-down *queries*, not different hardware.
+    #[test]
+    fn hostile_preserves_tlb_ground_truth() {
+        let base = presets::h100_80();
+        let hostile = hostile_variant(presets::h100_80());
+        assert_eq!(base.config.tlb, hostile.config.tlb);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! * **mig:&lt;profile&gt;** — discovery *inside* a MIG instance, validated
 //!   against MIG-scaled expectations (e.g. `visible_l2_bytes`), on NVIDIA
 //!   entries.
+//!
+//! Every cell also runs the TLB-reach and shared-L2 contention units
+//! (`measure_tlb` / `measure_contention`): reaches, entry counts, page
+//! sizes and walk penalties must match the planted translation hierarchy,
+//! contention peers must agree with the planted `l2_segment_of` mapping,
+//! and cells whose environment locks the subsystems down must degrade to
+//! honest no-results (never wrong values).
 
 use mt4g::core::suite::{run_discovery, DiscoveryConfig};
 use mt4g::core::validate::validate_scenario;
@@ -78,11 +85,38 @@ fn every_preset_matches_its_planted_ground_truth_in_every_scenario() {
             let dcfg = DiscoveryConfig {
                 cu_window: 4,
                 jobs: 1,
+                measure_tlb: true,
+                measure_contention: true,
                 ..DiscoveryConfig::fast()
             };
             let report = run_discovery(&mut gpu, &dcfg);
             let v = validate_scenario(&report, &full, &scenario).expect("scenario applies");
             assert!(v.checked > 0, "{tag}: validated nothing");
+
+            // Coverage, not just correctness: every cell must carry both
+            // extension sections, and cells whose environment does not
+            // lock the new subsystems down must *measure* them (TLB reach
+            // needs the page-size API; contention needs co-residency and
+            // CU pinning).
+            let quirks = gpu.config.quirks;
+            assert_eq!(report.tlb.len(), 2, "{tag}: L1+L2 TLB rows expected");
+            if !quirks.page_size_api_unavailable {
+                for row in &report.tlb {
+                    assert!(
+                        row.reach_bytes.is_available(),
+                        "{tag}: {} reach not discovered",
+                        row.level.label()
+                    );
+                }
+            }
+            assert_eq!(report.contention.len(), 1, "{tag}: contention row expected");
+            if !quirks.no_co_residency && !quirks.no_cu_pinning {
+                assert!(
+                    report.contention[0].solo_latency_cycles.is_available(),
+                    "{tag}: contention not measured"
+                );
+            }
+
             if v.mismatches == 0 {
                 String::new()
             } else {

@@ -9,6 +9,10 @@
 //!   generic),
 //! * `#[serde(tag = "...")]` internally-tagged enums,
 //! * `#[serde(default)]` fields (missing key → `Default::default()`),
+//! * `#[serde(skip_serializing_if = "path")]` fields (the key is omitted
+//!   from the serialized object when `path(&field)` is true — used to add
+//!   report sections without changing the bytes of reports that lack
+//!   them),
 //! * `Option<T>` fields tolerate a missing key (deserialize to `None`).
 //!
 //! Generated code targets the `serde::{Serialize, Deserialize, Value,
@@ -38,6 +42,9 @@ struct Field {
     name: String,
     is_option: bool,
     has_default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: serialization omits the
+    /// key when `path(&self.field)` holds.
+    skip_serializing_if: Option<String>,
 }
 
 struct Variant {
@@ -102,10 +109,10 @@ impl Cursor {
         }
     }
 
-    /// Consumes leading attributes; returns (has_serde_default, tag).
-    fn parse_attrs(&mut self) -> (bool, Option<String>) {
-        let mut has_default = false;
-        let mut tag = None;
+    /// Consumes leading attributes; returns the merged `#[serde(...)]`
+    /// arguments.
+    fn parse_attrs(&mut self) -> SerdeArgs {
+        let mut merged = SerdeArgs::default();
         while self.peek_punct('#') {
             self.next();
             let group = match self.next() {
@@ -116,16 +123,19 @@ impl Cursor {
             if let Some(TokenTree::Ident(name)) = inner.first() {
                 if name.to_string() == "serde" {
                     if let Some(TokenTree::Group(args)) = inner.get(1) {
-                        let (d, t) = parse_serde_args(args.stream());
-                        has_default |= d;
-                        if t.is_some() {
-                            tag = t;
+                        let parsed = parse_serde_args(args.stream());
+                        merged.has_default |= parsed.has_default;
+                        if parsed.tag.is_some() {
+                            merged.tag = parsed.tag;
+                        }
+                        if parsed.skip_serializing_if.is_some() {
+                            merged.skip_serializing_if = parsed.skip_serializing_if;
                         }
                     }
                 }
             }
         }
-        (has_default, tag)
+        merged
     }
 
     /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -140,29 +150,42 @@ impl Cursor {
     }
 }
 
+/// The supported `#[serde(...)]` arguments of one attribute set.
+#[derive(Default)]
+struct SerdeArgs {
+    has_default: bool,
+    tag: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
 /// Parses the inside of `#[serde(...)]`.
-fn parse_serde_args(stream: TokenStream) -> (bool, Option<String>) {
-    let mut has_default = false;
-    let mut tag = None;
+fn parse_serde_args(stream: TokenStream) -> SerdeArgs {
+    let mut args = SerdeArgs::default();
     let mut it = stream.into_iter().peekable();
     while let Some(tt) = it.next() {
         if let TokenTree::Ident(name) = &tt {
-            match name.to_string().as_str() {
-                "default" => has_default = true,
-                "tag" => {
-                    // tag = "..."
-                    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
-                        it.next();
-                        if let Some(TokenTree::Literal(lit)) = it.next() {
-                            tag = Some(unquote(&lit.to_string()));
-                        }
+            // `name = "..."` helper shared by the valued attributes.
+            let string_value = |it: &mut std::iter::Peekable<
+                proc_macro::token_stream::IntoIter,
+            >|
+             -> Option<String> {
+                if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    it.next();
+                    if let Some(TokenTree::Literal(lit)) = it.next() {
+                        return Some(unquote(&lit.to_string()));
                     }
                 }
+                None
+            };
+            match name.to_string().as_str() {
+                "default" => args.has_default = true,
+                "tag" => args.tag = string_value(&mut it),
+                "skip_serializing_if" => args.skip_serializing_if = string_value(&mut it),
                 other => panic!("mini-serde derive: unsupported serde attribute `{other}`"),
             }
         }
     }
-    (has_default, tag)
+    args
 }
 
 fn unquote(lit: &str) -> String {
@@ -206,7 +229,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut cursor = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cursor.at_end() {
-        let (has_default, _) = cursor.parse_attrs();
+        let attrs = cursor.parse_attrs();
         cursor.skip_vis();
         let name = cursor.expect_ident("field name");
         match cursor.next() {
@@ -239,7 +262,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             is_option,
-            has_default,
+            has_default: attrs.has_default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
     }
     fields
@@ -303,7 +327,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 
 fn parse_input(stream: TokenStream) -> Input {
     let mut cursor = Cursor::new(stream);
-    let (_, tag) = cursor.parse_attrs();
+    let tag = cursor.parse_attrs().tag;
     cursor.skip_vis();
     let keyword = cursor.expect_ident("`struct` or `enum`");
     let name = cursor.expect_ident("item name");
@@ -365,10 +389,16 @@ fn gen_serialize(input: &Input) -> String {
         Kind::Struct(fields) => {
             body.push_str("let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
             for f in fields {
-                body.push_str(&format!(
+                let push = format!(
                     "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.skip_serializing_if {
+                    Some(path) => {
+                        body.push_str(&format!("if !{path}(&self.{n}) {{ {push} }}\n", n = f.name))
+                    }
+                    None => body.push_str(&push),
+                }
             }
             body.push_str("::serde::Value::Object(__fields)\n");
         }
@@ -408,10 +438,17 @@ fn gen_serialize(input: &Input) -> String {
                             ));
                         }
                         for f in fields {
-                            pushes.push_str(&format!(
+                            let push = format!(
                                 "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize({n})));\n",
                                 n = f.name
-                            ));
+                            );
+                            match &f.skip_serializing_if {
+                                Some(path) => pushes.push_str(&format!(
+                                    "if !{path}({n}) {{ {push} }}\n",
+                                    n = f.name
+                                )),
+                                None => pushes.push_str(&push),
+                            }
                         }
                         let obj = match tag {
                             Some(_) => "::serde::Value::Object(__fields)".to_string(),
