@@ -1,0 +1,60 @@
+//! Criterion bench: the serve hot path — content-address derivation,
+//! warm cache lookups, and a full engine round-trip on a cached cell.
+//! The hit path is what `mt4g serve` spends its life in once the cache
+//! is warm, so its latency is the daemon's steady-state answer time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mt4g_core::serve::{CacheKey, Flow, ResultCache, ServeEngine, ServeOptions};
+use std::hint::black_box;
+
+fn bench_serve_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_cache");
+
+    let cells: Vec<String> = (0..64)
+        .map(|i| format!("preset=T1000|scenario=bare-metal|sel=full|fp=v1;cell{i:02}"))
+        .collect();
+
+    group.bench_function("key_derivation", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % cells.len();
+            black_box(CacheKey::new(black_box(&cells[i])))
+        })
+    });
+
+    group.bench_function("hit_lookup_warm64", |b| {
+        let mut cache = ResultCache::new(64);
+        let keys: Vec<CacheKey> = cells.iter().map(|c| CacheKey::new(c)).collect();
+        for key in &keys {
+            cache.insert(key, "x".repeat(4096).into());
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cache.get(black_box(&keys[i])))
+        })
+    });
+
+    group.bench_function("engine_hit_round_trip", |b| {
+        // One real recompute up front; every iteration after is a hit.
+        let (mut engine, rx) = ServeEngine::new(ServeOptions {
+            workers: 1,
+            queue_cap: 16,
+            cache_cap: 16,
+            job_threads: 1,
+        });
+        let line = r#"{"id":1,"op":"discover","gpu":"T1000","only":"cl1","mode":"fast"}"#;
+        assert_eq!(engine.handle_line(line), Flow::Continue);
+        rx.recv().expect("warm-up recompute");
+        b.iter(|| {
+            engine.handle_line(black_box(line));
+            black_box(rx.recv().expect("hit response"))
+        });
+        engine.shutdown();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_cache);
+criterion_main!(benches);

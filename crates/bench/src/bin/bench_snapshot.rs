@@ -18,6 +18,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use mt4g_core::pchase::{run_pchase_with_overhead, PchaseConfig};
+use mt4g_core::serve::{CacheKey, ResultCache};
 use mt4g_sim::cache::{SectoredCache, FULLY_ASSOCIATIVE};
 use mt4g_sim::device::{LoadFlags, MemorySpace};
 use mt4g_sim::presets;
@@ -81,6 +82,39 @@ fn pchase_workloads(out: &mut Vec<(String, f64)>) {
     }
 }
 
+fn serve_workloads(out: &mut Vec<(String, f64)>) {
+    // The hot path of `mt4g serve`: hash a cell descriptor into a cache
+    // address, then look it up in a warm LRU cache. Both are measured on
+    // a populated cache so the lookup walks a realistic map.
+    let cells: Vec<String> = (0..64)
+        .map(|i| format!("preset=T1000|scenario=bare-metal|sel=full|fp=v1;cell{i:02}"))
+        .collect();
+    let mut cache = ResultCache::new(64);
+    for cell in &cells {
+        cache.insert(&CacheKey::new(cell), "x".repeat(4096).into());
+    }
+    let lookups = 65_536u64;
+    let keys: Vec<CacheKey> = cells.iter().map(|c| CacheKey::new(c)).collect();
+    let hit = best_ns_per_elem(5, lookups, || {
+        let mut acc = 0u64;
+        for i in 0..lookups {
+            let key = &keys[(i % 64) as usize];
+            acc += cache.get(black_box(key)).is_some() as u64;
+        }
+        acc
+    });
+    out.push(("serve_cache/hit_lookup".to_string(), hit));
+    let derive = best_ns_per_elem(5, lookups, || {
+        let mut acc = 0u64;
+        for i in 0..lookups {
+            let cell = &cells[(i % 64) as usize];
+            acc += CacheKey::new(black_box(cell)).address() as u64 & 1;
+        }
+        acc
+    });
+    out.push(("serve_cache/key_derivation".to_string(), derive));
+}
+
 /// Pulls `"name": { "ns_per_element": N ... }` out of a previous
 /// snapshot. Line-oriented on purpose: this bin has no JSON dependency
 /// and only ever reads its own output format.
@@ -103,6 +137,7 @@ fn main() {
     let mut results: Vec<(String, f64)> = Vec::new();
     cache_workloads(&mut results);
     pchase_workloads(&mut results);
+    serve_workloads(&mut results);
 
     let mut json = String::from("{\n");
     for (i, (name, ns)) in results.iter().enumerate() {

@@ -1,0 +1,82 @@
+//! Wall-clock scaling of the `--jobs N` per-unit fan-out, measured
+//! through the job layer (the exact path `mt4g --jobs N` and the serve
+//! workers use), written as JSON so CI can track the speedup curve
+//! (`BENCH_pr<N>.jobs.json` at the workspace root).
+//!
+//! ```text
+//! cargo run --release -p mt4g_bench --bin jobs_scaling [out.json]
+//! ```
+//!
+//! Alongside the timings this bin *asserts* the determinism contract
+//! that makes the serve cache safe: the same cell must produce
+//! byte-identical output at every fan-out width. A mismatch aborts with
+//! a non-zero exit, so wiring this into CI doubles as a correctness
+//! check, not just a perf artifact.
+
+use std::time::Instant;
+
+use mt4g_core::suite::{DiscoveryConfig, JobSpec, Selection};
+use mt4g_sim::scenario::Scenario;
+
+/// Runs one full fast-mode discovery of `gpu` with `jobs` worker
+/// threads, returning (wall seconds, output bytes).
+fn timed_run(gpu: &str, jobs: usize) -> (f64, String) {
+    let mut cfg = DiscoveryConfig::fast();
+    cfg.jobs = jobs;
+    let mut job = JobSpec {
+        gpu: gpu.to_string(),
+        scenario: Scenario::BareMetal,
+        cfg,
+        selection: Selection::Full,
+    }
+    .resolve()
+    .expect("known preset");
+    let t = Instant::now();
+    let out = job.run().expect("discovery runs");
+    (t.elapsed().as_secs_f64(), out.bytes)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let gpu = "T1000";
+    let widths = [1usize, 2, 4];
+    let iters = 3;
+
+    let mut walls: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<String> = None;
+    for &jobs in &widths {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let (wall, bytes) = timed_run(gpu, jobs);
+            best = best.min(wall);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(want) => assert_eq!(
+                    want, &bytes,
+                    "jobs={jobs} produced different bytes than jobs={}",
+                    widths[0]
+                ),
+            }
+        }
+        eprintln!("jobs={jobs}: best of {iters} = {:.1} ms", best * 1e3);
+        walls.push((jobs, best));
+    }
+
+    let base = walls[0].1;
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"gpu\": \"{gpu}\", \"mode\": \"fast\",\n"));
+    json.push_str("  \"byte_identical\": true,\n");
+    for (i, (jobs, wall)) in walls.iter().enumerate() {
+        let comma = if i + 1 < walls.len() { "," } else { "" };
+        json.push_str(&format!(
+            "  \"jobs_{jobs}\": {{ \"wall_ms\": {:.1}, \"speedup_vs_jobs_1\": {:.2} }}{comma}\n",
+            wall * 1e3,
+            base / wall
+        ));
+    }
+    json.push_str("}\n");
+    match out_path {
+        Some(p) => std::fs::write(&p, &json).expect("write snapshot"),
+        None => print!("{json}"),
+    }
+}

@@ -7,6 +7,9 @@
 //! mt4g --gpu <PRESET> [--scenario <SCENARIO>] [-j] [-p] [-c] [-q]
 //!      [--only <ELEMENT>] [--fast] [--jobs N] [--shard i/n] [-o <DIR>]
 //! mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]
+//! mt4g serve [--workers N] [--queue-cap N] [--cache-cap N] [-q]
+//! mt4g bench-serve [--arrival MODEL] [--requests N] [--seed N]
+//!      [--trace FILE] [--workers N] [--queue-cap N] [--cache-cap N]
 //! mt4g list
 //! ```
 //!
@@ -31,20 +34,35 @@
 //!   emit a mergeable *partial* report instead of a full one
 //! * `mt4g merge` — merge partial reports from a complete shard set into
 //!   the full report (byte-identical to an unsharded run)
+//! * `mt4g serve` — long-running daemon: line-delimited JSON requests on
+//!   stdin, responses on stdout, backed by the job layer's
+//!   content-addressed result cache
+//! * `mt4g bench-serve` — load-generator harness over an in-process serve
+//!   engine; reports hit/miss latency percentiles, hit rate, and qps
 //! * `mt4g list` — the preset registry: names, aliases, vendor, family
 //! * `--list` — short form: canonical preset names only
+//!
+//! Every discovery mode (full run, `--shard`, and the serve daemon) is a
+//! thin client of the same `suite::Job` layer, so their outputs are
+//! byte-interchangeable: a serve cache hit returns exactly the bytes a
+//! batch run prints.
 
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
 use mt4g_core::report;
+use mt4g_core::serve::{
+    assign_offsets, default_mix, parse_request, run_bench, run_load, summarize, ArrivalModel, Flow,
+    ServeEngine, ServeOptions,
+};
 use mt4g_core::suite::{
-    merge_partials, normalize_report, partial_from_json, partial_to_json, run_discovery, run_shard,
-    DiscoveryConfig,
+    merge_partials, normalize_report, partial_from_json, JobResult, JobSpec, Selection,
 };
 use mt4g_sim::device::CacheKind;
-use mt4g_sim::presets::{self, Registry};
+use mt4g_sim::presets::Registry;
 use mt4g_sim::scenario::Scenario;
+
+use mt4g_core::suite::DiscoveryConfig;
 
 struct Args {
     gpu: Option<String>,
@@ -65,6 +83,15 @@ struct Args {
     shard: Option<(usize, usize)>,
     merge_inputs: Option<Vec<PathBuf>>,
     out_dir: PathBuf,
+    serve: bool,
+    bench_serve: bool,
+    workers: usize,
+    queue_cap: usize,
+    cache_cap: usize,
+    arrival: String,
+    requests: usize,
+    seed: u64,
+    trace: Option<PathBuf>,
 }
 
 fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
@@ -98,6 +125,15 @@ fn parse_args() -> Result<Args, String> {
         shard: None,
         merge_inputs: None,
         out_dir: PathBuf::from("."),
+        serve: false,
+        bench_serve: false,
+        workers: 2,
+        queue_cap: 128,
+        cache_cap: 64,
+        arrival: "poisson:30".to_string(),
+        requests: 80,
+        seed: 0x4d54_3447, // "MT4G"
+        trace: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
@@ -108,6 +144,14 @@ fn parse_args() -> Result<Args, String> {
         Some("list") => {
             it.next();
             args.list_long = true;
+        }
+        Some("serve") => {
+            it.next();
+            args.serve = true;
+        }
+        Some("bench-serve") => {
+            it.next();
+            args.bench_serve = true;
         }
         _ => {}
     }
@@ -139,6 +183,20 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--shard needs a value (i/n)")?;
                 args.shard = Some(parse_shard(&v)?);
             }
+            "--workers" => args.workers = parse_count(&mut it, "--workers")?,
+            "--queue-cap" => args.queue_cap = parse_count(&mut it, "--queue-cap")?,
+            "--cache-cap" => args.cache_cap = parse_count(&mut it, "--cache-cap")?,
+            "--requests" => args.requests = parse_count(&mut it, "--requests")?,
+            "--arrival" => args.arrival = it.next().ok_or("--arrival needs a value")?,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed expects a number, got '{v}'"))?;
+            }
+            "--trace" => {
+                args.trace = Some(PathBuf::from(it.next().ok_or("--trace needs a value")?))
+            }
             "-o" | "--out" => args.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?),
             "-h" | "--help" => {
                 print_help();
@@ -153,6 +211,15 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn parse_count(
+    it: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+    flag: &str,
+) -> Result<usize, String> {
+    let v = it.next().ok_or(format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag} expects a number, got '{v}'"))
+}
+
 fn print_help() {
     println!(
         "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
@@ -160,6 +227,9 @@ fn print_help() {
          \x20             [--only <ELEMENT>] [--fast] [--tlb] [--contention] [--debug]\n\
          \x20             [--jobs N] [--shard i/n] [-o <DIR>]\n\
          \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\
+         \x20      mt4g serve [--workers N] [--queue-cap N] [--cache-cap N] [-q]\n\
+         \x20      mt4g bench-serve [--arrival MODEL] [--requests N] [--seed N]\n\
+         \x20                       [--trace FILE] [--workers N] [--queue-cap N] [--cache-cap N]\n\
          \x20      mt4g list\n\n\
          PRESETS: {}\n\
          ELEMENTS: L1 L2 L3 Texture Readonly ConstL1 ConstL15 Shared LDS vL1 sL1d Device\n\
@@ -172,6 +242,10 @@ fn print_help() {
          --jobs N     run up to N discovery units in parallel (0 = all cores; default)\n\
          --shard i/n  run shard i of an n-way split, emit a mergeable partial report\n\
          merge        reassemble a complete set of partial reports into the full report\n\
+         serve        long-running daemon: line-delimited JSON requests on stdin,\n\
+         \x20             responses on stdout, cache-accelerated (see ARCHITECTURE.md)\n\
+         bench-serve  drive an in-process serve engine with synthetic load\n\
+         \x20             (MODEL: poisson:<hz> | incremental:<a>..<b> | replay)\n\
          list         the full preset registry (names, aliases, vendor, family)",
         Registry::global().names().collect::<Vec<_>>().join(" ")
     );
@@ -198,21 +272,9 @@ fn print_registry() {
 }
 
 fn parse_element(s: &str) -> Option<CacheKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "l1" => CacheKind::L1,
-        "l2" => CacheKind::L2,
-        "l3" => CacheKind::L3,
-        "texture" | "tex" => CacheKind::Texture,
-        "readonly" | "ro" => CacheKind::Readonly,
-        "constl1" | "cl1" => CacheKind::ConstL1,
-        "constl15" | "cl15" | "cl1.5" => CacheKind::ConstL15,
-        "shared" | "sharedmemory" => CacheKind::SharedMemory,
-        "lds" => CacheKind::Lds,
-        "vl1" => CacheKind::VL1,
-        "sl1d" => CacheKind::SL1D,
-        "device" | "dram" => CacheKind::DeviceMemory,
-        _ => return None,
-    })
+    // One source of truth for the accepted spellings, shared with the
+    // serve protocol's "only" field.
+    CacheKind::parse(s)
 }
 
 fn main() {
@@ -243,23 +305,17 @@ fn main() {
         run_merge_mode(&args);
         return;
     }
+    if args.serve {
+        run_serve_mode(&args);
+        return;
+    }
+    if args.bench_serve {
+        run_bench_serve_mode(&args);
+        return;
+    }
     let Some(gpu_name) = args.gpu.as_deref() else {
         print_help();
         std::process::exit(2);
-    };
-    let Some(base) = presets::by_name(gpu_name) else {
-        eprintln!(
-            "error: unknown GPU preset '{gpu_name}'; known presets:\n  {}",
-            Registry::global().known_names()
-        );
-        std::process::exit(2);
-    };
-    let mut gpu = match args.scenario.realize(base) {
-        Ok(gpu) => gpu,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
     };
 
     let mut cfg = if args.fast {
@@ -281,66 +337,77 @@ fn main() {
         }
     }
 
-    if let Some((index, count)) = args.shard {
-        run_shard_mode(&args, &mut gpu, &cfg, index, count);
-        return;
-    }
-
-    if !args.quiet {
-        eprintln!("mt4g: analysing {} ...", gpu.config.name);
-    }
-    let has_l3 = gpu.config.cache(CacheKind::L3).is_some();
-    let mut report = run_discovery(&mut gpu, &cfg);
-    normalize_report(&mut report, has_l3);
-    if !args.quiet {
-        let rt = &report.runtime;
-        eprintln!(
-            "mt4g: {} benchmarks, {} kernels, {} loads, {} simulated cycles",
-            rt.benchmarks_run, rt.kernels_launched, rt.loads_executed, rt.gpu_cycles
-        );
-    }
-
-    emit_report(&args, &report);
-    if args.graphs {
-        let stem = report.device.name.replace([' ', '/'], "_");
-        write_graphs(&mut gpu, &report, &args.out_dir, &stem, args.quiet);
-    }
-}
-
-/// `--shard i/n`: run one deterministic slice of the discovery plan and
-/// emit a *partial* report (stdout, or `<GPU>.shard<i>of<n>.partial.json`
-/// with `-j`) that `mt4g merge` reassembles.
-fn run_shard_mode(
-    args: &Args,
-    gpu: &mut mt4g_sim::Gpu,
-    cfg: &DiscoveryConfig,
-    index: usize,
-    count: usize,
-) {
-    if args.markdown || args.csv || args.graphs {
-        eprintln!("error: --shard emits a partial report; -p/-c/-g apply to `mt4g merge` output");
-        std::process::exit(2);
-    }
-    if !args.quiet {
-        eprintln!(
-            "mt4g: analysing {} (shard {index}/{count}) ...",
-            gpu.config.name
-        );
-    }
-    let partial = run_shard(gpu, cfg, index, count);
-    let json = partial_to_json(&partial)
-        .unwrap_or_else(|e| fail(format_args!("cannot serialise the partial report: {e}")));
-    if args.json_file {
-        let stem = partial.device.name.replace([' ', '/'], "_");
-        let path = args
-            .out_dir
-            .join(format!("{stem}.shard{index}of{count}.partial.json"));
-        write_file(&path, &json);
-        if !args.quiet {
-            eprintln!("mt4g: wrote {}", path.display());
+    // Batch discovery is a thin client of the job layer: argv names a
+    // cell, the job runs it, and the CLI emits the job's canonical bytes
+    // verbatim — the same bytes a serve cache hit returns.
+    let selection = match args.shard {
+        Some((index, count)) => {
+            if args.markdown || args.csv || args.graphs {
+                eprintln!(
+                    "error: --shard emits a partial report; -p/-c/-g apply to `mt4g merge` output"
+                );
+                std::process::exit(2);
+            }
+            Selection::Shard { index, count }
         }
-    } else {
-        println!("{json}");
+        None => Selection::Full,
+    };
+    let spec = JobSpec {
+        gpu: gpu_name.to_string(),
+        scenario: args.scenario,
+        cfg,
+        selection,
+    };
+    let mut job = match spec.resolve() {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !args.quiet {
+        let name = &job.gpu_mut().config.name;
+        match selection {
+            Selection::Full => eprintln!("mt4g: analysing {name} ..."),
+            Selection::Shard { index, count } => {
+                eprintln!("mt4g: analysing {name} (shard {index}/{count}) ...")
+            }
+        }
+    }
+    let out = job
+        .run()
+        .unwrap_or_else(|e| fail(format_args!("cannot serialise the report: {e}")));
+    match &out.result {
+        JobResult::Full(report) => {
+            if !args.quiet {
+                let rt = &report.runtime;
+                eprintln!(
+                    "mt4g: {} benchmarks, {} kernels, {} loads, {} simulated cycles",
+                    rt.benchmarks_run, rt.kernels_launched, rt.loads_executed, rt.gpu_cycles
+                );
+            }
+            emit_report(&args, report, &out.bytes);
+            if args.graphs {
+                let stem = report.device.name.replace([' ', '/'], "_");
+                let report = report.clone();
+                write_graphs(job.gpu_mut(), &report, &args.out_dir, &stem, args.quiet);
+            }
+        }
+        JobResult::Partial(partial) => {
+            if args.json_file {
+                let stem = partial.device.name.replace([' ', '/'], "_");
+                let path = args.out_dir.join(format!(
+                    "{stem}.shard{}of{}.partial.json",
+                    partial.shard_index, partial.shard_count
+                ));
+                write_file(&path, &out.bytes);
+                if !args.quiet {
+                    eprintln!("mt4g: wrote {}", path.display());
+                }
+            } else {
+                println!("{}", out.bytes);
+            }
+        }
     }
 }
 
@@ -385,17 +452,18 @@ fn run_merge_mode(args: &Args) {
             partials.iter().map(|p| p.results.len()).sum::<usize>()
         );
     }
-    emit_report(args, &report);
+    let json = report::to_json_pretty(&report)
+        .unwrap_or_else(|e| fail(format_args!("cannot serialise the report: {e}")));
+    emit_report(args, &report, &json);
 }
 
-/// Writes the full report to stdout or to `-j`/`-p`/`-c` files.
-fn emit_report(args: &Args, report: &mt4g_core::report::Report) {
-    let json = report::to_json_pretty(report)
-        .unwrap_or_else(|e| fail(format_args!("cannot serialise the report: {e}")));
+/// Writes the full report (whose canonical bytes the caller already has
+/// from the job layer) to stdout or to `-j`/`-p`/`-c` files.
+fn emit_report(args: &Args, report: &mt4g_core::report::Report, json: &str) {
     let stem = report.device.name.replace([' ', '/'], "_");
     if args.json_file {
         let path = args.out_dir.join(format!("{stem}.json"));
-        write_file(&path, &json);
+        write_file(&path, json);
         if !args.quiet {
             eprintln!("mt4g: wrote {}", path.display());
         }
@@ -482,6 +550,184 @@ fn write_graphs(
         if !quiet {
             eprintln!("mt4g: wrote {}", path.display());
         }
+    }
+}
+
+/// `mt4g serve`: the long-running daemon. Reads line-delimited JSON
+/// requests from stdin, writes one JSON response line per request to
+/// stdout (completion order — clients correlate by `id`), and keeps the
+/// job layer's content-addressed result cache warm across requests.
+///
+/// Shutdown paths, all clean (exit 0):
+/// * a `{"op":"shutdown"}` request — acknowledged, queue drained;
+/// * EOF on stdin — queue drained;
+/// * SIGTERM — immediate exit. The response writer emits complete,
+///   flushed lines, so no partial line has been buffered; in-flight
+///   recomputes are abandoned (their cells were cache misses anyway).
+fn run_serve_mode(args: &Args) {
+    install_sigterm_handler();
+    let opts = ServeOptions {
+        workers: args.workers,
+        queue_cap: args.queue_cap,
+        cache_cap: args.cache_cap,
+        job_threads: 1,
+    };
+    if !args.quiet {
+        eprintln!(
+            "mt4g: serving on stdin/stdout (workers={}, queue-cap={}, cache-cap={})",
+            opts.workers.max(1),
+            opts.queue_cap.max(1),
+            opts.cache_cap.max(1)
+        );
+    }
+    let (mut engine, rx) = ServeEngine::new(opts);
+    // One writer thread serializes responses in completion order. Each
+    // line is flushed before the next is started: stdout is block-
+    // buffered when piped, and a daemon that holds answers hostage in a
+    // buffer looks hung to its client.
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for resp in rx {
+            let line = serde_json::to_string(&resp).expect("response serialization is infallible");
+            let mut out = stdout.lock();
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                // Client hung up; keep draining so workers can finish.
+                continue;
+            }
+        }
+    });
+    let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: graceful drain
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if engine.handle_line(trimmed) == Flow::Shutdown {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("mt4g: stdin read failed: {e}");
+                break;
+            }
+        }
+    }
+    let stats = engine.shutdown();
+    let _ = writer.join();
+    if !args.quiet {
+        eprintln!(
+            "mt4g: served {} request(s): {} hit(s), {} miss(es), {} rejected, {} bad",
+            stats.requests, stats.hits, stats.misses, stats.rejected, stats.bad_requests
+        );
+    }
+}
+
+/// `mt4g bench-serve`: drives an in-process serve engine with synthetic
+/// (or replayed) load and prints the benchmark report as JSON on stdout.
+fn run_bench_serve_mode(args: &Args) {
+    let Some(model) = ArrivalModel::parse(&args.arrival) else {
+        eprintln!(
+            "error: unknown arrival model '{}' (expected poisson:<hz>, incremental:<a>..<b>, or replay)",
+            args.arrival
+        );
+        std::process::exit(2);
+    };
+    let opts = ServeOptions {
+        workers: args.workers,
+        queue_cap: args.queue_cap,
+        cache_cap: args.cache_cap,
+        job_threads: 1,
+    };
+    let report = match &args.trace {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let mut reqs = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match parse_request(line) {
+                    Ok(req) => reqs.push(req),
+                    Err(e) => {
+                        eprintln!("error: {}:{}: {}", path.display(), lineno + 1, e.message);
+                        std::process::exit(2);
+                    }
+                }
+            }
+            if reqs.is_empty() {
+                eprintln!("error: trace {} holds no requests", path.display());
+                std::process::exit(2);
+            }
+            // A non-replay model re-times the trace's requests; replay
+            // keeps the recorded offsets.
+            assign_offsets(&mut reqs, &model, args.seed);
+            if !args.quiet {
+                eprintln!(
+                    "mt4g: bench-serve: replaying {} request(s) from {}, arrival {} ...",
+                    reqs.len(),
+                    path.display(),
+                    model.label()
+                );
+            }
+            let outcome = run_load(opts, &reqs);
+            summarize(&model, &reqs, &outcome)
+        }
+        None => {
+            if model == ArrivalModel::Replay {
+                eprintln!("error: --arrival replay needs --trace <FILE> with recorded offsets");
+                std::process::exit(2);
+            }
+            if !args.quiet {
+                eprintln!(
+                    "mt4g: bench-serve: cold pass over the mix, then {} request(s), arrival {} ...",
+                    args.requests,
+                    model.label()
+                );
+            }
+            run_bench(opts, &default_mix(), args.requests, &model, args.seed)
+        }
+    };
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| fail(format_args!("cannot serialise the bench report: {e}")));
+    println!("{json}");
+}
+
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn _exit(status: i32) -> !;
+}
+
+/// SIGTERM handler for serve mode. glibc's `signal()` installs handlers
+/// with SA_RESTART, and std retries `ErrorKind::Interrupted`, so a
+/// flag-checking handler cannot wake a thread blocked in `read_line` —
+/// the daemon would only notice the signal at the *next* request. The
+/// handler instead exits directly, which is async-signal-safe (`write` +
+/// `_exit` only) and clean by construction: the response writer flushes
+/// complete lines, so there is never a partial line buffered in userspace.
+extern "C" fn on_sigterm(_sig: i32) {
+    const MSG: &[u8] = b"mt4g: SIGTERM, shutting down\n";
+    unsafe {
+        let _ = write(2, MSG.as_ptr(), MSG.len());
+        _exit(0);
+    }
+}
+
+fn install_sigterm_handler() {
+    unsafe {
+        signal(SIGTERM, on_sigterm);
     }
 }
 

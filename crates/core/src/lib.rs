@@ -56,6 +56,7 @@ pub mod classify;
 pub mod lookup;
 pub mod pchase;
 pub mod report;
+pub mod serve;
 pub mod suite;
 pub mod validate;
 

@@ -1,0 +1,567 @@
+//! The load-generator harness behind `mt4g bench-serve`.
+//!
+//! Synthesizes a request stream from a weighted traffic mix, stamps each
+//! request with an arrival offset drawn from an [`ArrivalModel`], drives a
+//! [`ServeEngine`] in-process at those offsets, and summarizes what came
+//! back: hit/miss latency distributions (p50/p99), hit rate, sustained
+//! qps, and — the headline the CI gate watches — the hit-vs-miss speedup
+//! and a byte-identity verdict comparing a cached answer against a cold
+//! recompute of the same cell.
+//!
+//! Everything is seeded (ChaCha8, like the simulator's own RNG streams):
+//! the same mix, model, seed, and request count produce the same arrival
+//! schedule, so bench runs are comparable across commits.
+
+use std::sync::mpsc::Receiver;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use mt4g_stats::descriptive::percentile;
+
+use super::protocol::{Request, Response, ServeStats};
+use super::queue::{Flow, ServeEngine, ServeOptions};
+
+/// How request arrival times are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Open-loop Poisson arrivals at a constant rate: exponential
+    /// inter-arrival gaps, the standard memoryless load model.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_hz: f64,
+    },
+    /// A linear rate ramp from `start_hz` (first request) to `end_hz`
+    /// (last request) — for finding the knee where the queue saturates.
+    Incremental {
+        /// Rate at the start of the run, requests per second.
+        start_hz: f64,
+        /// Rate at the end of the run, requests per second.
+        end_hz: f64,
+    },
+    /// Arrival offsets come from the trace itself (each request's
+    /// `offset_us` field); the generator leaves them untouched.
+    Replay,
+}
+
+impl ArrivalModel {
+    /// Parses the CLI spellings: `poisson:<hz>`, `incremental:<a>..<b>`,
+    /// `replay`.
+    pub fn parse(s: &str) -> Option<ArrivalModel> {
+        if s == "replay" {
+            return Some(ArrivalModel::Replay);
+        }
+        if let Some(rate) = s.strip_prefix("poisson:") {
+            let rate_hz: f64 = rate.parse().ok()?;
+            return (rate_hz > 0.0).then_some(ArrivalModel::Poisson { rate_hz });
+        }
+        if let Some(span) = s.strip_prefix("incremental:") {
+            let (a, b) = span.split_once("..")?;
+            let start_hz: f64 = a.parse().ok()?;
+            let end_hz: f64 = b.parse().ok()?;
+            return (start_hz > 0.0 && end_hz > 0.0)
+                .then_some(ArrivalModel::Incremental { start_hz, end_hz });
+        }
+        None
+    }
+
+    /// Stable label used in bench reports.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalModel::Poisson { rate_hz } => format!("poisson:{rate_hz}"),
+            ArrivalModel::Incremental { start_hz, end_hz } => {
+                format!("incremental:{start_hz}..{end_hz}")
+            }
+            ArrivalModel::Replay => "replay".to_string(),
+        }
+    }
+}
+
+/// One cell of the traffic mix: a request template plus its sampling
+/// weight.
+#[derive(Debug, Clone)]
+pub struct MixEntry {
+    /// The request template (id and offset are overwritten per sample).
+    pub request: Request,
+    /// Relative sampling weight (any positive scale).
+    pub weight: f64,
+}
+
+fn discover(gpu: &str, scenario: Option<&str>, mode: Option<&str>) -> Request {
+    Request {
+        op: "discover".to_string(),
+        gpu: Some(gpu.to_string()),
+        scenario: scenario.map(str::to_string),
+        mode: mode.map(str::to_string),
+        ..Request::default()
+    }
+}
+
+/// The default mixed fast/thorough traffic: mostly cheap bare-metal fast
+/// cells, a hostile-tenant slice, a MIG slice, and a thorough tail —
+/// four distinct cache cells, so a bench run exercises both cold misses
+/// and steady-state hits.
+pub fn default_mix() -> Vec<MixEntry> {
+    vec![
+        MixEntry {
+            request: discover("T1000", None, Some("fast")),
+            weight: 0.45,
+        },
+        MixEntry {
+            request: discover("T1000", Some("hostile"), Some("fast")),
+            weight: 0.25,
+        },
+        MixEntry {
+            request: discover("A100", Some("mig:2g.10gb"), Some("fast")),
+            weight: 0.10,
+        },
+        MixEntry {
+            request: discover("T1000", None, Some("thorough")),
+            weight: 0.20,
+        },
+    ]
+}
+
+/// Draws `n` requests from the weighted mix and stamps arrival offsets
+/// from the model, all under one seed. Ids are `1..=n` in arrival order.
+/// For [`ArrivalModel::Replay`] the mix is ignored-by-construction
+/// callers pass the trace itself — this synthesizer is only meaningful
+/// for the stochastic models.
+pub fn synthesize(mix: &[MixEntry], n: usize, model: &ArrivalModel, seed: u64) -> Vec<Request> {
+    assert!(!mix.is_empty(), "traffic mix must not be empty");
+    let total: f64 = mix.iter().map(|e| e.weight.max(0.0)).sum();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut clock_us = 0u64;
+    (0..n)
+        .map(|i| {
+            // Weighted cell choice.
+            let mut pick = rng.gen::<f64>() * total;
+            let mut req = mix[mix.len() - 1].request.clone();
+            for entry in mix {
+                pick -= entry.weight.max(0.0);
+                if pick <= 0.0 {
+                    req = entry.request.clone();
+                    break;
+                }
+            }
+            // Arrival offset.
+            let rate_hz = match model {
+                ArrivalModel::Poisson { rate_hz } => *rate_hz,
+                ArrivalModel::Incremental { start_hz, end_hz } => {
+                    let frac = if n > 1 {
+                        i as f64 / (n - 1) as f64
+                    } else {
+                        0.0
+                    };
+                    start_hz + (end_hz - start_hz) * frac
+                }
+                ArrivalModel::Replay => 0.0,
+            };
+            if rate_hz > 0.0 {
+                let u: f64 = rng.gen();
+                let gap_s = -(1.0 - u).ln() / rate_hz;
+                clock_us += (gap_s * 1e6) as u64;
+            }
+            req.id = (i + 1) as u64;
+            req.offset_us = clock_us;
+            req
+        })
+        .collect()
+}
+
+/// Re-stamps arrival offsets on an existing request list (e.g. a replayed
+/// trace driven at a synthetic rate instead of its recorded timing).
+/// [`ArrivalModel::Replay`] leaves the recorded offsets untouched.
+pub fn assign_offsets(requests: &mut [Request], model: &ArrivalModel, seed: u64) {
+    if *model == ArrivalModel::Replay {
+        return;
+    }
+    let n = requests.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut clock_us = 0u64;
+    for (i, req) in requests.iter_mut().enumerate() {
+        let rate_hz = match model {
+            ArrivalModel::Poisson { rate_hz } => *rate_hz,
+            ArrivalModel::Incremental { start_hz, end_hz } => {
+                let frac = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                start_hz + (end_hz - start_hz) * frac
+            }
+            ArrivalModel::Replay => unreachable!(),
+        };
+        let u: f64 = rng.gen();
+        clock_us += ((-(1.0 - u).ln() / rate_hz) * 1e6) as u64;
+        req.offset_us = clock_us;
+    }
+}
+
+/// What a load run produced, before summarization.
+#[derive(Debug)]
+pub struct LoadRunOutcome {
+    /// Every response, in completion order.
+    pub responses: Vec<Response>,
+    /// Wall clock from first submission to full drain.
+    pub wall: Duration,
+    /// The engine's final counters.
+    pub stats: ServeStats,
+}
+
+/// Drives an in-process [`ServeEngine`] with the given requests at their
+/// `offset_us` arrival times (open loop: submission never waits for
+/// responses) and drains every answer.
+pub fn run_load(opts: ServeOptions, requests: &[Request]) -> LoadRunOutcome {
+    let (mut engine, rx) = ServeEngine::new(opts);
+    let t0 = Instant::now();
+    let responses = drive_phase(&mut engine, &rx, requests);
+    let stats = engine.shutdown();
+    LoadRunOutcome {
+        responses,
+        wall: t0.elapsed(),
+        stats,
+    }
+}
+
+/// Submits the requests at their arrival offsets against an existing
+/// engine and blocks until each has answered (every request — discover,
+/// error, or rejection — produces exactly one response).
+fn drive_phase(
+    engine: &mut ServeEngine,
+    rx: &Receiver<Response>,
+    requests: &[Request],
+) -> Vec<Response> {
+    let mut ordered: Vec<&Request> = requests.iter().collect();
+    ordered.sort_by_key(|r| r.offset_us);
+    let t0 = Instant::now();
+    let mut submitted = 0usize;
+    for req in ordered {
+        let due = Duration::from_micros(req.offset_us);
+        let now = t0.elapsed();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        submitted += 1;
+        if engine.handle_request(req) == Flow::Shutdown {
+            // A shutdown op in a trace still gets its ack, but nothing
+            // after it was submitted — only await what was.
+            break;
+        }
+    }
+    (0..submitted).filter_map(|_| rx.recv().ok()).collect()
+}
+
+/// A latency distribution summary, in microseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 99th percentile (linear-interpolated).
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latencies given in nanoseconds.
+    pub fn of_ns(samples_ns: &[u64]) -> LatencySummary {
+        if samples_ns.is_empty() {
+            return LatencySummary::default();
+        }
+        let us: Vec<f64> = samples_ns.iter().map(|&ns| ns as f64 / 1e3).collect();
+        let mean = us.iter().sum::<f64>() / us.len() as f64;
+        LatencySummary {
+            count: us.len() as u64,
+            mean_us: mean,
+            p50_us: percentile(&us, 50.0).unwrap_or(0.0),
+            p99_us: percentile(&us, 99.0).unwrap_or(0.0),
+            max_us: us.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The `bench-serve` report, serialized into `BENCH_pr6.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchServeReport {
+    /// Arrival model label (`poisson:30`, `incremental:5..50`, `replay`).
+    pub model: String,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Responses with `ok == false`.
+    pub errors: u64,
+    /// Requests rejected by admission control (`queue_full`).
+    pub rejected: u64,
+    /// Wall clock from first submission to full drain, ms.
+    pub wall_ms: f64,
+    /// Successful responses per wall-clock second.
+    pub sustained_qps: f64,
+    /// Cache hits / (hits + misses).
+    pub hit_rate: f64,
+    /// Latency distribution of cache hits.
+    pub hits: LatencySummary,
+    /// Latency distribution of cache misses (includes queue wait).
+    pub misses: LatencySummary,
+    /// Latency distribution of requests coalesced onto an in-flight
+    /// recompute (they waited for someone else's job to finish).
+    pub coalesced: LatencySummary,
+    /// Mean miss latency / mean hit latency — the cache's economic
+    /// argument, dimensionless and therefore stable across machines.
+    pub hit_vs_miss_speedup: f64,
+    /// Whether a cached answer was byte-identical to a cold recompute of
+    /// the same cell (`None` serialized as missing when the run produced
+    /// no hit to check).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub hit_byte_identical: Option<bool>,
+}
+
+/// Summarizes a load run into the bench report. `hit_byte_identical` is
+/// verified by recomputing one hit's cell cold (outside the serve stack)
+/// and comparing bytes.
+pub fn summarize(
+    model: &ArrivalModel,
+    requests: &[Request],
+    outcome: &LoadRunOutcome,
+) -> BenchServeReport {
+    let latencies = |pred: &dyn Fn(&&Response) -> bool| -> Vec<u64> {
+        outcome
+            .responses
+            .iter()
+            .filter(|r| r.ok && r.report.is_some())
+            .filter(pred)
+            .map(|r| r.latency_ns)
+            .collect()
+    };
+    let hits = LatencySummary::of_ns(&latencies(&|r| r.cached));
+    let misses = LatencySummary::of_ns(&latencies(&|r| !r.cached && !r.coalesced));
+    let coalesced = LatencySummary::of_ns(&latencies(&|r| !r.cached && r.coalesced));
+    let answered = (hits.count + misses.count + coalesced.count) as f64;
+    let wall_s = outcome.wall.as_secs_f64().max(1e-9);
+    BenchServeReport {
+        model: model.label(),
+        requests: requests.len() as u64,
+        errors: outcome.responses.iter().filter(|r| !r.ok).count() as u64,
+        rejected: outcome.stats.rejected,
+        wall_ms: outcome.wall.as_secs_f64() * 1e3,
+        sustained_qps: answered / wall_s,
+        hit_rate: if answered > 0.0 {
+            hits.count as f64 / answered
+        } else {
+            0.0
+        },
+        hits,
+        misses,
+        coalesced,
+        hit_vs_miss_speedup: if hits.mean_us > 0.0 && misses.count > 0 {
+            misses.mean_us / hits.mean_us
+        } else {
+            0.0
+        },
+        hit_byte_identical: verify_hit_bytes(requests, &outcome.responses),
+    }
+}
+
+/// The full `mt4g bench-serve` benchmark, in two phases on one engine:
+///
+/// 1. **cold** — each unique cell of the mix is requested once and the
+///    engine drained; these recomputes are the miss-latency sample and
+///    they leave the cache warm;
+/// 2. **warm** — `n` requests synthesized from the weighted mix arrive
+///    per the model against the warm cache; hit latency, hit rate, and
+///    sustained qps are measured here.
+///
+/// The split makes the headline numbers deterministic by construction:
+/// the warm phase's hit rate is 1.0 whenever every mix cell fits in the
+/// cache (any lower value means eviction thrash or a keying bug — the
+/// CI gate treats that as a regression). A single mixed phase would make
+/// hit/miss counts a race between arrival and recompute timing.
+pub fn run_bench(
+    opts: ServeOptions,
+    mix: &[MixEntry],
+    n: usize,
+    model: &ArrivalModel,
+    seed: u64,
+) -> BenchServeReport {
+    let (mut engine, rx) = ServeEngine::new(opts);
+    let t0 = Instant::now();
+
+    // Cold phase: one request per unique cell, all at offset 0.
+    let cold_requests: Vec<Request> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let mut req = entry.request.clone();
+            req.id = (i + 1) as u64;
+            req.offset_us = 0;
+            req
+        })
+        .collect();
+    let cold_responses = drive_phase(&mut engine, &rx, &cold_requests);
+
+    // Warm phase: the measured stream. Ids continue after the cold ones.
+    let mut warm_requests = synthesize(mix, n, model, seed);
+    for req in &mut warm_requests {
+        req.id += cold_requests.len() as u64;
+    }
+    let warm_t0 = Instant::now();
+    let warm_responses = drive_phase(&mut engine, &rx, &warm_requests);
+    let warm_wall = warm_t0.elapsed();
+
+    let stats = engine.shutdown();
+    let wall = t0.elapsed();
+
+    let misses = LatencySummary::of_ns(
+        &cold_responses
+            .iter()
+            .filter(|r| r.ok && !r.cached && !r.coalesced && r.report.is_some())
+            .map(|r| r.latency_ns)
+            .collect::<Vec<_>>(),
+    );
+    let hit_ns: Vec<u64> = warm_responses
+        .iter()
+        .filter(|r| r.ok && r.cached)
+        .map(|r| r.latency_ns)
+        .collect();
+    let hits = LatencySummary::of_ns(&hit_ns);
+    let coalesced = LatencySummary::of_ns(
+        &warm_responses
+            .iter()
+            .filter(|r| r.ok && !r.cached && r.report.is_some())
+            .map(|r| r.latency_ns)
+            .collect::<Vec<_>>(),
+    );
+    let answered = warm_responses.iter().filter(|r| r.ok).count() as f64;
+    BenchServeReport {
+        model: model.label(),
+        requests: (cold_requests.len() + warm_requests.len()) as u64,
+        errors: cold_responses
+            .iter()
+            .chain(&warm_responses)
+            .filter(|r| !r.ok)
+            .count() as u64,
+        rejected: stats.rejected,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        sustained_qps: answered / warm_wall.as_secs_f64().max(1e-9),
+        hit_rate: if answered > 0.0 {
+            hits.count as f64 / answered
+        } else {
+            0.0
+        },
+        hits,
+        misses,
+        coalesced,
+        hit_vs_miss_speedup: if hits.mean_us > 0.0 && misses.count > 0 {
+            misses.mean_us / hits.mean_us
+        } else {
+            0.0
+        },
+        hit_byte_identical: verify_hit_bytes(&warm_requests, &warm_responses)
+            .or_else(|| verify_hit_bytes(&cold_requests, &cold_responses)),
+    }
+}
+
+/// Recomputes the cell of the first cache hit cold — a fresh [`Job`]
+/// outside the serve stack — and compares bytes with what the cache
+/// served. `None` when the run produced no hit.
+///
+/// [`Job`]: crate::suite::Job
+pub fn verify_hit_bytes(requests: &[Request], responses: &[Response]) -> Option<bool> {
+    let hit = responses.iter().find(|r| r.ok && r.cached)?;
+    let req = requests.iter().find(|q| q.id == hit.id)?;
+    let spec = req.to_spec(1).ok()?;
+    let mut job = spec.resolve().ok()?;
+    let cold = job.run().ok()?;
+    Some(hit.report.as_deref() == Some(cold.bytes.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_model_parse_round_trips() {
+        assert_eq!(
+            ArrivalModel::parse("poisson:30"),
+            Some(ArrivalModel::Poisson { rate_hz: 30.0 })
+        );
+        assert_eq!(
+            ArrivalModel::parse("incremental:5..50"),
+            Some(ArrivalModel::Incremental {
+                start_hz: 5.0,
+                end_hz: 50.0
+            })
+        );
+        assert_eq!(ArrivalModel::parse("replay"), Some(ArrivalModel::Replay));
+        assert_eq!(ArrivalModel::parse("poisson:0"), None);
+        assert_eq!(ArrivalModel::parse("burst"), None);
+        for s in ["poisson:30", "incremental:5..50", "replay"] {
+            assert_eq!(ArrivalModel::parse(s).unwrap().label(), s);
+        }
+    }
+
+    #[test]
+    fn synthesize_is_deterministic_and_monotonic() {
+        let model = ArrivalModel::Poisson { rate_hz: 100.0 };
+        let a = synthesize(&default_mix(), 32, &model, 42);
+        let b = synthesize(&default_mix(), 32, &model, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = synthesize(&default_mix(), 32, &model, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.windows(2).all(|w| w[0].offset_us <= w[1].offset_us));
+        assert_eq!(a.last().unwrap().id, 32);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect(); // 1..100 µs
+        let s = LatencySummary::of_ns(&ns);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_us - 50.5).abs() < 0.6);
+        assert!(s.p99_us > 98.0 && s.p99_us <= 100.0);
+        assert_eq!(s.max_us, 100.0);
+        assert_eq!(LatencySummary::of_ns(&[]).count, 0);
+    }
+
+    #[test]
+    fn tiny_load_run_hits_after_first_miss() {
+        // One cheap cell requested three times back-to-back: first is a
+        // miss, later ones hit once the worker has populated the cache.
+        let req = Request {
+            op: "discover".to_string(),
+            gpu: Some("T1000".to_string()),
+            only: Some("cl1".to_string()),
+            ..Request::default()
+        };
+        let mut requests = Vec::new();
+        for i in 0..3u64 {
+            let mut r = req.clone();
+            r.id = i + 1;
+            // Arrive 300 ms apart so the ~6 ms recompute finishes between.
+            r.offset_us = i * 300_000;
+            requests.push(r);
+        }
+        let outcome = run_load(
+            ServeOptions {
+                workers: 1,
+                queue_cap: 8,
+                cache_cap: 8,
+                job_threads: 1,
+            },
+            &requests,
+        );
+        assert_eq!(outcome.responses.len(), 3);
+        let model = ArrivalModel::Replay;
+        let report = summarize(&model, &requests, &outcome);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.misses.count, 1);
+        assert_eq!(report.hits.count, 2);
+        assert_eq!(report.hit_byte_identical, Some(true));
+        assert!(report.hit_vs_miss_speedup > 1.0);
+    }
+}

@@ -28,11 +28,13 @@
 //! everything, assemble the report.
 
 mod exec;
+mod job;
 mod partial;
 mod plan;
 mod units;
 
 pub use exec::{execute_plan, UnitResult};
+pub use job::{Job, JobError, JobOutput, JobResult, JobSpec, Selection};
 pub use partial::{
     merge_partials, partial_from_json, partial_to_json, run_shard, MergeError, PartialReport,
     PARTIAL_FORMAT,

@@ -241,3 +241,62 @@ fn invalid_shard_specs_fail() {
         assert_eq!(out.status.code(), Some(2), "spec {spec} should be rejected");
     }
 }
+
+/// The job layer is the single execution path behind every front end
+/// (batch CLI, shards, serve): resolving the same cell twice — or
+/// executing it with different unit fan-outs — must produce identical
+/// bytes. This is the invariant that makes the serve result cache safe.
+#[test]
+fn job_layer_output_is_byte_identical_across_fanouts() {
+    use mt4g_core::suite::{DiscoveryConfig, JobSpec, Selection};
+    use mt4g_sim::scenario::Scenario;
+
+    let run = |jobs: usize| {
+        let mut cfg = DiscoveryConfig::fast();
+        cfg.only = Some(vec![mt4g_sim::device::CacheKind::ConstL1]);
+        cfg.jobs = jobs;
+        JobSpec {
+            gpu: "T1000".to_string(),
+            scenario: Scenario::BareMetal,
+            cfg,
+            selection: Selection::Full,
+        }
+        .resolve()
+        .unwrap()
+        .run()
+        .unwrap()
+        .bytes
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "unit fan-out must not change a byte");
+    assert_eq!(one, run(4));
+    assert_eq!(one, run(1), "repeat runs are bit-stable");
+}
+
+/// Serving from the daemon and running the batch CLI are
+/// byte-interchangeable for shard selections too: a shard job's bytes
+/// equal the `--shard` CLI output.
+#[test]
+fn job_layer_shard_bytes_match_shard_cli() {
+    use mt4g_core::suite::{DiscoveryConfig, JobSpec, Selection};
+    use mt4g_sim::scenario::Scenario;
+
+    let mut cfg = DiscoveryConfig::fast();
+    cfg.only = Some(vec![mt4g_sim::device::CacheKind::ConstL1]);
+    cfg.jobs = 1;
+    let bytes = JobSpec {
+        gpu: "T1000".to_string(),
+        scenario: Scenario::BareMetal,
+        cfg,
+        selection: Selection::Shard { index: 1, count: 2 },
+    }
+    .resolve()
+    .unwrap()
+    .run()
+    .unwrap()
+    .bytes;
+    let cli = run_stdout(&[
+        "--gpu", "T1000", "--fast", "--only", "cl1", "--jobs", "1", "-q", "--shard", "1/2",
+    ]);
+    assert_eq!(bytes, cli.trim_end_matches('\n'));
+}

@@ -107,6 +107,30 @@ impl CacheKind {
             CacheKind::DeviceMemory => "Device Mem",
         }
     }
+
+    /// Parses the user-facing element spellings accepted by the CLI
+    /// (`--only`) and the serve protocol (`"only"` request field) —
+    /// case-insensitive, with the common short forms as aliases. One
+    /// parser for both front ends so a cell named over the wire can never
+    /// mean a different element than the same cell named on the command
+    /// line (the result cache keys on the parsed element).
+    pub fn parse(s: &str) -> Option<CacheKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "l1" => CacheKind::L1,
+            "l2" => CacheKind::L2,
+            "l3" => CacheKind::L3,
+            "texture" | "tex" => CacheKind::Texture,
+            "readonly" | "ro" => CacheKind::Readonly,
+            "constl1" | "cl1" => CacheKind::ConstL1,
+            "constl15" | "cl15" | "cl1.5" => CacheKind::ConstL15,
+            "shared" | "sharedmemory" => CacheKind::SharedMemory,
+            "lds" => CacheKind::Lds,
+            "vl1" => CacheKind::VL1,
+            "sl1d" => CacheKind::SL1D,
+            "device" | "dram" => CacheKind::DeviceMemory,
+            _ => return None,
+        })
+    }
 }
 
 /// Logical memory space a load instruction targets. Loads through different
