@@ -17,10 +17,12 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use mt4g_core::benchmarks::policy::{self, PolicyConfig, PolicyOutcome};
 use mt4g_core::pchase::{run_pchase_with_overhead, PchaseConfig};
 use mt4g_core::serve::{CacheKey, ResultCache};
 use mt4g_sim::cache::{SectoredCache, FULLY_ASSOCIATIVE};
-use mt4g_sim::device::{LoadFlags, MemorySpace};
+use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace, Vendor};
+use mt4g_sim::gpu::Gpu;
 use mt4g_sim::presets;
 
 /// Times `iters` repetitions of `f` and returns the best ns/element.
@@ -115,6 +117,43 @@ fn serve_workloads(out: &mut Vec<(String, f64)>) {
     out.push(("serve_cache/key_derivation".to_string(), derive));
 }
 
+/// Classifies the planted L1/vL1 evictor of one preset per reference
+/// policy and reports the fraction named correctly. Deterministic on the
+/// simulated substrate, so `bench_gate` floors the accuracy at 1.0 — a
+/// classifier regression fails the snapshot job outright instead of
+/// hiding in an artifact.
+fn policy_fingerprint() -> (usize, usize) {
+    type PresetCtor = fn() -> Gpu;
+    let cells: [(&str, PresetCtor); 5] = [
+        ("H100-80", presets::h100_80),     // exact LRU (Table II default)
+        ("B200", presets::b200),           // tree-PLRU
+        ("GB200", presets::gb200),         // segmented LRU
+        ("RX7900XTX", presets::rx7900xtx), // tree-PLRU on the RDNA L0
+        ("RX9070XT", presets::rx9070xt),   // random victim
+    ];
+    let mut correct = 0usize;
+    for (name, ctor) in cells {
+        let mut gpu = ctor();
+        let kind = match gpu.vendor() {
+            Vendor::Nvidia => CacheKind::L1,
+            Vendor::Amd => CacheKind::VL1,
+        };
+        let spec = *gpu.config.cache(kind).expect("probed level exists");
+        let planted = gpu.config.policy_of(kind);
+        let cfg = PolicyConfig::new(
+            gpu.vendor(),
+            spec.size,
+            u64::from(spec.line_size),
+            f64::from(spec.load_latency),
+        );
+        match policy::run(&mut gpu, &cfg) {
+            PolicyOutcome::Found { policy, .. } if policy == planted => correct += 1,
+            other => eprintln!("policy_fingerprint/{name}: expected {planted:?}, got {other:?}"),
+        }
+    }
+    (correct, 5)
+}
+
 /// Pulls `"name": { "ns_per_element": N ... }` out of a previous
 /// snapshot. Line-oriented on purpose: this bin has no JSON dependency
 /// and only ever reads its own output format.
@@ -140,8 +179,7 @@ fn main() {
     serve_workloads(&mut results);
 
     let mut json = String::from("{\n");
-    for (i, (name, ns)) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
+    for (name, ns) in results.iter() {
         let extra = baseline
             .as_deref()
             .and_then(|b| baseline_ns(b, name))
@@ -153,11 +191,19 @@ fn main() {
             })
             .unwrap_or_default();
         json.push_str(&format!(
-            "  \"{name}\": {{ \"ns_per_element\": {ns:.2}{extra} }}{comma}\n"
+            "  \"{name}\": {{ \"ns_per_element\": {ns:.2}{extra} }},\n"
         ));
         eprintln!("{name}: {ns:.2} ns/elem{extra}");
     }
+    let (correct, cells) = policy_fingerprint();
+    let accuracy = correct as f64 / cells as f64;
+    json.push_str(&format!(
+        "  \"policy_fingerprint\": {{ \"cells\": {cells}, \"correct\": {correct}, \"accuracy\": {accuracy:.2} }}\n"
+    ));
     json.push_str("}\n");
+    eprintln!(
+        "policy_fingerprint: {correct}/{cells} planted evictors named (accuracy {accuracy:.2})"
+    );
     match out_path {
         Some(p) => std::fs::write(&p, &json).expect("write snapshot"),
         None => print!("{json}"),

@@ -12,6 +12,7 @@
 //! | [`sharing_amd`] | IV-H | CU ids sharing one sL1d |
 //! | [`bandwidth`] | IV-I | achieved read/write stream bandwidth |
 //! | [`tlb`] | II-C/IV methodology | L1/L2 TLB reach via page-stride p-chase |
+//! | [`policy`] | IV-B assumption, surfaced | L1 replacement policy via eviction-order probes |
 //! | [`contention`] | VI-C observations | shared-L2 contention, segment cross-check |
 //! | [`flops`] | VII (future work) | FLOPS per datatype, tensor engines |
 
@@ -23,6 +24,7 @@ pub mod flops;
 pub mod l2_segments;
 pub mod latency;
 pub mod line_size;
+pub mod policy;
 pub mod sharing_amd;
 pub mod sharing_nv;
 pub mod size;

@@ -24,6 +24,8 @@
 //!   section)
 //! * `--contention` — also run the shared-L2 contention benchmark (adds
 //!   a `contention` report section)
+//! * `--policy` — also classify the first-level data cache's replacement
+//!   policy via eviction-order probes (adds a `policy` report section)
 //! * `--debug` — trace boundary-confirmation walks to stderr
 //! * `--scenario <S>` — deployment scenario: `bare-metal` (default),
 //!   `mig:<profile>` (run the suite *inside* a MIG instance, e.g.
@@ -77,6 +79,7 @@ struct Args {
     only: Option<String>,
     tlb: bool,
     contention: bool,
+    policy: bool,
     debug: bool,
     scenario: Scenario,
     jobs: usize,
@@ -119,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         only: None,
         tlb: false,
         contention: false,
+        policy: false,
         debug: false,
         scenario: Scenario::BareMetal,
         jobs: 0,
@@ -165,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
             "--fast" => args.fast = true,
             "--tlb" => args.tlb = true,
             "--contention" => args.contention = true,
+            "--policy" => args.policy = true,
             "--debug" => args.debug = true,
             "--list" => args.list = true,
             "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
@@ -224,7 +229,7 @@ fn print_help() {
     println!(
         "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
          USAGE: mt4g --gpu <PRESET> [--scenario <SCENARIO>] [-j] [-p] [-c] [-g] [-q]\n\
-         \x20             [--only <ELEMENT>] [--fast] [--tlb] [--contention] [--debug]\n\
+         \x20             [--only <ELEMENT>] [--fast] [--tlb] [--contention] [--policy] [--debug]\n\
          \x20             [--jobs N] [--shard i/n] [-o <DIR>]\n\
          \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\
          \x20      mt4g serve [--workers N] [--queue-cap N] [--cache-cap N] [-q]\n\
@@ -238,6 +243,7 @@ fn print_help() {
          \x20             describes what that environment actually exposes\n\
          --tlb        also discover L1/L2 TLB reach, entries and walk penalties\n\
          --contention also measure shared-L2 contention (same vs cross segment)\n\
+         --policy     also classify the L1/vL1 replacement policy (eviction-order probes)\n\
          --debug      trace boundary-confirmation walks to stderr\n\
          --jobs N     run up to N discovery units in parallel (0 = all cores; default)\n\
          --shard i/n  run shard i of an n-way split, emit a mergeable partial report\n\
@@ -326,6 +332,7 @@ fn main() {
     cfg.jobs = args.jobs;
     cfg.measure_tlb = args.tlb;
     cfg.measure_contention = args.contention;
+    cfg.measure_policy = args.policy;
     cfg.debug = args.debug;
     if let Some(only) = args.only.as_deref() {
         match parse_element(only) {

@@ -148,6 +148,7 @@ mod tests {
             compute_throughput: Vec::new(),
             tlb: Vec::new(),
             contention: Vec::new(),
+            policy: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         r.element_mut(CacheKind::VL1).size = Attribute::Measured {

@@ -51,6 +51,7 @@ mod tests {
             compute_throughput: Vec::new(),
             tlb: Vec::new(),
             contention: Vec::new(),
+            policy: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         r.element_mut(CacheKind::L1).size = Attribute::Measured {

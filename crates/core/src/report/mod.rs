@@ -276,6 +276,47 @@ impl ContentionReport {
     }
 }
 
+/// What the replacement-policy probe concluded about one cache level —
+/// the paper's Sec. IV-B eviction assumption, surfaced as a measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyReport {
+    /// Which cache level the probe ran against.
+    pub element: CacheKind,
+    /// The classified replacement policy ("lru", "tree-plru", "slru",
+    /// "random", "bypass").
+    pub policy: Attribute<String>,
+    /// Number of probe observations the verdict is based on.
+    pub probe_lines: Attribute<u32>,
+    /// Hamming distance between the observed hit/miss pattern and the
+    /// winning reference policy's prediction (trial divergence for
+    /// `random`) — the verdict's residual.
+    pub mismatch_bits: Attribute<u32>,
+    /// True capacity recovered by the policy-agnostic fill/reverse-probe
+    /// pin-down. The size benchmark's thrash-point estimate is exact
+    /// only under LRU (inflated up to ~1.75x by approximating evictors);
+    /// this value corrects it.
+    pub true_capacity_bytes: Attribute<u64>,
+}
+
+impl PolicyReport {
+    /// A row whose every attribute is unavailable for one `reason` — the
+    /// honest no-result shape, mirroring [`TlbReport::unavailable`].
+    pub fn unavailable(element: CacheKind, reason: &str) -> Self {
+        fn gone<T>(reason: &str) -> Attribute<T> {
+            Attribute::Unavailable {
+                reason: reason.to_string(),
+            }
+        }
+        PolicyReport {
+            element,
+            policy: gone(reason),
+            probe_lines: gone(reason),
+            mismatch_bits: gone(reason),
+            true_capacity_bytes: gone(reason),
+        }
+    }
+}
+
 /// General device information (paper Sec. III-A) — all from APIs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceInfo {
@@ -365,6 +406,11 @@ pub struct Report {
     /// JSON when the unit did not run).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub contention: Vec<ContentionReport>,
+    /// Replacement-policy classifications (`--policy`; absent from the
+    /// JSON when the unit did not run, so pre-policy reports are
+    /// byte-stable).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub policy: Vec<PolicyReport>,
     /// Run-time accounting.
     pub runtime: RuntimeInfo,
 }
@@ -471,6 +517,7 @@ mod tests {
             compute_throughput: Vec::new(),
             tlb: Vec::new(),
             contention: Vec::new(),
+            policy: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         report.element_mut(CacheKind::L1).size = Attribute::FromApi { value: 1 };
@@ -505,6 +552,7 @@ mod tests {
             compute_throughput: Vec::new(),
             tlb: Vec::new(),
             contention: Vec::new(),
+            policy: Vec::new(),
             runtime: RuntimeInfo::default(),
         }
     }

@@ -61,6 +61,9 @@ pub struct Request {
     /// Also run the shared-L2 contention unit.
     #[serde(default)]
     pub contention: bool,
+    /// Also run the replacement-policy unit.
+    #[serde(default)]
+    pub policy: bool,
     /// Restrict discovery to one element (CLI `--only` spellings).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub only: Option<String>,
@@ -251,6 +254,7 @@ impl Request {
         };
         cfg.measure_tlb = self.tlb;
         cfg.measure_contention = self.contention;
+        cfg.measure_policy = self.policy;
         cfg.jobs = job_threads;
         if let Some(only) = self.only.as_deref() {
             match CacheKind::parse(only) {
@@ -286,6 +290,7 @@ mod tests {
             mode: Some("fast".into()),
             tlb: true,
             contention: false,
+            policy: true,
             only: None,
             offset_us: 1500,
         };

@@ -17,8 +17,8 @@ use serde::{Deserialize, Serialize};
 use mt4g_sim::gpu::Gpu;
 
 use crate::report::{
-    ComputeInfo, ContentionReport, DeviceInfo, FlopsEntry, MemoryElementReport, Report,
-    RuntimeInfo, TlbReport,
+    ComputeInfo, ContentionReport, DeviceInfo, FlopsEntry, MemoryElementReport, PolicyReport,
+    Report, RuntimeInfo, TlbReport,
 };
 
 use super::plan::DiscoveryPlan;
@@ -44,6 +44,9 @@ pub struct UnitResult {
     /// Contention rows this unit produced.
     #[serde(default)]
     pub contention: Vec<ContentionReport>,
+    /// Replacement-policy rows this unit produced.
+    #[serde(default)]
+    pub policy: Vec<PolicyReport>,
     /// Benchmark instances executed (Sec. V-A accounting).
     pub benchmarks_run: u32,
     /// Kernels launched on the unit's forked GPU.
@@ -133,6 +136,7 @@ pub fn execute_plan(
             flops: output.flops,
             tlb: output.tlb,
             contention: output.contention,
+            policy: output.policy,
             benchmarks_run: output.benchmarks_run,
             kernels_launched: output.stats.kernels_launched,
             loads_executed: output.stats.loads_executed,
@@ -154,6 +158,7 @@ pub(crate) fn assemble_report(
         compute_throughput: Vec::new(),
         tlb: Vec::new(),
         contention: Vec::new(),
+        policy: Vec::new(),
         runtime: RuntimeInfo::default(),
     };
     let mut runtime = RuntimeInfo::default();
@@ -166,6 +171,7 @@ pub(crate) fn assemble_report(
             .extend(result.flops.iter().cloned());
         report.tlb.extend(result.tlb.iter().cloned());
         report.contention.extend(result.contention.iter().cloned());
+        report.policy.extend(result.policy.iter().cloned());
         runtime.benchmarks_run += result.benchmarks_run;
         runtime.kernels_launched += result.kernels_launched;
         runtime.loads_executed += result.loads_executed;

@@ -76,6 +76,10 @@ pub struct DiscoveryConfig {
     /// Whether to run the shared-L2 contention benchmark (CLI
     /// `--contention`). Off by default, like [`Self::measure_tlb`].
     pub measure_contention: bool,
+    /// Whether to run the replacement-policy probe against the vendor's
+    /// first-level data cache (CLI `--policy`). Off by default, like
+    /// [`Self::measure_tlb`].
+    pub measure_policy: bool,
     /// Trace boundary-confirmation walks to stderr (CLI `--debug`) —
     /// the successor of the old undocumented `MT4G_DEBUG` env sniffing.
     /// Purely diagnostic: it never changes a measurement, so it stays out
@@ -99,6 +103,7 @@ impl Default for DiscoveryConfig {
             measure_flops: true,
             measure_tlb: false,
             measure_contention: false,
+            measure_policy: false,
             debug: false,
             jobs: 0,
         }

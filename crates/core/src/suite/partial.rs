@@ -18,8 +18,10 @@ use super::{report_header, DiscoveryConfig};
 
 /// Serialisation format version of [`PartialReport`]; bump on breaking
 /// changes so stale shard artifacts refuse to merge. v2: unit results
-/// carry `tlb` / `contention` row sections.
-pub const PARTIAL_FORMAT: u32 = 2;
+/// carry `tlb` / `contention` row sections. v3: unit results carry a
+/// `policy` row section (shards of `--policy` runs refuse to merge with
+/// pre-policy shards).
+pub const PARTIAL_FORMAT: u32 = 3;
 
 /// The output of one shard of a discovery plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -21,8 +21,10 @@ use super::DiscoveryConfig;
 /// fingerprint (scenario-transformed devices can share a name). v3: the
 /// TLB-reach and L2-contention units joined the enumeration (and their
 /// opt-in knobs the fingerprint), and unit results grew `tlb` /
-/// `contention` row sections.
-pub(crate) const PLAN_FORMAT: u32 = 3;
+/// `contention` row sections. v4: the replacement-policy unit joined the
+/// enumeration (and `--policy` the fingerprint), and unit results grew a
+/// `policy` row section.
+pub(crate) const PLAN_FORMAT: u32 = 4;
 
 /// One schedulable unit of discovery work.
 #[derive(Debug, Clone)]
@@ -175,6 +177,26 @@ impl DiscoveryPlan {
             }
         }
 
+        // The replacement-policy probe consumes the target level's size /
+        // line / latency measurements, so it depends on that element's
+        // unit — which must itself be in the plan (an `--only` run skips
+        // the probe like the other cross-element units).
+        if cfg.measure_policy && cfg.only.is_none() {
+            let (cache, dep_label) = match gpu.vendor() {
+                Vendor::Nvidia => (CacheKind::L1, "nv.l1"),
+                Vendor::Amd => (CacheKind::VL1, "amd.vl1"),
+            };
+            if let Some(dep) = units.iter().position(|u| u.label == dep_label) {
+                let id = units.len();
+                units.push(PlanUnit {
+                    id,
+                    label: "mem.policy".to_string(),
+                    deps: vec![dep],
+                    kind: UnitKind::Policy(cache),
+                });
+            }
+        }
+
         let fingerprint = fingerprint(gpu, cfg, &units);
         DiscoveryPlan { units, fingerprint }
     }
@@ -237,7 +259,7 @@ fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
     format!(
         "v{PLAN_FORMAT}|{name}|seed={seed:#x}|quirks={quirks:?}|noise={noise:?}|alpha={alpha}|\
          record_n={record_n}|scan_points={scan_points}|only={only}|cu_window={cu_window}|\
-         bw={bw}|flops={flops}|tlb={tlb}|contention={contention}|plan={labels}",
+         bw={bw}|flops={flops}|tlb={tlb}|contention={contention}|policy={policy}|plan={labels}",
         name = gpu.config.name,
         seed = gpu.base_seed(),
         quirks = gpu.config.quirks,
@@ -250,6 +272,7 @@ fn fingerprint(gpu: &Gpu, cfg: &DiscoveryConfig, units: &[PlanUnit]) -> String {
         flops = cfg.measure_flops,
         tlb = cfg.measure_tlb,
         contention = cfg.measure_contention,
+        policy = cfg.measure_policy,
     )
 }
 
@@ -328,6 +351,43 @@ mod tests {
             .iter()
             .any(|u| u.label == "mem.l2contention"));
         assert_ne!(plain.fingerprint(), extended.fingerprint());
+    }
+
+    #[test]
+    fn policy_unit_is_opt_in_and_depends_on_the_element_unit() {
+        let cfg = DiscoveryConfig {
+            measure_policy: true,
+            ..DiscoveryConfig::fast()
+        };
+        for (gpu, dep_label) in [(presets::h100_80(), "nv.l1"), (presets::mi210(), "amd.vl1")] {
+            let plain = DiscoveryPlan::new(&gpu, &DiscoveryConfig::fast());
+            assert!(
+                !plain.units().iter().any(|u| u.label == "mem.policy"),
+                "policy unit must not enter the default plan"
+            );
+            let extended = DiscoveryPlan::new(&gpu, &cfg);
+            let unit = extended
+                .units()
+                .iter()
+                .find(|u| u.label == "mem.policy")
+                .expect("policy unit planned");
+            let dep = extended
+                .units()
+                .iter()
+                .find(|u| u.label == dep_label)
+                .expect("element unit planned");
+            assert_eq!(unit.deps, vec![dep.id]);
+            assert_ne!(plain.fingerprint(), extended.fingerprint());
+        }
+        // An --only run skips the probe like the other cross-element units.
+        let only = DiscoveryPlan::new(
+            &presets::h100_80(),
+            &DiscoveryConfig {
+                only: Some(vec![CacheKind::L1]),
+                ..cfg
+            },
+        );
+        assert!(!only.units().iter().any(|u| u.label == "mem.policy"));
     }
 
     #[test]

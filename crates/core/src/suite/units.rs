@@ -24,13 +24,14 @@ use crate::benchmarks::flops;
 use crate::benchmarks::l2_segments;
 use crate::benchmarks::latency::{self, LatencyConfig};
 use crate::benchmarks::line_size::{self, LineSizeConfig};
+use crate::benchmarks::policy::{self, PolicyConfig, PolicyOutcome};
 use crate::benchmarks::sharing_amd::{self, CuSharingConfig, CuSharingResult};
 use crate::benchmarks::sharing_nv::{self, SpaceProbe};
 use crate::benchmarks::size::{self, SizeConfig, SizeResult};
 use crate::benchmarks::tlb::{self, TlbConfig, TlbLevelOutcome};
 use crate::report::{
     AmountReport, AmountScope, Attribute, ContentionReport, FlopsEntry, MemoryElementReport,
-    SharingReport, TlbLevel, TlbReport,
+    PolicyReport, SharingReport, TlbLevel, TlbReport,
 };
 
 use super::DiscoveryConfig;
@@ -41,6 +42,7 @@ pub(crate) struct Measured {
     pub(crate) hit_latency: Option<f64>,
     pub(crate) fetch_granularity: Option<u64>,
     pub(crate) size: Option<u64>,
+    pub(crate) line_size: Option<u64>,
 }
 
 /// Measurements a dependent unit receives from its dependencies, keyed by
@@ -108,6 +110,10 @@ pub(crate) enum UnitKind {
     /// Shared-L2 contention + segment-mapping cross-check (both vendors;
     /// needs SM/CU co-residency control).
     L2Contention,
+    /// Replacement-policy classification of one cache level via
+    /// eviction-order probes (consumes that level's element unit's size /
+    /// line / latency measurements).
+    Policy(CacheKind),
     /// One datatype/engine of the FLOPS extension.
     Flops(DType),
 }
@@ -123,6 +129,8 @@ pub(crate) struct UnitOutput {
     pub(crate) tlb: Vec<TlbReport>,
     /// Contention rows (only `UnitKind::L2Contention` units).
     pub(crate) contention: Vec<ContentionReport>,
+    /// Replacement-policy rows (only `UnitKind::Policy` units).
+    pub(crate) policy: Vec<PolicyReport>,
     /// Measurements exported to dependent units.
     pub(crate) measured: Vec<(CacheKind, Measured)>,
     /// Benchmark instances executed (Sec. V-A accounting).
@@ -145,6 +153,7 @@ pub(crate) fn run_unit(
     let mut flops_entries = Vec::new();
     let mut tlb_rows = Vec::new();
     let mut contention_rows = Vec::new();
+    let mut policy_rows = Vec::new();
     let mut measured = Vec::new();
 
     match kind {
@@ -696,6 +705,33 @@ pub(crate) fn run_unit(
             });
         }
 
+        UnitKind::Policy(cache) => {
+            tally.bump();
+            if gpu.config.quirks.eviction_probe_unavailable {
+                // Co-runner pollution makes eviction order unattributable:
+                // the probe would convict the neighbour's traffic, not the
+                // hardware's evictor. Honest no-result (paper Sec. V).
+                policy_rows.push(PolicyReport::unavailable(
+                    cache,
+                    "eviction-order probing unavailable: co-runner traffic \
+                     pollutes the replacement state",
+                ));
+            } else {
+                let m = inputs.get(&cache).copied().unwrap_or_default();
+                match (m.size, m.line_size, m.hit_latency) {
+                    (Some(size), Some(line), Some(hit)) => {
+                        let p_cfg = PolicyConfig::new(gpu.vendor(), size, line, hit);
+                        policy_rows.push(policy_row(cache, line, policy::run(&mut gpu, &p_cfg)));
+                    }
+                    _ => policy_rows.push(PolicyReport::unavailable(
+                        cache,
+                        "size/line/latency prerequisites missing \
+                         (inputs to the eviction-order probe)",
+                    )),
+                }
+            }
+        }
+
         UnitKind::Flops(dtype) => {
             // Future-work extension: arithmetic throughput per datatype /
             // engine.
@@ -725,6 +761,7 @@ pub(crate) fn run_unit(
         flops: flops_entries,
         tlb: tlb_rows,
         contention: contention_rows,
+        policy: policy_rows,
         measured,
         benchmarks_run: tally.0,
         stats: gpu.stats(),
@@ -778,6 +815,40 @@ fn tlb_row(level: TlbLevel, page: u64, outcome: TlbLevelOutcome) -> TlbReport {
             row.page_bytes = Attribute::FromApi { value: page };
             row
         }
+    }
+}
+
+/// Maps one policy-probe outcome into its report row. `line_bytes`
+/// converts the pin-down phase's capacity (in lines) into the corrected
+/// size the report carries.
+fn policy_row(element: CacheKind, line_bytes: u64, outcome: PolicyOutcome) -> PolicyReport {
+    match outcome {
+        PolicyOutcome::Found {
+            policy,
+            confidence,
+            probe_lines,
+            mismatch_bits,
+            capacity_lines,
+        } => PolicyReport {
+            element,
+            policy: Attribute::Measured {
+                value: policy.label().to_string(),
+                confidence,
+            },
+            probe_lines: Attribute::Measured {
+                value: probe_lines,
+                confidence,
+            },
+            mismatch_bits: Attribute::Measured {
+                value: mismatch_bits,
+                confidence,
+            },
+            true_capacity_bytes: Attribute::Measured {
+                value: u64::from(capacity_lines) * line_bytes,
+                confidence,
+            },
+        },
+        PolicyOutcome::NoResult { reason } => PolicyReport::unavailable(element, &reason),
     }
 }
 
@@ -879,10 +950,13 @@ fn discover_cache_element(
     if let Some(size_bytes) = m.size {
         let ls_cfg = LineSizeConfig::new(space, flags, size_bytes, fg, hit_lat);
         rows.element_mut(kind).cache_line_bytes = match line_size::run(gpu, &ls_cfg) {
-            Some((line, conf)) => Attribute::Measured {
-                value: line,
-                confidence: conf,
-            },
+            Some((line, conf)) => {
+                m.line_size = Some(u64::from(line));
+                Attribute::Measured {
+                    value: line,
+                    confidence: conf,
+                }
+            }
             None => Attribute::Unavailable {
                 reason: "line-size scan inconclusive".into(),
             },

@@ -121,6 +121,48 @@ fn tlb_and_contention_units_are_byte_identical_across_jobs_and_shards() {
     assert_shards_merge_byte_identical_with("A100", &["--tlb", "--contention"], 2);
 }
 
+/// The replacement-policy unit inherits every determinism guarantee: a
+/// `--policy` run is byte-identical across `--jobs` values and merged
+/// shard splits, and the report carries the policy section with the
+/// planted verdict.
+#[test]
+fn policy_unit_is_byte_identical_across_jobs_and_shards() {
+    let base = ["--gpu", "B200", "--fast", "-q", "--policy"];
+    let sequential = run_stdout(&[&base[..], &["--jobs", "1"]].concat());
+    let parallel = run_stdout(&[&base[..], &["--jobs", "4"]].concat());
+    assert_eq!(sequential, parallel, "--policy must not depend on --jobs");
+    let report = mt4g_core::report::from_json(&sequential).expect("valid report");
+    assert_eq!(report.policy.len(), 1, "one policy row for the L1");
+    assert_eq!(
+        report.policy[0].policy.value().map(String::as_str),
+        Some("tree-plru"),
+        "B200 plants a tree-PLRU L1"
+    );
+    assert_shards_merge_byte_identical_with("B200", &["--policy"], 2);
+}
+
+/// Policy shards must not merge with plain shards of the same preset:
+/// the `--policy` knob is part of the plan fingerprint.
+#[test]
+fn policy_shards_do_not_merge_with_plain_shards() {
+    let dir = temp_dir("policy-mismatch");
+    let plain = run_stdout(&["--gpu", "T1000", "--fast", "-q", "--shard", "1/2"]);
+    let policy = run_stdout(&[
+        "--gpu", "T1000", "--fast", "-q", "--policy", "--shard", "2/2",
+    ]);
+    let pa = dir.join("plain.partial.json");
+    let pb = dir.join("policy.partial.json");
+    std::fs::write(&pa, plain).unwrap();
+    std::fs::write(&pb, policy).unwrap();
+    let out = mt4g()
+        .args(["merge", pa.to_str().unwrap(), pb.to_str().unwrap(), "-q"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("incompatible"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Extended (`--tlb`) shards must not merge with plain shards of the same
 /// preset: the knobs are part of the plan fingerprint.
 #[test]

@@ -23,8 +23,8 @@ fn tiny_engine() -> (ServeEngine, std::sync::mpsc::Receiver<Response>) {
 /// submission of each must be a fresh recompute (a miss), never a hit on
 /// a previously-cached neighbour. This is the end-to-end cache-key
 /// separation guarantee: scenario, measurement knobs (`--tlb`,
-/// `--contention`), element restriction, and mode each reach the plan
-/// fingerprint or the cell descriptor.
+/// `--contention`, `--policy`), element restriction, and mode each reach
+/// the plan fingerprint or the cell descriptor.
 #[test]
 fn cache_keys_separate_scenario_knobs_and_selection() {
     let variants = [
@@ -32,8 +32,9 @@ fn cache_keys_separate_scenario_knobs_and_selection() {
         r#"{"id":2,"op":"discover","gpu":"T1000","only":"cl1","scenario":"hostile"}"#,
         r#"{"id":3,"op":"discover","gpu":"T1000","only":"cl1","tlb":true}"#,
         r#"{"id":4,"op":"discover","gpu":"T1000","only":"cl1","contention":true}"#,
-        r#"{"id":5,"op":"discover","gpu":"T1000","only":"cl1","mode":"thorough"}"#,
-        r#"{"id":6,"op":"discover","gpu":"T1000","only":"l1"}"#,
+        r#"{"id":5,"op":"discover","gpu":"T1000","only":"cl1","policy":true}"#,
+        r#"{"id":6,"op":"discover","gpu":"T1000","only":"cl1","mode":"thorough"}"#,
+        r#"{"id":7,"op":"discover","gpu":"T1000","only":"l1"}"#,
     ];
     let (mut engine, rx) = tiny_engine();
     for line in variants {

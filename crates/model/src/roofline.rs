@@ -101,6 +101,7 @@ mod tests {
             compute_throughput: Vec::new(),
             tlb: Vec::new(),
             contention: Vec::new(),
+            policy: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         r.element_mut(CacheKind::L2).read_bandwidth_gibs = Attribute::Measured {

@@ -234,6 +234,7 @@ mod tests {
             compute_throughput: Vec::new(),
             tlb: Vec::new(),
             contention: Vec::new(),
+            policy: Vec::new(),
             runtime: RuntimeInfo::default(),
         };
         // L2: the suite reports the API total (40 MiB) as the size and the

@@ -236,3 +236,287 @@ impl ReferenceSectoredCache {
         }
     }
 }
+
+// --- the per-policy differential oracle ---
+
+use super::policy::Xorshift64;
+use super::ReplacementPolicy;
+
+#[derive(Debug, Clone)]
+struct PolLine {
+    /// Full line address (no tag/set split — the set is recomputed).
+    tag: u64,
+    valid_sectors: u64,
+}
+
+/// Naive per-policy sectored cache: the differential oracle for every
+/// [`ReplacementPolicy`] engine in [`super`].
+///
+/// One deliberately simple representation covers both organisations — a
+/// fully-associative cache is a single set whose way count equals the
+/// line capacity. Ways fill densely from index 0 and eviction replaces
+/// the victim's way *in place*, which makes way indices correspond 1:1 to
+/// the packed engine's lanes / arena slots — required for the random
+/// policy (victim = same index from the same [`Xorshift64`] stream) and
+/// the PLRU tree (leaf = way index), and harmless for the stamp-ordered
+/// policies. Everything is an O(ways) scan; use small geometries.
+#[derive(Debug)]
+pub struct PolicyReferenceCache {
+    line_size: u64,
+    sector_size: u64,
+    policy: ReplacementPolicy,
+    num_sets: u64,
+    ways: usize,
+    sets: Vec<Vec<PolLine>>,
+    /// Per set × way: last-use stamp (LRU and SLRU ordering).
+    stamps: Vec<Vec<u64>>,
+    /// Per set × way: SLRU protected-segment membership.
+    protected: Vec<Vec<bool>>,
+    /// Per set: PLRU internal-node bits (`true` = victim walk goes right).
+    plru: Vec<Vec<bool>>,
+    /// PLRU leaf count: `ways` rounded up to a power of two.
+    padded: u64,
+    /// SLRU protected capacity: half the ways.
+    prot_cap: usize,
+    rng: Xorshift64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+fn plru_touch_ref(bits: &mut [bool], padded: u64, way: u64) {
+    let mut node = padded + way;
+    while node > 1 {
+        let parent = node >> 1;
+        // Point away from the touched child: left child => walk right.
+        bits[(parent - 1) as usize] = node & 1 == 0;
+        node = parent;
+    }
+}
+
+fn plru_victim_ref(bits: &[bool], padded: u64, valid: u64) -> usize {
+    let mut node = 1u64;
+    let mut lo = 0u64;
+    let mut span = padded;
+    while span > 1 {
+        span >>= 1;
+        let right = bits[(node - 1) as usize] && lo + span < valid;
+        node = (node << 1) | right as u64;
+        if right {
+            lo += span;
+        }
+    }
+    lo as usize
+}
+
+impl PolicyReferenceCache {
+    /// Builds a cache with explicit geometry; same contract as
+    /// [`super::SectoredCache::new_with_policy`].
+    pub fn new(
+        size: u64,
+        line_size: u64,
+        sector_size: u64,
+        ways: u32,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(size > 0 && line_size > 0 && sector_size > 0);
+        assert_eq!(size % line_size, 0);
+        assert_eq!(line_size % sector_size, 0);
+        assert!((line_size / sector_size) <= 64);
+        let total_lines = size / line_size;
+        let (num_sets, ways) = if ways as u64 >= total_lines {
+            (1, total_lines)
+        } else {
+            let mut ways = ways.max(1) as u64;
+            while !total_lines.is_multiple_of(ways) {
+                ways -= 1;
+            }
+            (total_lines / ways, ways)
+        };
+        let padded = ways.next_power_of_two();
+        PolicyReferenceCache {
+            line_size,
+            sector_size,
+            policy,
+            num_sets,
+            ways: ways as usize,
+            sets: vec![Vec::new(); num_sets as usize],
+            stamps: vec![vec![0; ways as usize]; num_sets as usize],
+            protected: vec![vec![false; ways as usize]; num_sets as usize],
+            plru: vec![vec![false; (padded - 1) as usize]; num_sets as usize],
+            padded,
+            prot_cap: (ways / 2) as usize,
+            rng: Xorshift64::for_geometry(total_lines),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The policy this oracle simulates.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Invalidates all contents and recency state (and keeps the
+    /// counters). The random victim stream survives, as in the engine.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        for v in &mut self.stamps {
+            v.iter_mut().for_each(|s| *s = 0);
+        }
+        for v in &mut self.protected {
+            v.iter_mut().for_each(|p| *p = false);
+        }
+        for v in &mut self.plru {
+            v.iter_mut().for_each(|b| *b = false);
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize, tick: u64) {
+        match self.policy {
+            ReplacementPolicy::Lru => self.stamps[set][way] = tick,
+            ReplacementPolicy::TreePlru => {
+                plru_touch_ref(&mut self.plru[set], self.padded, way as u64)
+            }
+            ReplacementPolicy::Slru => {
+                self.stamps[set][way] = tick;
+                if !self.protected[set][way] && self.prot_cap > 0 {
+                    // Promote; on overflow demote the protected-LRU back
+                    // to probation as its MRU.
+                    self.protected[set][way] = true;
+                    let count = self.protected[set].iter().filter(|&&p| p).count();
+                    if count > self.prot_cap {
+                        let demote = (0..self.ways)
+                            .filter(|&w| self.protected[set][w])
+                            .min_by_key(|&w| self.stamps[set][w])
+                            .expect("overflowing protected segment");
+                        self.protected[set][demote] = false;
+                        self.stamps[set][demote] = tick;
+                    }
+                }
+            }
+            ReplacementPolicy::Random | ReplacementPolicy::Bypass => {}
+        }
+    }
+
+    /// Victim way for a full set, or `None` to skip allocation (bypass).
+    fn victim(&mut self, set: usize) -> Option<usize> {
+        match self.policy {
+            ReplacementPolicy::Lru => (0..self.ways).min_by_key(|&w| self.stamps[set][w]),
+            ReplacementPolicy::TreePlru => Some(plru_victim_ref(
+                &self.plru[set],
+                self.padded,
+                self.ways as u64,
+            )),
+            ReplacementPolicy::Slru => (0..self.ways)
+                .filter(|&w| !self.protected[set][w])
+                .min_by_key(|&w| self.stamps[set][w])
+                .or_else(|| (0..self.ways).min_by_key(|&w| self.stamps[set][w])),
+            ReplacementPolicy::Random => Some(self.rng.below(self.ways as u64) as usize),
+            ReplacementPolicy::Bypass => None,
+        }
+    }
+
+    fn fill(&mut self, set: usize, way: usize, tick: u64) {
+        match self.policy {
+            ReplacementPolicy::Lru => self.stamps[set][way] = tick,
+            ReplacementPolicy::TreePlru => {
+                plru_touch_ref(&mut self.plru[set], self.padded, way as u64)
+            }
+            ReplacementPolicy::Slru => {
+                // New lines enter probation.
+                self.stamps[set][way] = tick;
+                self.protected[set][way] = false;
+            }
+            ReplacementPolicy::Random | ReplacementPolicy::Bypass => {}
+        }
+    }
+
+    /// Performs an access at byte address `addr`, allocating on miss.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.tick += 1;
+        let tick = self.tick;
+        let line_addr = addr / self.line_size;
+        let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
+        let set = (line_addr % self.num_sets) as usize;
+
+        let result = if let Some(way) = self.sets[set].iter().position(|l| l.tag == line_addr) {
+            self.touch(set, way, tick);
+            let line = &mut self.sets[set][way];
+            if line.valid_sectors & sector_bit != 0 {
+                Access::Hit
+            } else {
+                line.valid_sectors |= sector_bit;
+                Access::SectorMiss
+            }
+        } else if self.sets[set].len() < self.ways {
+            // Ways fill densely from 0 (push = lowest free index).
+            let way = self.sets[set].len();
+            self.sets[set].push(PolLine {
+                tag: line_addr,
+                valid_sectors: sector_bit,
+            });
+            self.fill(set, way, tick);
+            Access::LineMiss
+        } else {
+            match self.victim(set) {
+                None => Access::LineMiss, // bypass: no allocation
+                Some(way) => {
+                    self.sets[set][way] = PolLine {
+                        tag: line_addr,
+                        valid_sectors: sector_bit,
+                    };
+                    self.fill(set, way, tick);
+                    Access::LineMiss
+                }
+            }
+        };
+        if result.is_hit() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        result
+    }
+
+    /// Peeks whether `addr`'s sector is resident without touching recency
+    /// state or allocating.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / self.line_size;
+        let sector_bit = 1u64 << ((addr % self.line_size) / self.sector_size);
+        let set = (line_addr % self.num_sets) as usize;
+        self.sets[set]
+            .iter()
+            .any(|l| l.tag == line_addr && l.valid_sectors & sector_bit != 0)
+    }
+}
+
+#[cfg(test)]
+mod policy_oracle_tests {
+    use super::*;
+
+    /// The per-policy oracle's LRU arm must agree with the frozen
+    /// original oracle — anchoring the whole zoo to the historical
+    /// behaviour through one shared baseline.
+    #[test]
+    fn lru_arm_matches_the_frozen_oracle() {
+        for ways in [2u32, 4, u32::MAX] {
+            let mut frozen = ReferenceSectoredCache::new(1024, 64, 32, ways);
+            let mut zoo = PolicyReferenceCache::new(1024, 64, 32, ways, ReplacementPolicy::Lru);
+            for i in 0..500u64 {
+                let addr = (i * 97 + i / 5 * 31) % 4096;
+                assert_eq!(frozen.access(addr), zoo.access(addr), "step {i}");
+                assert_eq!(frozen.probe(addr ^ 64), zoo.probe(addr ^ 64));
+            }
+            assert_eq!(frozen.stats(), zoo.stats());
+        }
+    }
+}

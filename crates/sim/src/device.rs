@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cache::ReplacementPolicy;
 use crate::quirks::Quirks;
 use crate::tlb::TlbSpec;
 
@@ -348,6 +349,12 @@ pub struct DeviceConfig {
     /// TLB modeled").
     #[serde(default)]
     pub tlb: Option<TlbSpec>,
+    /// Per-level replacement-policy overrides; levels not listed run
+    /// exact LRU. `#[serde(default)]` (and skipped when empty) so
+    /// configurations serialized before the policy zoo existed still
+    /// round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub policies: Vec<(CacheKind, ReplacementPolicy)>,
     /// Hardware/driver quirks that make specific benchmarks fail, modeled
     /// after the three documented non-results in the paper's Section V.
     pub quirks: Quirks,
@@ -376,6 +383,16 @@ impl DeviceConfig {
         } else {
             None
         }
+    }
+
+    /// The replacement policy a cache level runs (exact LRU unless
+    /// overridden in [`Self::policies`]).
+    pub fn policy_of(&self, kind: CacheKind) -> ReplacementPolicy {
+        self.policies
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| *p)
+            .unwrap_or_default()
     }
 
     /// The L2 segment index an SM/CU is wired to — a pure function of the

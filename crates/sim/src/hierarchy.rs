@@ -140,8 +140,13 @@ impl MemorySubsystem {
         let cores_per_sm = config.chip.cores_per_sm as usize;
 
         let get = |kind: CacheKind| config.cache(kind).copied();
-        let make_per_sm = |spec: &CacheSpec, count: usize| -> Vec<SectoredCache> {
-            (0..count).map(|_| SectoredCache::from_spec(spec)).collect()
+        // Every instance of a level runs the level's configured
+        // replacement policy (exact LRU unless the preset plants another).
+        let make = |spec: &CacheSpec, kind: CacheKind| {
+            SectoredCache::from_spec_with_policy(spec, config.policy_of(kind))
+        };
+        let make_per_sm = |spec: &CacheSpec, kind: CacheKind, count: usize| -> Vec<SectoredCache> {
+            (0..count).map(|_| make(spec, kind)).collect()
         };
 
         let l1_spec = match config.vendor {
@@ -150,7 +155,7 @@ impl MemorySubsystem {
         };
         let l1_amount = l1_spec.and_then(|s| s.amount_per_sm).unwrap_or(1).max(1) as usize;
         let l1 = l1_spec
-            .map(|s| make_per_sm(&s, num_sms * l1_amount))
+            .map(|s| make_per_sm(&s, CacheKind::L1, num_sms * l1_amount))
             .unwrap_or_default();
 
         let unified = config.sharing.l1_tex_ro_unified;
@@ -175,25 +180,25 @@ impl MemorySubsystem {
             get(CacheKind::Readonly)
         };
         let tex = tex_spec
-            .map(|s| make_per_sm(&s, num_sms))
+            .map(|s| make_per_sm(&s, CacheKind::Texture, num_sms))
             .unwrap_or_default();
         let ro = ro_spec
-            .map(|s| make_per_sm(&s, num_sms))
+            .map(|s| make_per_sm(&s, CacheKind::Readonly, num_sms))
             .unwrap_or_default();
 
         let const_l1_spec = get(CacheKind::ConstL1);
         let const_l1 = const_l1_spec
-            .map(|s| make_per_sm(&s, num_sms))
+            .map(|s| make_per_sm(&s, CacheKind::ConstL1, num_sms))
             .unwrap_or_default();
         let const_l15_spec = get(CacheKind::ConstL15);
-        let const_l15 = const_l15_spec.map(|s| SectoredCache::from_spec(&s));
+        let const_l15 = const_l15_spec.map(|s| make(&s, CacheKind::ConstL15));
 
         let vl1_spec = match config.vendor {
             Vendor::Amd => get(CacheKind::VL1),
             Vendor::Nvidia => None,
         };
         let vl1 = vl1_spec
-            .map(|s| make_per_sm(&s, num_sms))
+            .map(|s| make_per_sm(&s, CacheKind::VL1, num_sms))
             .unwrap_or_default();
 
         // sL1d: one instance per *group* of physical CUs that has at least
@@ -211,10 +216,7 @@ impl MemorySubsystem {
                     });
                     map.push(idx);
                 }
-                let caches = dense
-                    .iter()
-                    .map(|_| SectoredCache::from_spec(&spec))
-                    .collect();
+                let caches = dense.iter().map(|_| make(&spec, CacheKind::SL1D)).collect();
                 (caches, map)
             } else {
                 (Vec::new(), vec![0; num_sms])
@@ -223,11 +225,7 @@ impl MemorySubsystem {
         let l2_spec = get(CacheKind::L2);
         let l2_segments = l2_spec.map(|s| s.segments.max(1)).unwrap_or(1) as usize;
         let l2 = l2_spec
-            .map(|s| {
-                (0..l2_segments)
-                    .map(|_| SectoredCache::from_spec(&s))
-                    .collect()
-            })
+            .map(|s| (0..l2_segments).map(|_| make(&s, CacheKind::L2)).collect())
             .unwrap_or_default();
 
         // L2 segment visibility: an SM/CU only ever talks to one segment
@@ -236,7 +234,7 @@ impl MemorySubsystem {
         let l2_segment_of_sm = (0..num_sms).map(|sm| config.l2_segment_of(sm)).collect();
 
         let l3_spec = get(CacheKind::L3);
-        let l3 = l3_spec.map(|s| SectoredCache::from_spec(&s));
+        let l3 = l3_spec.map(|s| make(&s, CacheKind::L3));
 
         let tlb_spec = config.tlb;
         let l1_tlb = tlb_spec

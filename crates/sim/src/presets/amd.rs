@@ -9,6 +9,7 @@
 //! like the MI300X's Infinity Cache). The per-shader-array graphics L1 of
 //! RDNA3 is read-only for compute and not modeled.
 
+use crate::cache::ReplacementPolicy;
 use crate::device::{
     gib, kib, mib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
     ScratchpadSpec, SharingLayout, Vendor,
@@ -122,6 +123,7 @@ pub fn mi100() -> Gpu {
         },
         cu_layout: Some(cu_layout(128, 120, &disabled, 3)),
         tlb: super::preset_tlb(16, 64, 128, 520),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 10,
     })
@@ -177,6 +179,7 @@ pub fn mi210() -> Gpu {
         },
         cu_layout: Some(cu_layout(128, 104, &disabled, 2)),
         tlb: super::preset_tlb(16, 64, 128, 540),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 10,
     })
@@ -242,6 +245,7 @@ pub fn mi300x() -> Gpu {
         },
         cu_layout: Some(cu_layout(320, 304, &disabled, 2)),
         tlb: super::preset_tlb(32, 72, 256, 560),
+        policies: vec![],
         quirks: Quirks {
             no_cu_pinning: true,
             ..Quirks::NONE
@@ -275,6 +279,7 @@ fn rdna(
     dram_lat: u32,
     dram_read: f64,
     dram_write: f64,
+    vl1_policy: ReplacementPolicy,
 ) -> Gpu {
     let l0 = CacheSpec {
         size: kib(32),
@@ -342,13 +347,17 @@ fn rdna(
         // is shared per WGP (2 consecutive CUs).
         cu_layout: Some(cu_layout(num_cus, num_cus, &[], 2)),
         tlb: super::preset_tlb(32, 56, 256, 460),
+        // The RDNA L0 vector caches are planted with non-LRU evictors so
+        // the policy discovery unit has AMD-side ground truth to
+        // fingerprint blind.
+        policies: vec![(CacheKind::VL1, vl1_policy)],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 8,
     })
 }
 
 /// AMD Radeon RX 7900 XTX (RDNA3, Navi 31, gfx1100): 96 CUs, 6 MB L2,
-/// 96 MB MALL Infinity Cache, 24 GB GDDR6.
+/// 96 MB MALL Infinity Cache, 24 GB GDDR6. Planted policy: tree-PLRU L0.
 pub fn rx7900xtx() -> Gpu {
     rdna(
         "Radeon RX 7900 XTX",
@@ -372,11 +381,13 @@ pub fn rx7900xtx() -> Gpu {
         550,
         870.0,
         800.0,
+        ReplacementPolicy::TreePlru,
     )
 }
 
 /// AMD Radeon RX 9070 XT (RDNA4, Navi 48, gfx1201): 64 CUs, 8 MB L2,
-/// 64 MB MALL Infinity Cache, 16 GB GDDR6.
+/// 64 MB MALL Infinity Cache, 16 GB GDDR6. Planted policy: a random-victim
+/// L0, the one policy only the run-twice divergence probe can name.
 pub fn rx9070xt() -> Gpu {
     rdna(
         "Radeon RX 9070 XT",
@@ -400,5 +411,6 @@ pub fn rx9070xt() -> Gpu {
         540,
         600.0,
         560.0,
+        ReplacementPolicy::Random,
     )
 }

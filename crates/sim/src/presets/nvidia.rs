@@ -3,6 +3,7 @@
 //! Blackwell-class B200 / GB200 extrapolations beyond the paper's
 //! Table II.
 
+use crate::cache::ReplacementPolicy;
 use crate::device::{
     gib, kib, mib, CacheKind, CacheSpec, ChipSpec, CuLayout, DeviceConfig, DramSpec, Microarch,
     ScratchpadSpec, SharingLayout, Vendor,
@@ -159,6 +160,7 @@ pub fn p6000() -> Gpu {
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(16, 48, 128, 400),
+        policies: vec![],
         quirks: Quirks {
             l1_amount_unschedulable: true,
             flaky_l1_const_sharing: true,
@@ -222,6 +224,7 @@ pub fn v100() -> Gpu {
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(16, 48, 128, 420),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -280,6 +283,7 @@ pub fn t1000() -> Gpu {
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(16, 48, 128, 430),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -338,6 +342,7 @@ pub fn rtx2080() -> Gpu {
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(16, 48, 128, 430),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -397,6 +402,7 @@ pub fn a100() -> Gpu {
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(64, 52, 512, 450),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -458,6 +464,7 @@ fn h100(name: &str, dram_gib: u64, dram_lat: u32, dram_read: f64, dram_write: f6
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(64, 52, 512, 480),
+        policies: vec![],
         quirks: Quirks::NONE,
         clock_overhead_cycles: 6,
     })
@@ -487,6 +494,7 @@ fn blackwell(
     dram_lat: u32,
     dram_read: f64,
     dram_write: f64,
+    l1_policy: ReplacementPolicy,
     quirks: Quirks,
 ) -> Gpu {
     Gpu::new(DeviceConfig {
@@ -540,6 +548,9 @@ fn blackwell(
         },
         cu_layout: NO_CU_LAYOUT,
         tlb: super::preset_tlb(128, 56, 1024, 500),
+        // Blackwell L1s are planted with non-LRU evictors so the policy
+        // discovery unit has ground truth to fingerprint blind.
+        policies: vec![(CacheKind::L1, l1_policy)],
         quirks,
         clock_overhead_cycles: 6,
     })
@@ -548,7 +559,8 @@ fn blackwell(
 /// NVIDIA B200 180GB HBM3e (Blackwell, GB100). Planted quirk: early
 /// Blackwell drivers misreport L1 / Constant-L1 physical sharing, so that
 /// pair is surfaced with zero confidence (a Pascal-style non-result on a
-/// brand-new part).
+/// brand-new part). Planted policy: a tree-PLRU L1, the evictor most L1
+/// literature actually reports.
 pub fn b200() -> Gpu {
     blackwell(
         "B200 180GB HBM3e",
@@ -558,6 +570,7 @@ pub fn b200() -> Gpu {
         895,
         6600.0,
         6100.0,
+        ReplacementPolicy::TreePlru,
         Quirks {
             flaky_l1_const_sharing: true,
             ..Quirks::NONE
@@ -569,7 +582,9 @@ pub fn b200() -> Gpu {
 /// same GB100 silicon as the B200 at NVL-cabinet clocks and capacity.
 /// Planted quirk: the cgroup-pinned NVL deployment cannot schedule
 /// benchmark threads on the last warp, so the L1 Amount benchmark reports
-/// no result (the P6000 failure mode on a modern part).
+/// no result (the P6000 failure mode on a modern part). Planted policy:
+/// a segmented-LRU L1 — scan-resistant, and deliberately different from
+/// the B200 so the two Blackwell parts are distinguishable by policy.
 pub fn gb200() -> Gpu {
     blackwell(
         "GB200 186GB HBM3e",
@@ -579,6 +594,7 @@ pub fn gb200() -> Gpu {
         880,
         7000.0,
         6400.0,
+        ReplacementPolicy::Slru,
         Quirks {
             l1_amount_unschedulable: true,
             ..Quirks::NONE

@@ -63,6 +63,14 @@ pub struct Quirks {
     /// needs a victim and a polluter pinned to specific SMs.
     #[serde(default)]
     pub no_co_residency: bool,
+    /// The environment cannot keep a measurement kernel's working set
+    /// resident long enough for access–reaccess eviction-order probes
+    /// (co-runners pollute the ways between the prime and the probe pass,
+    /// as in multi-tenant hostile deployments). The replacement-policy
+    /// discovery unit degrades to an honest "no result"; it never guesses
+    /// a policy from poisoned probe vectors.
+    #[serde(default)]
+    pub eviction_probe_unavailable: bool,
 }
 
 impl Quirks {
@@ -75,6 +83,7 @@ impl Quirks {
         cu_ids_unavailable: false,
         page_size_api_unavailable: false,
         no_co_residency: false,
+        eviction_probe_unavailable: false,
     };
 }
 
@@ -108,6 +117,7 @@ mod tests {
         assert!(!q.cu_ids_unavailable);
         assert!(!q.page_size_api_unavailable);
         assert!(!q.no_co_residency);
+        assert!(!q.eviction_probe_unavailable);
     }
 
     #[test]

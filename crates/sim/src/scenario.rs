@@ -11,7 +11,8 @@
 //! validated end-to-end against scenario-adjusted ground truth instead of
 //! being compared to the bare-metal chip it no longer resembles.
 
-use crate::device::{DeviceConfig, Vendor};
+use crate::cache::ReplacementPolicy;
+use crate::device::{CacheKind, DeviceConfig, Vendor};
 use crate::gpu::Gpu;
 use crate::mig::{mig_view, MigProfile};
 use crate::noise::NoiseModel;
@@ -156,6 +157,7 @@ impl Scenario {
                     cfg.name.push_str(HOSTILE_SUFFIX);
                 }
                 cfg.quirks = hostile_quirks(cfg.vendor, cfg.quirks, profile);
+                plant_hostile_policies(&mut cfg);
                 Ok(cfg)
             }
         }
@@ -188,6 +190,10 @@ impl Scenario {
 fn hostile_quirks(vendor: Vendor, base: Quirks, profile: &HostileProfile) -> Quirks {
     let mut q = base;
     q.no_co_residency = true;
+    // The same multi-tenant scheduler that breaks co-residency lets
+    // co-runners pollute a prime-probe working set, so eviction-order
+    // probes (replacement-policy discovery) degrade to honest no-results.
+    q.eviction_probe_unavailable = true;
     if profile.lock_down_apis {
         q.page_size_api_unavailable = true;
     }
@@ -204,6 +210,23 @@ fn hostile_quirks(vendor: Vendor, base: Quirks, profile: &HostileProfile) -> Qui
         }
     }
     q
+}
+
+/// Hostile deployments also swap replacement policies: the NVIDIA
+/// constant L1.5 runs in streaming/bypass mode (driver-side constant
+/// prefetch disabled), and the AMD L2 runs tree-PLRU. With
+/// `eviction_probe_unavailable` set the policy unit cannot *name* these
+/// levels' policies — the planting instead proves every other benchmark
+/// (sizes, latencies, line sizes) survives a non-LRU substrate.
+/// Idempotent: a level that already carries a policy entry keeps it.
+fn plant_hostile_policies(cfg: &mut DeviceConfig) {
+    let planted = match cfg.vendor {
+        Vendor::Nvidia => (CacheKind::ConstL15, ReplacementPolicy::Bypass),
+        Vendor::Amd => (CacheKind::L2, ReplacementPolicy::TreePlru),
+    };
+    if !cfg.policies.iter().any(|(k, _)| *k == planted.0) {
+        cfg.policies.push(planted);
+    }
 }
 
 /// Builds the hostile variant of a device — the `*-hostile` preset

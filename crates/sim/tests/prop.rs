@@ -155,3 +155,106 @@ proptest! {
         prop_assert!(res2.latency <= res.latency);
     }
 }
+
+// --- the replacement-policy zoo vs. its naive oracle ---
+
+use mt4g_sim::cache::reference::PolicyReferenceCache;
+use mt4g_sim::cache::ReplacementPolicy;
+use proptest::TestCaseError;
+
+/// Drives the packed engine and the naive per-policy oracle with the same
+/// stream and asserts hit/miss/eviction-for-eviction equivalence: the
+/// `Access` class of every step, probe results, counters, and the final
+/// line-for-line residency (which pins the *eviction choices*, not just
+/// the hit rate).
+fn assert_policy_engine_matches_oracle(
+    policy: ReplacementPolicy,
+    (size, line, sector): (u64, u64, u64),
+    ways_raw: u32,
+    addrs: &[(u64, u8)],
+    flush_every: usize,
+) -> Result<(), TestCaseError> {
+    let ways_sel = if ways_raw == 0 {
+        FULLY_ASSOCIATIVE
+    } else {
+        ways_raw
+    };
+    let mut engine = SectoredCache::new_with_policy(size, line, sector, ways_sel, policy);
+    let mut oracle = PolicyReferenceCache::new(size, line, sector, ways_sel, policy);
+    for (i, &(addr, realign)) in addrs.iter().enumerate() {
+        let a = if realign == 1 {
+            addr / sector * sector
+        } else {
+            addr
+        };
+        if i % flush_every == flush_every - 1 {
+            engine.flush();
+            oracle.flush();
+        }
+        let got = engine.access(a);
+        let want = oracle.access(a);
+        prop_assert_eq!(got, want, "step {} addr {} policy {}", i, a, policy);
+        prop_assert_eq!(engine.probe(a), oracle.probe(a), "probe {}", a);
+    }
+    prop_assert_eq!(engine.stats(), oracle.stats());
+    for l in 0..(1u64 << 14) / line {
+        prop_assert_eq!(
+            engine.probe(l * line),
+            oracle.probe(l * line),
+            "residency of line {} under {}",
+            l,
+            policy
+        );
+    }
+    Ok(())
+}
+
+/// One drawn policy-proptest case: geometry, ways selector, access
+/// stream, and flush point.
+type PolicyCase = ((u64, u64, u64), u32, Vec<(u64, u8)>, usize);
+
+/// Shared stream strategy for the policy proptests (same shape as
+/// `flat_store_matches_reference`).
+fn policy_stream() -> impl Strategy<Value = PolicyCase> {
+    (
+        geometry(),
+        0u32..8,
+        proptest::collection::vec((0u64..1 << 14, 0u8..2), 1..600),
+        50usize..200,
+    )
+}
+
+proptest! {
+    /// Exact LRU: the packed age engine (and timestamp fallback) is
+    /// behaviour-identical to the naive oracle — and through
+    /// `lru_arm_matches_the_frozen_oracle`, to the historical engine.
+    #[test]
+    fn packed_lru_matches_oracle((geo, ways, addrs, fl) in policy_stream()) {
+        assert_policy_engine_matches_oracle(ReplacementPolicy::Lru, geo, ways, &addrs, fl)?;
+    }
+
+    /// Tree-PLRU: packed node bits vs. the naive bool tree.
+    #[test]
+    fn tree_plru_matches_oracle((geo, ways, addrs, fl) in policy_stream()) {
+        assert_policy_engine_matches_oracle(ReplacementPolicy::TreePlru, geo, ways, &addrs, fl)?;
+    }
+
+    /// SLRU: intrusive segment lists / bitmask engine vs. stamp scans.
+    #[test]
+    fn slru_matches_oracle((geo, ways, addrs, fl) in policy_stream()) {
+        assert_policy_engine_matches_oracle(ReplacementPolicy::Slru, geo, ways, &addrs, fl)?;
+    }
+
+    /// Random: same geometry-seeded stream, same victim indices — the
+    /// in-place-replacement correspondence makes this exact.
+    #[test]
+    fn random_matches_oracle((geo, ways, addrs, fl) in policy_stream()) {
+        assert_policy_engine_matches_oracle(ReplacementPolicy::Random, geo, ways, &addrs, fl)?;
+    }
+
+    /// Bypass: full sets stop allocating in both implementations.
+    #[test]
+    fn bypass_matches_oracle((geo, ways, addrs, fl) in policy_stream()) {
+        assert_policy_engine_matches_oracle(ReplacementPolicy::Bypass, geo, ways, &addrs, fl)?;
+    }
+}

@@ -14,11 +14,13 @@
 //!   against MIG-scaled expectations (e.g. `visible_l2_bytes`), on NVIDIA
 //!   entries.
 //!
-//! Every cell also runs the TLB-reach and shared-L2 contention units
-//! (`measure_tlb` / `measure_contention`): reaches, entry counts, page
-//! sizes and walk penalties must match the planted translation hierarchy,
-//! contention peers must agree with the planted `l2_segment_of` mapping,
-//! and cells whose environment locks the subsystems down must degrade to
+//! Every cell also runs the TLB-reach, shared-L2 contention, and
+//! replacement-policy units (`measure_tlb` / `measure_contention` /
+//! `measure_policy`): reaches, entry counts, page sizes and walk
+//! penalties must match the planted translation hierarchy, contention
+//! peers must agree with the planted `l2_segment_of` mapping, classified
+//! replacement policies must name the planted per-level evictor, and
+//! cells whose environment locks the subsystems down must degrade to
 //! honest no-results (never wrong values).
 
 use mt4g::core::suite::{run_discovery, DiscoveryConfig};
@@ -87,6 +89,7 @@ fn every_preset_matches_its_planted_ground_truth_in_every_scenario() {
                 jobs: 1,
                 measure_tlb: true,
                 measure_contention: true,
+                measure_policy: true,
                 ..DiscoveryConfig::fast()
             };
             let report = run_discovery(&mut gpu, &dcfg);
@@ -114,6 +117,20 @@ fn every_preset_matches_its_planted_ground_truth_in_every_scenario() {
                 assert!(
                     report.contention[0].solo_latency_cycles.is_available(),
                     "{tag}: contention not measured"
+                );
+            }
+            assert_eq!(report.policy.len(), 1, "{tag}: policy row expected");
+            if quirks.eviction_probe_unavailable {
+                // Co-runner pollution: the probe must degrade to an honest
+                // no-result, never convict a neighbour's traffic.
+                assert!(
+                    !report.policy[0].policy.is_available(),
+                    "{tag}: policy verdict despite eviction_probe_unavailable"
+                );
+            } else {
+                assert!(
+                    report.policy[0].policy.is_available(),
+                    "{tag}: replacement policy not classified"
                 );
             }
 
