@@ -10,7 +10,22 @@
 //!     [--floor <path>=<min>]... \
 //!     [--require-true <path>]... \
 //!     [--require-zero <path>]...
+//!
+//! cargo run --release -p mt4g_bench --bin bench_gate -- \
+//!     --table <current.json> <BENCH_baseline.json>
 //! ```
+//!
+//! `--table` is the ratchet mode: instead of spelling every check on the
+//! command line, it reads the checked-in baseline table
+//! (`BENCH_baseline.json` at the workspace root), which holds one
+//! `best_ns_per_element` entry per hot-path workload — the best number
+//! ever recorded across the committed `BENCH_pr<N>.json` snapshots — plus
+//! a `floors` section of exact-value minimums (e.g. the policy
+//! fingerprint accuracy). Every workload in the table must be present in
+//! the current snapshot and within `max_regress` of its best-known time.
+//! Workload names are looked up as literal keys (they contain `.` and
+//! `/`), not dot-paths. Improving a number means tightening the table in
+//! the same PR; the gate never loosens itself.
 //!
 //! Check kinds, chosen so the gate only trips on *real* regressions:
 //!
@@ -143,9 +158,93 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_gate <current.json> <baseline.json> [--max-regress F] \
          [--metric path[:higher|lower]]... [--floor path=min]... \
-         [--require-true path]... [--require-zero path]..."
+         [--require-true path]... [--require-zero path]...\n\
+         \x20      bench_gate --table <current.json> <BENCH_baseline.json>"
     );
     exit(2);
+}
+
+/// Ratchet mode: every workload of the checked-in baseline table must be
+/// present in the current snapshot and within `max_regress` of its
+/// best-known ns/element; every `floors` entry must hold exactly.
+fn run_table(current_path: &str, table_path: &str) -> ! {
+    let current = read_snapshot(current_path);
+    let table = read_snapshot(table_path);
+    let max_regress = table
+        .get("max_regress")
+        .and_then(as_f64)
+        .unwrap_or_else(|| {
+            eprintln!("bench_gate: {table_path} has no numeric max_regress");
+            exit(2);
+        });
+    let mut failures: Vec<String> = Vec::new();
+    let mut passed = 0u32;
+
+    let Some(JsonValue::Object(workloads)) = table.get("workloads") else {
+        eprintln!("bench_gate: {table_path} has no workloads object");
+        exit(2);
+    };
+    for (name, entry) in workloads {
+        let Some(best) = entry.get("best_ns_per_element").and_then(as_f64) else {
+            failures.push(format!("{name}: table entry has no best_ns_per_element"));
+            continue;
+        };
+        // Per-workload slack override: p-chase style workloads vary far
+        // more run-to-run than the tight cache loops, so the table can
+        // widen their window without loosening everything.
+        let max_regress = entry
+            .get("max_regress")
+            .and_then(as_f64)
+            .unwrap_or(max_regress);
+        // Workload names contain '.' and '/', so the snapshot key is
+        // looked up literally, never dot-split.
+        let Some(cur) = current.get(name).and_then(|e| {
+            e.get("ns_per_element")
+                .or_else(|| e.get("ms"))
+                .and_then(as_f64)
+        }) else {
+            failures.push(format!("{name}: missing from current snapshot"));
+            continue;
+        };
+        let regress = (cur - best) / best;
+        if regress > max_regress {
+            failures.push(format!(
+                "{name}: {cur:.2} regressed {:.1}% vs best-known {best:.2} (limit {:.0}%)",
+                regress * 100.0,
+                max_regress * 100.0
+            ));
+        } else {
+            passed += 1;
+        }
+    }
+
+    if let Some(JsonValue::Object(floors)) = table.get("floors") {
+        for (path, min) in floors {
+            let Some(min) = as_f64(min) else {
+                failures.push(format!("{path}: non-numeric floor in table"));
+                continue;
+            };
+            match lookup(&current, path).and_then(as_f64) {
+                Some(cur) if cur >= min => passed += 1,
+                Some(cur) => failures.push(format!("{path}: {cur} is below the floor {min}")),
+                None => failures.push(format!("{path}: missing from current snapshot")),
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: {passed} check(s) passed against table {table_path}");
+        exit(0);
+    }
+    for f in &failures {
+        eprintln!("bench_gate: FAIL {f}");
+    }
+    eprintln!(
+        "bench_gate: {} of {} check(s) failed",
+        failures.len(),
+        failures.len() + passed as usize
+    );
+    exit(1);
 }
 
 fn read_snapshot(path: &str) -> JsonValue {
@@ -161,6 +260,12 @@ fn read_snapshot(path: &str) -> JsonValue {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "--table") {
+        if argv.len() != 3 {
+            usage();
+        }
+        run_table(&argv[1], &argv[2]);
+    }
     if argv.len() < 2 {
         usage();
     }

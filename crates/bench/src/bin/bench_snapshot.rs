@@ -20,6 +20,7 @@ use std::time::Instant;
 use mt4g_core::benchmarks::policy::{self, PolicyConfig, PolicyOutcome};
 use mt4g_core::pchase::{run_pchase_with_overhead, PchaseConfig};
 use mt4g_core::serve::{CacheKey, ResultCache};
+use mt4g_core::suite::{execute_plan, DiscoveryConfig, DiscoveryPlan};
 use mt4g_sim::cache::{SectoredCache, FULLY_ASSOCIATIVE};
 use mt4g_sim::device::{CacheKind, LoadFlags, MemorySpace, Vendor};
 use mt4g_sim::gpu::Gpu;
@@ -81,6 +82,44 @@ fn pchase_workloads(out: &mut Vec<(String, f64)>) {
             run.latencies.len() as u64
         });
         out.push((format!("pchase_run/warm_l1_path/{label}"), ns));
+    }
+}
+
+/// End-to-end suite wall clock: a fast-mode discovery run over a fixed
+/// preset mix (one Table II preset per vendor), plus per-unit phase
+/// timings from [`mt4g_core::suite::UnitResult::wall_nanos`]. This is the
+/// number users actually feel; entries are milliseconds, not ns/element,
+/// and are recorded/uploaded rather than floored — total suite time
+/// depends on the runner's core count in a way per-element loops don't.
+fn suite_wallclock(out: &mut Vec<(String, f64)>) {
+    type PresetCtor = fn() -> Gpu;
+    let mix: [(&str, PresetCtor); 2] = [("t1000", presets::t1000), ("mi210", presets::mi210)];
+    for (label, ctor) in mix {
+        let gpu = ctor();
+        let cfg = DiscoveryConfig::fast();
+        let plan = DiscoveryPlan::new(&gpu, &cfg);
+        let all: Vec<usize> = (0..plan.len()).collect();
+        let mut best_ms = f64::INFINITY;
+        let mut best_units: Vec<(String, u64)> = Vec::new();
+        for _ in 0..3 {
+            let t = Instant::now();
+            let results = execute_plan(&gpu, &cfg, &plan, &all, 0);
+            let ms = t.elapsed().as_nanos() as f64 / 1e6;
+            if ms < best_ms {
+                best_ms = ms;
+                best_units = results
+                    .iter()
+                    .map(|r| (r.label.clone(), r.wall_nanos))
+                    .collect();
+            }
+        }
+        out.push((format!("suite_wallclock/{label}/total"), best_ms));
+        for (unit, nanos) in best_units {
+            out.push((
+                format!("suite_wallclock/{label}/unit/{unit}"),
+                nanos as f64 / 1e6,
+            ));
+        }
     }
 }
 
@@ -154,18 +193,22 @@ fn policy_fingerprint() -> (usize, usize) {
     (correct, 5)
 }
 
-/// Pulls `"name": { "ns_per_element": N ... }` out of a previous
-/// snapshot. Line-oriented on purpose: this bin has no JSON dependency
-/// and only ever reads its own output format.
-fn baseline_ns(baseline: &str, name: &str) -> Option<f64> {
+/// Pulls `"name": { "<key>": N ... }` out of a previous snapshot.
+/// Line-oriented on purpose: this bin has no JSON dependency and only
+/// ever reads its own output format.
+fn baseline_val(baseline: &str, name: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{name}\"");
     let line = baseline.lines().find(|l| l.contains(&needle))?;
-    let rest = line.split("\"ns_per_element\":").nth(1)?;
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
     rest.trim_start()
         .split(|c: char| !(c.is_ascii_digit() || c == '.'))
         .next()?
         .parse()
         .ok()
+}
+
+fn baseline_ns(baseline: &str, name: &str) -> Option<f64> {
+    baseline_val(baseline, name, "ns_per_element")
 }
 
 fn main() {
@@ -177,6 +220,8 @@ fn main() {
     cache_workloads(&mut results);
     pchase_workloads(&mut results);
     serve_workloads(&mut results);
+    let mut suite: Vec<(String, f64)> = Vec::new();
+    suite_wallclock(&mut suite);
 
     let mut json = String::from("{\n");
     for (name, ns) in results.iter() {
@@ -194,6 +239,22 @@ fn main() {
             "  \"{name}\": {{ \"ns_per_element\": {ns:.2}{extra} }},\n"
         ));
         eprintln!("{name}: {ns:.2} ns/elem{extra}");
+    }
+    for (name, ms) in suite.iter() {
+        let extra = baseline
+            .as_deref()
+            .and_then(|b| baseline_val(b, name, "ms"))
+            .map(|base| {
+                format!(
+                    ", \"baseline_ms\": {base:.3}, \"speedup\": {:.2}",
+                    base / ms
+                )
+            })
+            .unwrap_or_default();
+        json.push_str(&format!("  \"{name}\": {{ \"ms\": {ms:.3}{extra} }},\n"));
+        if name.ends_with("/total") {
+            eprintln!("{name}: {ms:.3} ms{extra}");
+        }
     }
     let (correct, cells) = policy_fingerprint();
     let accuracy = correct as f64 / cells as f64;

@@ -27,6 +27,8 @@
 //! * `--policy` — also classify the first-level data cache's replacement
 //!   policy via eviction-order probes (adds a `policy` report section)
 //! * `--debug` — trace boundary-confirmation walks to stderr
+//! * `--timings` — append per-unit host wall-clock lines to stderr; the
+//!   canonical report bytes are unaffected
 //! * `--scenario <S>` — deployment scenario: `bare-metal` (default),
 //!   `mig:<profile>` (run the suite *inside* a MIG instance, e.g.
 //!   `mig:2g.10gb`), or `hostile` (amplified noise, locked-down APIs)
@@ -81,6 +83,7 @@ struct Args {
     contention: bool,
     policy: bool,
     debug: bool,
+    timings: bool,
     scenario: Scenario,
     jobs: usize,
     shard: Option<(usize, usize)>,
@@ -124,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
         contention: false,
         policy: false,
         debug: false,
+        timings: false,
         scenario: Scenario::BareMetal,
         jobs: 0,
         shard: None,
@@ -171,6 +175,7 @@ fn parse_args() -> Result<Args, String> {
             "--contention" => args.contention = true,
             "--policy" => args.policy = true,
             "--debug" => args.debug = true,
+            "--timings" => args.timings = true,
             "--list" => args.list = true,
             "--gpu" => args.gpu = Some(it.next().ok_or("--gpu needs a value")?),
             "--only" => args.only = Some(it.next().ok_or("--only needs a value")?),
@@ -230,6 +235,7 @@ fn print_help() {
         "mt4g — auto-discovery of GPU compute and memory topologies (simulated substrate)\n\n\
          USAGE: mt4g --gpu <PRESET> [--scenario <SCENARIO>] [-j] [-p] [-c] [-g] [-q]\n\
          \x20             [--only <ELEMENT>] [--fast] [--tlb] [--contention] [--policy] [--debug]\n\
+         \x20             [--timings]\n\
          \x20             [--jobs N] [--shard i/n] [-o <DIR>]\n\
          \x20      mt4g merge <PARTIAL.json>... [-j] [-p] [-c] [-q] [-o <DIR>]\n\
          \x20      mt4g serve [--workers N] [--queue-cap N] [--cache-cap N] [-q]\n\
@@ -245,6 +251,7 @@ fn print_help() {
          --contention also measure shared-L2 contention (same vs cross segment)\n\
          --policy     also classify the L1/vL1 replacement policy (eviction-order probes)\n\
          --debug      trace boundary-confirmation walks to stderr\n\
+         --timings    append per-unit wall-clock lines to stderr (never the report)\n\
          --jobs N     run up to N discovery units in parallel (0 = all cores; default)\n\
          --shard i/n  run shard i of an n-way split, emit a mergeable partial report\n\
          merge        reassemble a complete set of partial reports into the full report\n\
@@ -334,6 +341,7 @@ fn main() {
     cfg.measure_contention = args.contention;
     cfg.measure_policy = args.policy;
     cfg.debug = args.debug;
+    cfg.timings = args.timings;
     if let Some(only) = args.only.as_deref() {
         match parse_element(only) {
             Some(kind) => cfg.only = Some(vec![kind]),

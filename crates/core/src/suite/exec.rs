@@ -47,6 +47,12 @@ pub struct UnitResult {
     /// Replacement-policy rows this unit produced.
     #[serde(default)]
     pub policy: Vec<PolicyReport>,
+    /// Host wall-clock the unit took to execute, in nanoseconds.
+    /// `#[serde(skip)]` — host timing is machine-dependent and must never
+    /// enter the canonical partial/report bytes; it only feeds the
+    /// `--timings` stderr trace and the `suite_wallclock` bench phases.
+    #[serde(skip)]
+    pub wall_nanos: u64,
     /// Benchmark instances executed (Sec. V-A accounting).
     pub benchmarks_run: u32,
     /// Kernels launched on the unit's forked GPU.
@@ -95,7 +101,7 @@ pub fn execute_plan(
 
     let mut inputs: MeasuredInputs = MeasuredInputs::new();
     let mut done: BTreeSet<usize> = BTreeSet::new();
-    let mut outputs: BTreeMap<usize, UnitOutput> = BTreeMap::new();
+    let mut outputs: BTreeMap<usize, (UnitOutput, u64)> = BTreeMap::new();
 
     while done.len() < needed.len() {
         let wave: Vec<usize> = needed
@@ -108,28 +114,44 @@ pub fn execute_plan(
         assert!(!wave.is_empty(), "discovery plan has a dependency cycle");
 
         let inputs_ref = &inputs;
-        let wave_outputs: Vec<(usize, UnitOutput)> = pool.install(|| {
+        let wave_outputs: Vec<(usize, UnitOutput, u64)> = pool.install(|| {
             wave.into_par_iter()
                 .map(|id| {
                     let unit = &plan.units()[id];
-                    (id, run_unit(gpu, cfg, unit.kind, unit.stream(), inputs_ref))
+                    let t0 = std::time::Instant::now();
+                    let output = run_unit(gpu, cfg, unit.kind, unit.stream(), inputs_ref);
+                    (id, output, t0.elapsed().as_nanos() as u64)
                 })
                 .collect()
         });
 
-        for (id, output) in wave_outputs {
+        for (id, output, nanos) in wave_outputs {
             for &(kind, m) in &output.measured {
                 inputs.insert(kind, m);
             }
             done.insert(id);
-            outputs.insert(id, output);
+            outputs.insert(id, (output, nanos));
         }
+    }
+
+    // Per-unit wall clock on stderr, in deterministic unit-id order (the
+    // values themselves are host-dependent; the report bytes never are).
+    if cfg.timings {
+        let total: u64 = outputs.values().map(|(_, nanos)| nanos).sum();
+        for (id, (_, nanos)) in &outputs {
+            eprintln!(
+                "timing {label}: {ms:.3} ms",
+                label = plan.units()[*id].label,
+                ms = *nanos as f64 / 1e6,
+            );
+        }
+        eprintln!("timing total: {ms:.3} ms", ms = total as f64 / 1e6);
     }
 
     outputs
         .into_iter()
         .filter(|(id, _)| emit.contains(id))
-        .map(|(id, output)| UnitResult {
+        .map(|(id, (output, wall_nanos))| UnitResult {
             unit: id,
             label: plan.units()[id].label.clone(),
             elements: output.elements,
@@ -137,6 +159,7 @@ pub fn execute_plan(
             tlb: output.tlb,
             contention: output.contention,
             policy: output.policy,
+            wall_nanos,
             benchmarks_run: output.benchmarks_run,
             kernels_launched: output.stats.kernels_launched,
             loads_executed: output.stats.loads_executed,

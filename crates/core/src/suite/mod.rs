@@ -85,6 +85,10 @@ pub struct DiscoveryConfig {
     /// Purely diagnostic: it never changes a measurement, so it stays out
     /// of the plan fingerprint.
     pub debug: bool,
+    /// Append per-unit host wall-clock lines to stderr (CLI `--timings`).
+    /// Like [`Self::debug`], purely diagnostic: host timing never enters
+    /// the report bytes, so it stays out of the plan fingerprint too.
+    pub timings: bool,
     /// Worker threads for independent discovery units (CLI `--jobs`;
     /// `0` = all available cores). Any value produces the same report —
     /// parallelism only changes wall-clock time.
@@ -105,6 +109,7 @@ impl Default for DiscoveryConfig {
             measure_contention: false,
             measure_policy: false,
             debug: false,
+            timings: false,
             jobs: 0,
         }
     }

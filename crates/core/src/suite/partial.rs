@@ -61,7 +61,13 @@ pub fn run_shard(
 ) -> PartialReport {
     let plan = DiscoveryPlan::new(gpu, cfg);
     let selection = plan.shard(index, count);
-    let results = execute_plan(gpu, cfg, &plan, &selection, cfg.jobs);
+    let mut results = execute_plan(gpu, cfg, &plan, &selection, cfg.jobs);
+    // Host wall-clock is `#[serde(skip)]` — it would vanish on the trip
+    // through the partial bytes anyway. Zero it here so a PartialReport
+    // equals its own parse (the round-trip invariant the merge tests pin).
+    for r in &mut results {
+        r.wall_nanos = 0;
+    }
     let (device, compute) = report_header(gpu);
     PartialReport {
         format: PARTIAL_FORMAT,

@@ -106,6 +106,58 @@ fn fast_discovery_smoke_emits_l1_json() {
     assert_eq!(stdout, run(), "two identical runs must emit identical JSON");
 }
 
+/// `--timings` is purely diagnostic: it must append per-unit wall-clock
+/// lines (and a total) to stderr while leaving the report bytes on
+/// stdout identical to a run without the flag. Host timing values are
+/// machine-dependent, so only the line *shape* is asserted.
+#[test]
+fn timings_flag_traces_stderr_without_changing_report_bytes() {
+    let run = |extra: &[&str]| {
+        let out = mt4g()
+            .args(["--gpu", "T1000", "--fast", "-q"])
+            .args(extra)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(out.stdout).expect("utf-8 stdout"),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (plain_stdout, plain_stderr) = run(&[]);
+    let (timed_stdout, timed_stderr) = run(&["--timings"]);
+    assert_eq!(
+        plain_stdout, timed_stdout,
+        "--timings must never change the report bytes"
+    );
+    assert!(
+        !plain_stderr.contains("timing "),
+        "no timing lines without the flag"
+    );
+    let timing_lines: Vec<&str> = timed_stderr
+        .lines()
+        .filter(|l| l.starts_with("timing "))
+        .collect();
+    assert!(
+        timing_lines.len() > 2,
+        "expected per-unit timing lines, got: {timed_stderr}"
+    );
+    assert!(
+        timing_lines.iter().any(|l| l.contains("nv.l1")),
+        "per-unit lines must name the units: {timing_lines:?}"
+    );
+    assert!(
+        timing_lines
+            .last()
+            .is_some_and(|l| l.starts_with("timing total:")),
+        "last timing line is the total: {timing_lines:?}"
+    );
+}
+
 /// The new-preset golden alongside the T1000 one: a full fast B200
 /// discovery must print one parseable JSON report whose L1 row carries
 /// the planted Blackwell geometry, byte-identically across invocations.

@@ -237,6 +237,15 @@ struct FlatLru {
     head: u32,
     /// Most-recently-used slot, `NIL` when empty.
     tail: u32,
+    /// MRU line filter, mirroring [`SetAssoc`]'s: the line address and
+    /// arena slot of the last access. A repeat access to the MRU line is
+    /// already at the recency tail, so the hash probe and list surgery
+    /// can be skipped entirely — the common case for sector-sequential
+    /// chase patterns, which touch every line `sectors_per_line` times in
+    /// a row. The slot's own tag is re-verified, so a recycled slot falls
+    /// through to the full path. `EMPTY_TAG` = invalid.
+    mru_line: u64,
+    mru_slot: u32,
 }
 
 impl FlatLru {
@@ -247,7 +256,50 @@ impl FlatLru {
             slots: Vec::new(),
             head: NIL,
             tail: NIL,
+            mru_line: EMPTY_TAG,
+            mru_slot: 0,
         }
+    }
+
+    /// One access: MRU-line fast path, then the full probe path.
+    ///
+    /// The fast path is a recency no-op by construction — `mru_line` is
+    /// only ever the line of the immediately preceding access, whose slot
+    /// `access_cold` left at the recency tail; `touch` on the tail slot
+    /// changes nothing but `last_use`, which is all the fast path writes.
+    #[inline]
+    fn access(&mut self, line_addr: u64, sector_bit: u64, tick: u64) -> Access {
+        if line_addr == self.mru_line {
+            if let Some(s) = self.slots.get_mut(self.mru_slot as usize) {
+                if s.tag == line_addr {
+                    s.last_use = tick;
+                    let had = s.valid_sectors & sector_bit != 0;
+                    s.valid_sectors |= sector_bit;
+                    return if had { Access::Hit } else { Access::SectorMiss };
+                }
+            }
+        }
+        self.access_cold(line_addr, sector_bit, tick)
+    }
+
+    /// The full probe path: hash lookup, recency promotion, allocation.
+    fn access_cold(&mut self, line_addr: u64, sector_bit: u64, tick: u64) -> Access {
+        let result = if let Some(slot) = self.find(line_addr) {
+            self.touch(slot, tick);
+            self.mru_slot = slot;
+            let s = &mut self.slots[slot as usize];
+            if s.valid_sectors & sector_bit != 0 {
+                Access::Hit
+            } else {
+                s.valid_sectors |= sector_bit;
+                Access::SectorMiss
+            }
+        } else {
+            self.mru_slot = self.allocate(line_addr, sector_bit, tick);
+            Access::LineMiss
+        };
+        self.mru_line = line_addr;
+        result
     }
 
     #[inline]
@@ -333,6 +385,7 @@ impl FlatLru {
         self.slots.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.mru_line = EMPTY_TAG;
     }
 }
 
@@ -1004,6 +1057,13 @@ struct FaPolicyStore {
     index: LineIndex,
     slots: Vec<FaSlot>,
     state: FaState,
+    /// MRU line filter. Unlike [`FlatLru`]'s, this one only short-circuits
+    /// the hash probe — the policy `touch` still runs, because a repeat
+    /// touch is *not* a recency no-op for every policy (SLRU promotes a
+    /// probation line to protected on its second touch). The slot tag is
+    /// re-verified, so in-place eviction recycling falls through safely.
+    mru_line: u64,
+    mru_slot: u32,
 }
 
 impl FaPolicyStore {
@@ -1032,6 +1092,8 @@ impl FaPolicyStore {
             index: LineIndex::new(),
             slots: Vec::new(),
             state,
+            mru_line: EMPTY_TAG,
+            mru_slot: 0,
         }
     }
 
@@ -1089,9 +1151,29 @@ impl FaPolicyStore {
         }
     }
 
+    /// One access: MRU-line probe skip, then the full path.
+    #[inline]
     fn access(&mut self, line_addr: u64, sector_bit: u64) -> Access {
+        if line_addr == self.mru_line {
+            if let Some(s) = self.slots.get(self.mru_slot as usize) {
+                if s.tag == line_addr {
+                    let slot = self.mru_slot;
+                    self.touch(slot);
+                    let s = &mut self.slots[slot as usize];
+                    let had = s.valid_sectors & sector_bit != 0;
+                    s.valid_sectors |= sector_bit;
+                    return if had { Access::Hit } else { Access::SectorMiss };
+                }
+            }
+        }
+        self.access_cold(line_addr, sector_bit)
+    }
+
+    fn access_cold(&mut self, line_addr: u64, sector_bit: u64) -> Access {
         if let Some(slot) = self.index.find(&self.slots, line_addr) {
             self.touch(slot);
+            self.mru_line = line_addr;
+            self.mru_slot = slot;
             let s = &mut self.slots[slot as usize];
             if s.valid_sectors & sector_bit != 0 {
                 Access::Hit
@@ -1111,6 +1193,8 @@ impl FaPolicyStore {
             });
             self.index.insert(line_addr, slot);
             self.on_fill(slot);
+            self.mru_line = line_addr;
+            self.mru_slot = slot;
             Access::LineMiss
         } else {
             let victim = match &mut self.state {
@@ -1150,6 +1234,8 @@ impl FaPolicyStore {
             s.valid_sectors = sector_bit;
             self.index.insert(line_addr, victim);
             self.on_fill(victim);
+            self.mru_line = line_addr;
+            self.mru_slot = victim;
             Access::LineMiss
         }
     }
@@ -1164,6 +1250,7 @@ impl FaPolicyStore {
     fn flush(&mut self) {
         self.index.clear();
         self.slots.clear();
+        self.mru_line = EMPTY_TAG;
         match &mut self.state {
             FaState::Plru { bits, .. } => bits.iter_mut().for_each(|b| *b = 0),
             FaState::Slru {
@@ -1383,21 +1470,7 @@ impl SectoredCache {
 
         let result = match &mut self.org {
             Organization::SetAssociative(sa) => sa.access(line_addr, sector_bit, tick),
-            Organization::FullyAssociative(fa) => {
-                if let Some(slot) = fa.find(line_addr) {
-                    fa.touch(slot, tick);
-                    let s = &mut fa.slots[slot as usize];
-                    if s.valid_sectors & sector_bit != 0 {
-                        Access::Hit
-                    } else {
-                        s.valid_sectors |= sector_bit;
-                        Access::SectorMiss
-                    }
-                } else {
-                    fa.allocate(line_addr, sector_bit, tick);
-                    Access::LineMiss
-                }
-            }
+            Organization::FullyAssociative(fa) => fa.access(line_addr, sector_bit, tick),
             Organization::FullyAssociativePolicy(fa) => fa.access(line_addr, sector_bit),
         };
         let hit = result.is_hit() as u64;

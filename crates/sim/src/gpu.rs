@@ -14,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::device::{DeviceConfig, LoadFlags, MemorySpace, Vendor, CONSTANT_ARRAY_LIMIT};
 use crate::hierarchy::{LoadResolution, MemorySubsystem};
 use crate::isa::{Instr, Kernel};
-use crate::noise::NoiseModel;
+use crate::noise::{NoiseDraw, NoiseModel};
 
 /// Handle to a device buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +42,11 @@ impl Buffer {
 const ALU_COST: u64 = 1;
 /// Cycle cost of a shared-memory store inside the timed step.
 const STORE_SHARED_COST: u64 = 2;
+
+/// Noise draws pre-drawn per batch chunk in the native p-chase loops (see
+/// [`Gpu::pchase_exec`]). Sized to keep the scratch array in L1 while
+/// amortising the chunk-loop overhead.
+const NOISE_CHUNK: usize = 128;
 
 /// Outcome of one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -298,6 +303,39 @@ impl Gpu {
         0 // unmapped reads return zero, like a zero page
     }
 
+    /// [`Self::read_mem`] with a pre-resolved buffer index: the p-chase
+    /// ring never leaves the buffer containing its base, so the linear
+    /// buffer scan is paid once per batch instead of once per element.
+    /// Buffers are disjoint (monotonic page-aligned bases), so probing
+    /// the hinted buffer first returns exactly what the scan would; any
+    /// address outside it falls back to the scan.
+    #[inline]
+    fn read_mem_hint(&self, hint: usize, addr: u64) -> u32 {
+        if let Some(buf) = self.buffers.get(hint) {
+            let end = buf.base + buf.len_bytes();
+            if addr >= buf.base && addr + 4 <= end {
+                let off = addr - buf.base;
+                return if buf.bytes_per_word == 4 {
+                    buf.data[(off / 4) as usize]
+                } else if off.is_multiple_of(buf.bytes_per_word) {
+                    buf.data[(off / buf.bytes_per_word) as usize]
+                } else {
+                    0
+                };
+            }
+        }
+        self.read_mem(addr)
+    }
+
+    /// Index of the buffer containing `addr` (`usize::MAX` when unmapped —
+    /// [`Self::read_mem_hint`] then degrades to the plain scan).
+    fn buffer_index_of(&self, addr: u64) -> usize {
+        self.buffers
+            .iter()
+            .position(|b| addr >= b.base && addr + 4 <= b.base + b.len_bytes())
+            .unwrap_or(usize::MAX)
+    }
+
     /// Invalidates all caches (a new benchmark's pristine state).
     pub fn flush_caches(&mut self) {
         self.mem.flush_all();
@@ -410,31 +448,63 @@ impl Gpu {
             0
         };
 
+        // The chase ring never leaves the buffer holding its base; resolve
+        // the buffer scan once per batch.
+        let hint = self.buffer_index_of(batch.base);
+        // Noise draws are batched in chunks ahead of the loads. The loads
+        // never consume RNG and the draws never depend on a latency, so
+        // the RNG stream is draw-for-draw identical to the historical
+        // interleaved order (pinned by the interpreter-lockstep tests).
+        let noise = self.noise;
+        let silent = noise.is_silent();
+        let mut draws = [NoiseDraw::default(); NOISE_CHUNK];
+
         let mut records = Vec::with_capacity(max_records.min(4096));
         let mut addr = batch.base;
         // Warm-up pass: Load + MulImm + Add + BranchDecNz per element.
-        for _ in 0..warm_steps {
-            let res = self.mem.load(sm, core, batch.space, batch.flags, addr);
-            let lat = self.noise.sample(&mut self.rng, res.latency);
-            self.cycle += lat as u64 + 3 * ALU_COST;
-            self.stats.loads_executed += 1;
-            let idx = self.read_mem(addr) as u64;
-            addr = batch.base + idx * batch.elem_bytes;
+        let mut remaining = warm_steps;
+        while remaining > 0 {
+            let k = remaining.min(NOISE_CHUNK as u64) as usize;
+            if !silent {
+                for d in &mut draws[..k] {
+                    *d = noise.draw(&mut self.rng);
+                }
+            }
+            for d in &draws[..k] {
+                let res = self.mem.load(sm, core, batch.space, batch.flags, addr);
+                let lat = noise.apply(res.latency, *d);
+                self.cycle += lat as u64 + 3 * ALU_COST;
+                let idx = self.read_mem_hint(hint, addr) as u64;
+                addr = batch.base + idx * batch.elem_bytes;
+            }
+            self.stats.loads_executed += k as u64;
+            remaining -= k as u64;
         }
         // Timed pass, restarting from element 0: per step
         // [fences;] clock; load; store/fences; clock; sub; record; mul; add;
         // branch — the recorded value is `latency + store cost + overhead`.
         addr = batch.base;
-        for _ in 0..timed_steps {
-            let res = self.mem.load(sm, core, batch.space, batch.flags, addr);
-            let lat = self.noise.sample(&mut self.rng, res.latency);
-            self.cycle += pre_fences + 2 * overhead + lat as u64 + STORE_SHARED_COST + 4 * ALU_COST;
-            self.stats.loads_executed += 1;
-            if records.len() < max_records {
-                records.push((lat as u64 + STORE_SHARED_COST + overhead) as u32);
+        let mut remaining = timed_steps;
+        while remaining > 0 {
+            let k = remaining.min(NOISE_CHUNK as u64) as usize;
+            if !silent {
+                for d in &mut draws[..k] {
+                    *d = noise.draw(&mut self.rng);
+                }
             }
-            let idx = self.read_mem(addr) as u64;
-            addr = batch.base + idx * batch.elem_bytes;
+            for d in &draws[..k] {
+                let res = self.mem.load(sm, core, batch.space, batch.flags, addr);
+                let lat = noise.apply(res.latency, *d);
+                self.cycle +=
+                    pre_fences + 2 * overhead + lat as u64 + STORE_SHARED_COST + 4 * ALU_COST;
+                if records.len() < max_records {
+                    records.push((lat as u64 + STORE_SHARED_COST + overhead) as u32);
+                }
+                let idx = self.read_mem_hint(hint, addr) as u64;
+                addr = batch.base + idx * batch.elem_bytes;
+            }
+            self.stats.loads_executed += k as u64;
+            remaining -= k as u64;
         }
         let cycles = self.cycle - start_cycle;
         self.stats.total_cycles += cycles;
@@ -806,6 +876,22 @@ mod tests {
         assert_batch_matches_interpreter(&gpu, MemorySpace::Vector, LoadFlags::CACHE_ALL);
         assert_batch_matches_interpreter(&gpu, MemorySpace::Vector, LoadFlags::CACHE_GLOBAL);
         assert_batch_matches_interpreter(&gpu, MemorySpace::Scalar, LoadFlags::CACHE_ALL);
+    }
+
+    /// The batched executor pre-draws noise in chunks; the interpreter
+    /// draws per load. They must stay in RNG lockstep under every noise
+    /// model — including HOSTILE (both the jitter and outlier draws are
+    /// live) and NONE (the silent fast path must consume *no* RNG).
+    #[test]
+    fn pchase_batch_matches_interpreter_under_every_noise_model() {
+        for noise in [NoiseModel::DEFAULT, NoiseModel::HOSTILE, NoiseModel::NONE] {
+            let mut nv = Gpu::new(presets::h100_80().config);
+            nv.set_noise(noise);
+            assert_batch_matches_interpreter(&nv, MemorySpace::Global, LoadFlags::CACHE_ALL);
+            let mut amd = Gpu::new(presets::mi210().config);
+            amd.set_noise(noise);
+            assert_batch_matches_interpreter(&amd, MemorySpace::Vector, LoadFlags::CACHE_ALL);
+        }
     }
 
     #[test]

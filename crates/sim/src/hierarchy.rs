@@ -17,6 +17,13 @@ use crate::cache::SectoredCache;
 use crate::device::{CacheKind, CacheSpec, DeviceConfig, LoadFlags, MemorySpace, Vendor};
 use crate::tlb::{Tlb, TlbAccess, TlbSpec};
 
+/// Sentinel for [`MemorySubsystem::tlb_page_shift`]: page size is not a
+/// power of two, compute page numbers by division.
+const NO_PAGE_SHIFT: u32 = u32::MAX;
+
+/// Invalid [`MemorySubsystem::tlb_memo`] (no SM has index `u32::MAX`).
+const NO_TLB_MEMO: (u32, u64) = (u32::MAX, u64::MAX);
+
 /// Where a load was resolved, and at what cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadResolution {
@@ -124,6 +131,19 @@ pub struct MemorySubsystem {
     /// flags) and the walk penalty is added per load on top of whatever
     /// level serviced it.
     tlb_spec: Option<TlbSpec>,
+    /// `log2(page_bytes)` when the page size is a power of two (it is for
+    /// every preset: 2 MiB driver large pages), else [`NO_PAGE_SHIFT`] and
+    /// the page number falls back to a division.
+    tlb_page_shift: u32,
+    /// Single-entry `(sm, page)` translation memo: a p-chase loop over a
+    /// sparse `alloc_strided` buffer touches one page, so after the first
+    /// load the whole TLB walk is a foregone conclusion. A repeat
+    /// translation of the same page from the same SM is exactly the
+    /// [`Tlb`] `last_page` fast path — an L1-TLB hit with zero state
+    /// change anywhere (the L2 TLB is never consulted on an L1 hit) and
+    /// zero penalty — so skipping it is behaviour-identical. Any other
+    /// `(sm, page)` overwrites the memo; [`Self::flush_all`] invalidates.
+    tlb_memo: (u32, u64),
     l1_tlb: Vec<Tlb>,
     l2_tlb: Option<Tlb>,
 
@@ -237,6 +257,9 @@ impl MemorySubsystem {
         let l3 = l3_spec.map(|s| make(&s, CacheKind::L3));
 
         let tlb_spec = config.tlb;
+        let tlb_page_shift = tlb_spec
+            .and_then(|t| t.page_shift())
+            .unwrap_or(NO_PAGE_SHIFT);
         let l1_tlb = tlb_spec
             .map(|t| (0..num_sms).map(|_| Tlb::new(&t.l1)).collect())
             .unwrap_or_default();
@@ -272,6 +295,8 @@ impl MemorySubsystem {
             scratch_latency: config.scratchpad.load_latency,
             dram_latency: config.dram.load_latency,
             tlb_spec,
+            tlb_page_shift,
+            tlb_memo: NO_TLB_MEMO,
             l1_tlb,
             l2_tlb,
             route_memo: None,
@@ -301,6 +326,7 @@ impl MemorySubsystem {
     /// so holding state across it buys nothing).
     pub fn flush_all(&mut self) {
         self.route_memo = None;
+        self.tlb_memo = NO_TLB_MEMO;
         for c in self
             .l1
             .iter_mut()
@@ -335,7 +361,17 @@ impl MemorySubsystem {
     #[inline]
     fn translate(&mut self, sm: usize, addr: u64) -> u32 {
         let Some(spec) = self.tlb_spec else { return 0 };
-        let page = addr / spec.page_bytes;
+        let page = if self.tlb_page_shift != NO_PAGE_SHIFT {
+            addr >> self.tlb_page_shift
+        } else {
+            addr / spec.page_bytes
+        };
+        // Repeat (sm, page): the `last_page` L1-TLB hit, memoized (see the
+        // field doc for why this is state-identical to taking the walk).
+        if self.tlb_memo == (sm as u32, page) {
+            return 0;
+        }
+        self.tlb_memo = (sm as u32, page);
         let l1_outcome = self.l1_tlb[sm].access(page);
         if l1_outcome == TlbAccess::Hit {
             return 0;

@@ -61,16 +61,70 @@ impl NoiseModel {
 
     /// Samples a noisy latency around `base` cycles. The result is at least
     /// 1 cycle — hardware clocks never run backwards.
+    ///
+    /// Equivalent to `self.apply(base, self.draw(rng))` — the split form
+    /// exists so hot loops can batch the RNG work (see [`Self::draw`]).
     pub fn sample(&self, rng: &mut ChaCha8Rng, base: u32) -> u32 {
-        let mut lat = base as f64;
-        if self.jitter_sd > 0.0 {
-            lat += gaussian(rng) * self.jitter_sd;
-        }
-        if self.outlier_prob > 0.0 && rng.gen_bool(self.outlier_prob) {
-            lat += rng.gen_range(self.outlier_min..=self.outlier_max) as f64;
-        }
-        lat.round().max(1.0) as u32
+        self.apply(base, self.draw(rng))
     }
+
+    /// True when sampling consumes nothing from the RNG and returns the
+    /// base unchanged (modulo the `>= 1` clamp) — lets batch loops skip
+    /// the draw stage entirely under [`NoiseModel::NONE`].
+    #[inline]
+    pub fn is_silent(&self) -> bool {
+        self.jitter_sd <= 0.0 && self.outlier_prob <= 0.0
+    }
+
+    /// Draws the random part of one sample, without a base latency.
+    ///
+    /// RNG consumption is call-for-call identical to the historical inline
+    /// body of [`Self::sample`]: a Box–Muller gaussian (two uniforms) iff
+    /// jitter is enabled, then an outlier coin iff outliers are enabled,
+    /// then the spike magnitude iff the coin landed. The draws never
+    /// depend on `base`, which is what makes pre-drawing a batch of these
+    /// ahead of the loads byte-identical to drawing them interleaved.
+    #[inline]
+    pub fn draw(&self, rng: &mut ChaCha8Rng) -> NoiseDraw {
+        let jitter = if self.jitter_sd > 0.0 {
+            gaussian(rng) * self.jitter_sd
+        } else {
+            0.0
+        };
+        let outlier = if self.outlier_prob > 0.0 && rng.gen_bool(self.outlier_prob) {
+            rng.gen_range(self.outlier_min..=self.outlier_max) as f64
+        } else {
+            0.0
+        };
+        NoiseDraw { jitter, outlier }
+    }
+
+    /// Applies a pre-drawn sample to `base`. The additions replay the
+    /// historical op order exactly — `(base + jitter) + outlier` — and a
+    /// disabled term contributes `+ 0.0`, which is exact for every value
+    /// the sum can take (it is never `-0.0`: `base as f64 >= +0.0` and a
+    /// round-to-nearest sum of non-negative-zero operands can only be
+    /// `-0.0` when both operands are), so results are bit-identical to
+    /// the branchy original.
+    #[inline]
+    pub fn apply(&self, base: u32, draw: NoiseDraw) -> u32 {
+        (((base as f64) + draw.jitter) + draw.outlier)
+            .round()
+            .max(1.0) as u32
+    }
+}
+
+/// The random part of one [`NoiseModel::sample`], pre-drawable in batches:
+/// the two additive terms are kept separate so [`NoiseModel::apply`] can
+/// replay the exact FP op order of the fused path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NoiseDraw {
+    /// Gaussian jitter term (`gaussian() * jitter_sd`); `0.0` when jitter
+    /// is disabled.
+    pub jitter: f64,
+    /// Outlier spike magnitude; `0.0` when the outlier coin came up tails
+    /// or outliers are disabled.
+    pub outlier: f64,
 }
 
 impl Default for NoiseModel {
@@ -143,6 +197,43 @@ mod tests {
         };
         for _ in 0..1000 {
             assert!(model.sample(&mut rng, 2) >= 1);
+        }
+    }
+
+    #[test]
+    fn batched_draws_match_per_element_sampling_in_rng_lockstep() {
+        // Pre-drawing a whole batch of NoiseDraws and applying them to
+        // bases afterwards must produce the same latencies AND leave the
+        // RNG at the same position as interleaved per-element sample()
+        // calls — the invariant the batched p-chase loops rest on.
+        for model in [NoiseModel::DEFAULT, NoiseModel::HOSTILE, NoiseModel::NONE] {
+            let mut per_elem = ChaCha8Rng::seed_from_u64(7);
+            let mut batched = ChaCha8Rng::seed_from_u64(7);
+            let bases: Vec<u32> = (0..4096u32).map(|i| 1 + (i * 37) % 900).collect();
+
+            let expected: Vec<u32> = bases
+                .iter()
+                .map(|&b| model.sample(&mut per_elem, b))
+                .collect();
+
+            let draws: Vec<NoiseDraw> =
+                (0..bases.len()).map(|_| model.draw(&mut batched)).collect();
+            let got: Vec<u32> = bases
+                .iter()
+                .zip(&draws)
+                .map(|(&b, &d)| model.apply(b, d))
+                .collect();
+
+            assert_eq!(expected, got);
+            // Same stream position afterwards: the next draw agrees.
+            assert_eq!(
+                model.sample(&mut per_elem, 123),
+                model.sample(&mut batched, 123),
+            );
+            assert_eq!(per_elem, batched, "RNG state must be identical");
+            if model.is_silent() {
+                assert_eq!(per_elem, ChaCha8Rng::seed_from_u64(7), "NONE draws nothing");
+            }
         }
     }
 

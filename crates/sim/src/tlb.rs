@@ -83,6 +83,16 @@ impl TlbSpec {
         self.l1.entries as u64 * self.page_bytes
     }
 
+    /// `log2(page_bytes)` when the page size is a power of two, so the
+    /// per-load page-number computation can be a shift instead of a
+    /// 64-bit division. Every preset uses 2 MiB driver large pages;
+    /// `None` only for hand-built odd-sized specs.
+    pub fn page_shift(&self) -> Option<u32> {
+        self.page_bytes
+            .is_power_of_two()
+            .then(|| self.page_bytes.trailing_zeros())
+    }
+
     /// Reach of the L2 TLB in bytes.
     pub fn l2_reach_bytes(&self) -> u64 {
         self.l2.entries as u64 * self.page_bytes

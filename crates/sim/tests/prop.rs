@@ -257,4 +257,39 @@ proptest! {
     fn bypass_matches_oracle((geo, ways, addrs, fl) in policy_stream()) {
         assert_policy_engine_matches_oracle(ReplacementPolicy::Bypass, geo, ways, &addrs, fl)?;
     }
+
+    /// The fully-associative MRU-line fast path vs. the oracle, under all
+    /// five policies, on streams built to live on that path: long runs of
+    /// repeated same-line accesses and sector-stride walks *within* one
+    /// line. This is the pattern the p-chase hot loop produces, and the
+    /// one that would expose an unsound filter — e.g. skipping the repeat
+    /// `touch` that SLRU needs to promote a probation line on its second
+    /// access, or a stale `mru_line` surviving a flush.
+    #[test]
+    fn fa_mru_heavy_streams_match_oracle_under_all_policies(
+        (size, line, sector) in geometry(),
+        runs in proptest::collection::vec((0u64..64, 1usize..12, 0u8..2), 1..80),
+        flush_every in 20usize..120,
+    ) {
+        for policy in ReplacementPolicy::ALL {
+            let mut addrs: Vec<(u64, u8)> = Vec::new();
+            for &(line_idx, repeats, walk) in &runs {
+                let base = line_idx * line;
+                if walk == 1 {
+                    // Sector-stride walk within the line: every access
+                    // after the first is an MRU repeat with a fresh
+                    // sector bit (SectorMiss on the fast path).
+                    for s in 0..(line / sector).min(repeats as u64) {
+                        addrs.push((base + s * sector, 0));
+                    }
+                } else {
+                    // Same address hammered: pure MRU hits.
+                    for _ in 0..repeats {
+                        addrs.push((base, 0));
+                    }
+                }
+            }
+            assert_policy_engine_matches_oracle(policy, (size, line, sector), 0, &addrs, flush_every)?;
+        }
+    }
 }

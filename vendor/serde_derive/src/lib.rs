@@ -9,6 +9,9 @@
 //!   generic),
 //! * `#[serde(tag = "...")]` internally-tagged enums,
 //! * `#[serde(default)]` fields (missing key → `Default::default()`),
+//! * `#[serde(skip)]` fields (never serialized; deserialization always
+//!   uses `Default::default()` — host-only data like wall-clock timings
+//!   that must not enter canonical bytes),
 //! * `#[serde(skip_serializing_if = "path")]` fields (the key is omitted
 //!   from the serialized object when `path(&field)` is true — used to add
 //!   report sections without changing the bytes of reports that lack
@@ -42,6 +45,8 @@ struct Field {
     name: String,
     is_option: bool,
     has_default: bool,
+    /// `#[serde(skip)]`: never serialized, deserialized to default.
+    skip: bool,
     /// `#[serde(skip_serializing_if = "path")]`: serialization omits the
     /// key when `path(&self.field)` holds.
     skip_serializing_if: Option<String>,
@@ -125,6 +130,7 @@ impl Cursor {
                     if let Some(TokenTree::Group(args)) = inner.get(1) {
                         let parsed = parse_serde_args(args.stream());
                         merged.has_default |= parsed.has_default;
+                        merged.skip |= parsed.skip;
                         if parsed.tag.is_some() {
                             merged.tag = parsed.tag;
                         }
@@ -154,6 +160,7 @@ impl Cursor {
 #[derive(Default)]
 struct SerdeArgs {
     has_default: bool,
+    skip: bool,
     tag: Option<String>,
     skip_serializing_if: Option<String>,
 }
@@ -179,6 +186,7 @@ fn parse_serde_args(stream: TokenStream) -> SerdeArgs {
             };
             match name.to_string().as_str() {
                 "default" => args.has_default = true,
+                "skip" => args.skip = true,
                 "tag" => args.tag = string_value(&mut it),
                 "skip_serializing_if" => args.skip_serializing_if = string_value(&mut it),
                 other => panic!("mini-serde derive: unsupported serde attribute `{other}`"),
@@ -263,6 +271,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             name,
             is_option,
             has_default: attrs.has_default,
+            skip: attrs.skip,
             skip_serializing_if: attrs.skip_serializing_if,
         });
     }
@@ -389,6 +398,9 @@ fn gen_serialize(input: &Input) -> String {
         Kind::Struct(fields) => {
             body.push_str("let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
             for f in fields {
+                if f.skip {
+                    continue;
+                }
                 let push = format!(
                     "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
                     n = f.name
@@ -438,6 +450,9 @@ fn gen_serialize(input: &Input) -> String {
                             ));
                         }
                         for f in fields {
+                            if f.skip {
+                                continue;
+                            }
                             let push = format!(
                                 "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize({n})));\n",
                                 n = f.name
@@ -484,6 +499,10 @@ fn gen_field_builders(fields: &[Field], context: &str) -> String {
     let mut out = String::new();
     for f in fields {
         let n = &f.name;
+        if f.skip {
+            out.push_str(&format!("{n}: ::std::default::Default::default(),\n"));
+            continue;
+        }
         let missing = if f.has_default {
             "::std::default::Default::default()".to_string()
         } else if f.is_option {
