@@ -20,7 +20,7 @@
 //! by default — deterministically, so regenerated tables never depend on
 //! the machine's core count.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use mt4g_core::report::Report;
 use mt4g_core::suite::{normalize_report, run_discovery, DiscoveryConfig};

@@ -603,7 +603,16 @@ fn run_serve_mode(args: &Args) {
     let writer = std::thread::spawn(move || {
         let stdout = std::io::stdout();
         for resp in rx {
-            let line = serde_json::to_string(&resp).expect("response serialization is infallible");
+            // The vendored writer is infallible by construction, but a
+            // daemon must not stake its life on that: degrade to a
+            // hand-built internal-error line rather than panicking the
+            // writer thread (which would silently stop all responses).
+            let line = serde_json::to_string(&resp).unwrap_or_else(|e| {
+                format!(
+                    r#"{{"id":{},"ok":false,"cached":false,"latency_ns":0,"error":{{"code":"internal","message":"response serialization failed: {e}"}}}}"#,
+                    resp.id
+                )
+            });
             let mut out = stdout.lock();
             if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
                 // Client hung up; keep draining so workers can finish.
@@ -734,6 +743,10 @@ extern "C" {
 /// complete lines, so there is never a partial line buffered in userspace.
 extern "C" fn on_sigterm(_sig: i32) {
     const MSG: &[u8] = b"mt4g: SIGTERM, shutting down\n";
+    // SAFETY: `write` and `_exit` are on POSIX's async-signal-safe list;
+    // the buffer is a static byte literal with its exact length, and
+    // `_exit` never returns, so no interrupted userspace state is
+    // re-entered.
     unsafe {
         let _ = write(2, MSG.as_ptr(), MSG.len());
         _exit(0);
@@ -741,6 +754,10 @@ extern "C" fn on_sigterm(_sig: i32) {
 }
 
 fn install_sigterm_handler() {
+    // SAFETY: `signal` is called once, from the single-threaded startup
+    // path before any worker exists, with a handler that is itself
+    // async-signal-safe (see `on_sigterm`); the libc signatures above
+    // match the C ABI exactly.
     unsafe {
         signal(SIGTERM, on_sigterm);
     }

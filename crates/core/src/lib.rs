@@ -49,7 +49,7 @@
 //! assert!(json.contains("\"L1\""));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod benchmarks;
 pub mod classify;

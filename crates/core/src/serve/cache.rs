@@ -20,11 +20,14 @@
 //! Eviction: exact LRU over a bounded entry count. Capacities are small
 //! (hundreds of cells), so recency is tracked with a monotonic tick and
 //! the victim found by a linear scan on insert — no intrusive list needed
-//! at this scale.
+//! at this scale. The map is a `BTreeMap` rather than a hash map so that
+//! the victim scan iterates in a deterministic order (`mt4g-lint`'s
+//! `det-hash` rule bans std hash containers workspace-wide: their
+//! iteration order is randomized per process and per build).
 //!
 //! [`Job::cell`]: crate::suite::Job::cell
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A 128-bit content address plus the cell descriptor it was derived
@@ -105,7 +108,7 @@ struct Entry {
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
-    map: HashMap<u128, Entry>,
+    map: BTreeMap<u128, Entry>,
     tick: u64,
     stats: CacheStats,
 }
@@ -115,7 +118,7 @@ impl ResultCache {
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
             capacity: capacity.max(1),
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
         }

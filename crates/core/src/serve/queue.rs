@@ -21,10 +21,11 @@
 //! finish what was admitted, and every admitted request still gets its
 //! response.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -39,7 +40,18 @@ use super::cache::{CacheKey, ResultCache};
 /// waiter unanswered.
 struct CacheState {
     cache: ResultCache,
-    pending: HashMap<String, Vec<(u64, Instant)>>,
+    pending: BTreeMap<String, Vec<(u64, Instant)>>,
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock. The guarded
+/// state (cache contents, pending map, queue bookkeeping) stays
+/// consistent across a panic because every critical section completes
+/// its writes before unlocking or only performs single-call updates; a
+/// dead requester must not make the daemon unable to answer everyone
+/// else, so poisoning is explicitly not treated as fatal on the serve
+/// request path.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 use super::protocol::{parse_request, salvage_id, ErrorBody, Request, Response, ServeStats};
 
@@ -68,6 +80,11 @@ impl Default for ServeOptions {
         }
     }
 }
+
+/// Upper bound on an accepted request line, in bytes. Protocol requests
+/// are a few hundred bytes; anything past this is rejected unparsed with
+/// a `bad_request` error.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// What the caller should do after feeding a line to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +139,7 @@ impl SharedQueue {
 
     /// Admits a job unless the in-flight bound is reached.
     fn try_push(&self, item: Box<Queued>) -> Result<(), Box<Queued>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         if state.closed || state.in_flight >= self.cap {
             return Err(item);
         }
@@ -136,7 +153,7 @@ impl SharedQueue {
     /// Blocks for the next job; `None` once the queue is closed and
     /// drained (the worker's signal to exit).
     fn pop(&self) -> Option<Box<Queued>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         loop {
             if let Some(item) = state.fifo.pop_front() {
                 return Some(item);
@@ -144,18 +161,21 @@ impl SharedQueue {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).unwrap();
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Marks one admitted job finished, freeing an admission slot.
     fn done(&self) {
-        self.state.lock().unwrap().in_flight -= 1;
+        lock_recover(&self.state).in_flight -= 1;
     }
 
     /// Closes admission and wakes every blocked worker to drain.
     fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_recover(&self.state).closed = true;
         self.ready.notify_all();
     }
 }
@@ -197,7 +217,7 @@ impl ServeEngine {
         let queue = Arc::new(SharedQueue::new(opts.queue_cap));
         let shared = Arc::new(Mutex::new(CacheState {
             cache: ResultCache::new(opts.cache_cap),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }));
         let workers = (0..opts.workers)
             .map(|_| {
@@ -228,8 +248,26 @@ impl ServeEngine {
     /// Handles one raw request line. Malformed lines are answered with a
     /// structured `bad_request` error (correlated by a salvaged id when
     /// the line at least carried one) — never a panic, never a silent
-    /// drop.
+    /// drop. Lines beyond [`MAX_LINE_BYTES`] are rejected before parsing:
+    /// a real request is a few hundred bytes, so an oversized line is
+    /// adversarial or corrupt, and feeding it to the parser would only
+    /// burn CPU on garbage.
     pub fn handle_line(&mut self, line: &str) -> Flow {
+        if line.len() > MAX_LINE_BYTES {
+            self.requests += 1;
+            self.bad_requests += 1;
+            self.respond(Response::error(
+                0,
+                ErrorBody::new(
+                    "bad_request",
+                    format!(
+                        "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+                        line.len()
+                    ),
+                ),
+            ));
+            return Flow::Continue;
+        }
         match parse_request(line) {
             Ok(req) => self.handle_request(&req),
             Err(err) => {
@@ -300,7 +338,7 @@ impl ServeEngine {
         // one CacheState lock: a recompute completing in between cannot
         // strand this request (lock order is CacheState -> queue; workers
         // never hold the queue lock while taking CacheState).
-        let mut shared = self.shared.lock().unwrap();
+        let mut shared = lock_recover(&self.shared);
         if let Some(bytes) = shared.cache.get(&key) {
             self.hits += 1;
             self.respond(Response::report(
@@ -348,7 +386,7 @@ impl ServeEngine {
 
     /// Counter snapshot, merged with the cache's own bookkeeping.
     pub fn stats(&self) -> ServeStats {
-        let shared = self.shared.lock().unwrap();
+        let shared = lock_recover(&self.shared);
         ServeStats {
             requests: self.requests,
             hits: self.hits,
@@ -397,18 +435,36 @@ impl Drop for ServeEngine {
 /// Serial ticket for deterministic worker naming in panics/debuggers.
 static WORKER_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Best-effort text of a caught panic payload (`panic!` carries `&str`
+/// or `String`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 fn worker_loop(queue: &SharedQueue, shared: &Mutex<CacheState>, tx: &Sender<Response>) {
     let _ticket = WORKER_SEQ.fetch_add(1, Ordering::Relaxed);
     while let Some(mut item) = queue.pop() {
-        let outcome = item.job.run();
+        // A panicking benchmark must not take the worker thread — and
+        // with it the admission slot, the pending entry, and every
+        // coalesced waiter — down: the unwind is caught and answered as
+        // a structured `internal` error. `AssertUnwindSafe` is sound
+        // because the job is owned by this iteration and discarded on
+        // panic; no shared lock is held across the call.
+        let outcome = catch_unwind(AssertUnwindSafe(|| item.job.run()));
         match outcome {
-            Ok(out) => {
+            Ok(Ok(out)) => {
                 let bytes: Arc<str> = Arc::from(out.bytes.as_str());
                 // Publish and unregister under one lock: after this point
                 // new requests for the cell hit the cache instead of
                 // finding (or re-creating) a pending entry.
                 let waiters = {
-                    let mut state = shared.lock().unwrap();
+                    let mut state = lock_recover(shared);
                     state.cache.insert(&item.key, Arc::clone(&bytes));
                     state.pending.remove(item.key.cell()).unwrap_or_default()
                 };
@@ -432,14 +488,26 @@ fn worker_loop(queue: &SharedQueue, shared: &Mutex<CacheState>, tx: &Sender<Resp
                     });
                 }
             }
-            Err(e) => {
-                let waiters = shared
-                    .lock()
-                    .unwrap()
+            Ok(Err(e)) => {
+                let waiters = lock_recover(shared)
                     .pending
                     .remove(item.key.cell())
                     .unwrap_or_default();
                 let body = ErrorBody::new("internal", format!("serialization failed: {e}"));
+                let _ = tx.send(Response::error(item.id, body.clone()));
+                for (id, _) in waiters {
+                    let _ = tx.send(Response::error(id, body.clone()));
+                }
+            }
+            Err(payload) => {
+                let waiters = lock_recover(shared)
+                    .pending
+                    .remove(item.key.cell())
+                    .unwrap_or_default();
+                let body = ErrorBody::new(
+                    "internal",
+                    format!("discovery panicked: {}", panic_message(payload.as_ref())),
+                );
                 let _ = tx.send(Response::error(item.id, body.clone()));
                 for (id, _) in waiters {
                     let _ = tx.send(Response::error(id, body.clone()));

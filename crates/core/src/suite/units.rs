@@ -9,7 +9,7 @@
 //! fetch granularity → size → line size → amount, paper Sec. IV); only the
 //! ordering *between* units is freed up for the executor to parallelise.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mt4g_sim::api;
 use mt4g_sim::compute::DType;
@@ -47,7 +47,7 @@ pub(crate) struct Measured {
 
 /// Measurements a dependent unit receives from its dependencies, keyed by
 /// the element the dependency measured.
-pub(crate) type MeasuredInputs = HashMap<CacheKind, Measured>;
+pub(crate) type MeasuredInputs = BTreeMap<CacheKind, Measured>;
 
 /// Counts benchmark instances for the Sec. V-A accounting.
 struct Tally(u32);

@@ -257,3 +257,63 @@ fn daemon_survives_malformed_lines() {
     let _ = read_response(&mut stdout);
     assert_eq!(child.wait().unwrap().code(), Some(0));
 }
+
+/// Adversarial request battery against the real daemon subprocess: deep
+/// nesting (which would overflow the recursive-descent parser's stack
+/// without its depth limit), oversized lines, control bytes, numeric
+/// overflow, and type confusion. Every line must come back as a
+/// structured error — and the worker pool must still be alive and able
+/// to serve a real discovery afterwards.
+#[test]
+fn daemon_survives_adversarial_requests() {
+    let (mut child, mut stdin, mut stdout) = spawn_serve(&[]);
+    // 200k-deep array: without the parser depth limit this recursion
+    // would blow the daemon's stack; with it, it is a cheap parse error.
+    let deep_array = "[".repeat(200_000);
+    writeln!(stdin, "{deep_array}").unwrap();
+    // Matching depth bomb in object form.
+    let deep_object = "{\"a\":".repeat(200_000);
+    writeln!(stdin, "{deep_object}").unwrap();
+    // A 2 MiB line is rejected unparsed by the engine's line cap.
+    let huge = format!("{{\"id\":3,\"op\":\"{}\"}}", "x".repeat(2 << 20));
+    writeln!(stdin, "{huge}").unwrap();
+    // Control bytes, an id beyond u64, and type-confused fields.
+    writeln!(stdin, "{{\"id\":4,\"op\":\"disc\u{1}over\"}}").unwrap();
+    writeln!(stdin, "{{\"id\":99999999999999999999999,\"op\":\"stats\"}}").unwrap();
+    writeln!(
+        stdin,
+        "{{\"id\":6,\"op\":\"discover\",\"gpu\":[\"T1000\"]}}"
+    )
+    .unwrap();
+    writeln!(
+        stdin,
+        "{{\"id\":7,\"op\":\"discover\",\"gpu\":\"T1000\",\"tlb\":\"yes\"}}"
+    )
+    .unwrap();
+    let mut codes = Vec::new();
+    for _ in 0..7 {
+        let resp = read_response(&mut stdout);
+        assert!(!resp.ok, "adversarial line must be answered with an error");
+        codes.push(resp.error.unwrap().code);
+    }
+    assert!(
+        codes.iter().all(|c| c == "bad_request"),
+        "all adversarial lines map to bad_request, got {codes:?}"
+    );
+    // The daemon is unharmed: a real discovery still round-trips.
+    writeln!(
+        stdin,
+        "{{\"id\":8,\"op\":\"discover\",\"gpu\":\"T1000\",\"only\":\"cl1\"}}"
+    )
+    .unwrap();
+    let ok = read_response(&mut stdout);
+    assert!(ok.ok, "worker pool alive after the battery: {:?}", ok.error);
+    assert_eq!(ok.id, 8);
+    writeln!(stdin, "{{\"id\":9,\"op\":\"stats\"}}").unwrap();
+    let stats = read_response(&mut stdout).stats.unwrap();
+    assert_eq!(stats.bad_requests, 7);
+    assert_eq!(stats.misses, 1);
+    writeln!(stdin, "{{\"id\":10,\"op\":\"shutdown\"}}").unwrap();
+    let _ = read_response(&mut stdout);
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}

@@ -1,0 +1,232 @@
+//! The checked-in allowlist (`lint.allow.toml`).
+//!
+//! Every entry names one *audited* exception to one rule, with a reason —
+//! the reviewable unit of "yes, this site really may read the clock".
+//! The format is a deliberately small TOML subset (array-of-tables with
+//! string values only), parsed by hand because the lint must not depend
+//! on anything it lints:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "det-time"
+//! path = "crates/core/src/suite/exec.rs"
+//! reason = "per-unit wall clock; #[serde(skip)] keeps it out of report bytes"
+//! ```
+//!
+//! `rule` is mandatory. `path` (repo-relative, forward slashes) scopes
+//! the entry to one file; `item` scopes it to one named item (used by
+//! `fingerprint-knob` for config fields exempt from the fingerprint).
+//! An entry that matches no finding is itself reported (`stale-allow`),
+//! so the allowlist can only ever shrink to the genuinely needed set.
+
+/// One audited exception.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule id this entry silences (`det-time`, `unsafe-safety`, …).
+    pub rule: String,
+    /// Repo-relative file the exception applies to (empty = any file).
+    pub path: String,
+    /// Named item the exception applies to (empty = any item).
+    pub item: String,
+    /// Why this exception is legitimate. Mandatory: an unexplained
+    /// exception is indistinguishable from a silenced bug.
+    pub reason: String,
+    /// 1-based line of the entry's `[[allow]]` header (for `stale-allow`
+    /// diagnostics).
+    pub line: u32,
+}
+
+/// The parsed allowlist plus per-entry use tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Parsed entries in file order.
+    pub entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+/// A parse failure, with the offending line number.
+#[derive(Debug)]
+pub struct AllowParseError {
+    /// 1-based line the parse failed on.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Unknown keys, non-string values, and
+    /// entries missing `rule` or `reason` are hard errors: a typo in an
+    /// allowlist must fail loudly, not silently allow nothing.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowParseError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = current.take() {
+                    Self::check_complete(&done)?;
+                    entries.push(done);
+                }
+                current = Some(AllowEntry {
+                    line: lineno,
+                    ..AllowEntry::default()
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"` or `[[allow]]`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: "key outside an [[allow]] table".to_string(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let unquoted = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or(AllowParseError {
+                    line: lineno,
+                    message: format!("value of `{key}` must be a double-quoted string"),
+                })?;
+            if unquoted.contains('"') || unquoted.contains('\\') {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!("value of `{key}` must not contain quotes or escapes"),
+                });
+            }
+            let slot = match key {
+                "rule" => &mut entry.rule,
+                "path" => &mut entry.path,
+                "item" => &mut entry.item,
+                "reason" => &mut entry.reason,
+                other => {
+                    return Err(AllowParseError {
+                        line: lineno,
+                        message: format!(
+                            "unknown key `{other}` (expected rule, path, item, or reason)"
+                        ),
+                    })
+                }
+            };
+            if !slot.is_empty() {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!("duplicate key `{key}`"),
+                });
+            }
+            *slot = unquoted.to_string();
+        }
+        if let Some(done) = current.take() {
+            Self::check_complete(&done)?;
+            entries.push(done);
+        }
+        let used = vec![false; entries.len()];
+        Ok(Allowlist { entries, used })
+    }
+
+    fn check_complete(entry: &AllowEntry) -> Result<(), AllowParseError> {
+        if entry.rule.is_empty() {
+            return Err(AllowParseError {
+                line: entry.line,
+                message: "entry is missing `rule`".to_string(),
+            });
+        }
+        if entry.reason.is_empty() {
+            return Err(AllowParseError {
+                line: entry.line,
+                message: "entry is missing `reason` (every exception must be justified)"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether a finding `(rule, file, item)` is covered by some entry;
+    /// marks the first matching entry used.
+    pub fn covers(&mut self, rule: &str, file: &str, item: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == rule
+                && (e.path.is_empty() || e.path == file)
+                && (e.item.is_empty() || e.item == item)
+            {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding (staleness diagnostics).
+    pub fn unused(&self) -> impl Iterator<Item = &AllowEntry> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(e, _)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_tracks_use() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "det-time"
+path = "a/b.rs"
+reason = "measured latency"
+
+[[allow]]
+rule = "fingerprint-knob"
+item = "debug"
+reason = "diagnostic only"
+"#;
+        let mut list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert!(list.covers("det-time", "a/b.rs", ""));
+        assert!(!list.covers("det-time", "other.rs", ""));
+        assert!(list.covers("fingerprint-knob", "x.rs", "debug"));
+        assert_eq!(list.unused().count(), 0);
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let text = "[[allow]]\nrule = \"det-hash\"\nreason = \"r\"\n";
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.unused().count(), 1);
+    }
+
+    #[test]
+    fn missing_reason_is_a_hard_error() {
+        let text = "[[allow]]\nrule = \"det-hash\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_and_bare_values_are_hard_errors() {
+        assert!(
+            Allowlist::parse("[[allow]]\nrule = \"r\"\nreason = \"x\"\nfoo = \"y\"\n").is_err()
+        );
+        assert!(Allowlist::parse("[[allow]]\nrule = bare\nreason = \"x\"\n").is_err());
+        assert!(Allowlist::parse("rule = \"orphan\"\n").is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! A comment- and string-aware Rust token scanner.
+//!
+//! The lint rules only need identifier and punctuation tokens with line
+//! numbers, plus the comment text per line (for `// SAFETY:` detection) —
+//! not a grammar. This scanner therefore lexes, it does not parse: it
+//! walks the source once, classifying identifiers, punctuation, comments
+//! (line, and nested block), string literals (plain, raw, byte), char
+//! literals vs lifetimes, and numbers, and discards literal *contents* so
+//! a rule pattern can never be fooled by a string or a doc comment that
+//! merely mentions a banned name. The hand-rolled style follows
+//! `vendor/serde_derive`, which already proved source-level analysis
+//! without `syn` viable in this offline workspace.
+
+/// One significant token: an identifier/keyword or a punctuation byte.
+/// Literals (strings, chars, numbers) are deliberately dropped — no rule
+/// matches on them, and dropping them is what makes mentions inside
+/// strings invisible to rule patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Identifier text, or the single punctuation character.
+    pub kind: TokenKind,
+}
+
+/// The two token classes rules match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, …).
+    Ident(String),
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), with the line span it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based first source line of the comment.
+    pub first_line: u32,
+    /// 1-based last source line of the comment.
+    pub last_line: u32,
+    /// Raw comment text, including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The scan result: significant tokens plus all comments.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Identifier and punctuation tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Scanned {
+    /// Whether any code token starts on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Token lines are non-decreasing, so the slice is sorted by line.
+        self.tokens.binary_search_by_key(&line, |t| t.line).is_ok()
+    }
+
+    /// Concatenated text of every comment covering `line` (empty when
+    /// the line has no comment).
+    pub fn comment_text_on(&self, line: u32) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.first_line <= line && line <= c.last_line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Whether any comment covers `line`.
+    pub fn line_has_comment(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.first_line <= line && line <= c.last_line)
+    }
+}
+
+/// Scans Rust source into tokens and comments. Never fails: unterminated
+/// constructs simply end at EOF (the compiler, not the lint, owns syntax
+/// errors).
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances past `n` characters, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for k in 0..$n {
+                if chars.get(i + k) == Some(&'\n') {
+                    line += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Line comment (covers `//`, `///`, `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let first_line = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                first_line,
+                last_line: first_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let first_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(chars[i]);
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                first_line,
+                last_line: line,
+                text,
+            });
+            continue;
+        }
+        // Identifier / keyword (possibly a raw-string or byte-string
+        // prefix: `r"`, `r#"`, `b"`, `br#"`, `b'`).
+        if c.is_alphabetic() || c == '_' {
+            let tok_line = line;
+            let mut ident = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                ident.push(chars[i]);
+                i += 1;
+            }
+            let next = chars.get(i).copied();
+            let raw_prefix = matches!(ident.as_str(), "r" | "br" | "rb");
+            let byte_prefix = ident == "b";
+            if raw_prefix && (next == Some('"') || next == Some('#')) {
+                skip_raw_string(&chars, &mut i, &mut line);
+                continue;
+            }
+            if byte_prefix && next == Some('"') {
+                bump!(1);
+                skip_string(&chars, &mut i, &mut line);
+                continue;
+            }
+            if byte_prefix && next == Some('\'') {
+                bump!(1);
+                skip_char_literal(&chars, &mut i, &mut line);
+                continue;
+            }
+            out.tokens.push(Token {
+                line: tok_line,
+                kind: TokenKind::Ident(ident),
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            bump!(1);
+            skip_string(&chars, &mut i, &mut line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if (n.is_alphanumeric() || n == '_') && after != Some('\'') => false,
+                Some(_) => true,
+                None => true,
+            };
+            bump!(1);
+            if is_char {
+                skip_char_literal(&chars, &mut i, &mut line);
+            } else {
+                // Lifetime: consume the identifier, emit nothing (no
+                // rule matches lifetimes).
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Number literal: consume digits and suffix characters; a `.`
+        // joins only when followed by a digit (so `0..10` and method
+        // calls on literals keep their punctuation).
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.'
+                    && chars
+                        .get(i + 1)
+                        .map(|n| n.is_ascii_digit())
+                        .unwrap_or(false)
+                {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Anything else: one punctuation character.
+        out.tokens.push(Token {
+            line,
+            kind: TokenKind::Punct(c),
+        });
+        bump!(1);
+    }
+    out
+}
+
+/// Consumes a (non-raw) string body; the opening quote is already eaten.
+fn skip_string(chars: &[char], i: &mut usize, line: &mut u32) {
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                if chars.get(*i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                *i += 2;
+            }
+            '"' => {
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Consumes a char/byte-char literal body; the opening quote is already
+/// eaten.
+fn skip_char_literal(chars: &[char], i: &mut usize, line: &mut u32) {
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => *i += 2,
+            '\'' => {
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Consumes a raw string starting at the current position (at the first
+/// `#` or `"` after the `r`/`br` prefix).
+fn skip_raw_string(chars: &[char], i: &mut usize, line: &mut u32) {
+    let mut hashes = 0usize;
+    while chars.get(*i) == Some(&'#') {
+        hashes += 1;
+        *i += 1;
+    }
+    if chars.get(*i) != Some(&'"') {
+        // `r#ident` raw identifier, not a raw string: nothing to skip
+        // (the `#`s were consumed; the identifier lexes on the next
+        // loop iteration).
+        return;
+    }
+    *i += 1;
+    while *i < chars.len() {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *i += 1;
+            continue;
+        }
+        if chars[*i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(*i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                *i += 1 + hashes;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in /* a nested */ block */
+            let s = "HashMap";
+            let r = r#"SystemTime"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let n = '\\n';";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // If 'x' lexed as an unterminated char it would swallow `let n`.
+        assert_eq!(ids.iter().filter(|s| *s == "let").count(), 2);
+        assert_eq!(ids.iter().filter(|s| *s == "str").count(), 2);
+    }
+
+    #[test]
+    fn comment_line_spans_cover_block_comments() {
+        let src = "/* one\ntwo\nthree */\nlet x = 1;";
+        let s = scan(src);
+        assert!(s.line_has_comment(1) && s.line_has_comment(3));
+        assert!(!s.line_has_comment(4));
+        assert!(s.line_has_code(4));
+        assert!(!s.line_has_code(2));
+    }
+
+    #[test]
+    fn tokens_carry_line_numbers() {
+        let src = "let a = 1;\nlet b = 2;\n";
+        let s = scan(src);
+        let b_line = s
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("b"))
+            .unwrap()
+            .line;
+        assert_eq!(b_line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..10 { let x = 1.5e-3; let y = 2u64; }";
+        let s = scan(src);
+        let dots = s.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` of the range survives");
+    }
+}

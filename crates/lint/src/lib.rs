@@ -1,0 +1,48 @@
+//! `mt4g-lint` — the workspace determinism-invariant lint pass.
+//!
+//! The discovery suite's headline guarantee is *byte identity*: the same
+//! plan produces the same report bytes regardless of `--jobs`, sharding,
+//! or whether a result came from the serve cache. The dynamic tests check
+//! that after the fact; this crate enforces the preconditions statically,
+//! at the source level, so a violation fails CI before it can flake:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `det-time` | no `Instant::now` / `SystemTime` outside allowlisted timing sites |
+//! | `det-rng` | no `thread_rng`; randomness derives from the plan seed |
+//! | `det-hash` | no std `HashMap`/`HashSet`; iteration order must be deterministic |
+//! | `unsafe-safety` | every `unsafe` carries a `// SAFETY:` justification |
+//! | `docs-deny` | every crate root carries `#![deny(missing_docs)]` |
+//! | `fingerprint-knob` | every `DiscoveryConfig` knob appears in the plan fingerprint |
+//! | `vendor-purity` | vendored shims never reach `std::{time, net, process}` |
+//! | `stale-allow` | every allowlist entry still matches a real finding |
+//!
+//! The scanner ([`lexer`]) is comment- and string-aware, so a rule can
+//! never be fooled by a doc comment that merely *mentions* `HashMap`.
+//! Exceptions live in `lint.allow.toml` ([`allow`]) with a mandatory
+//! reason, and go stale loudly: an entry that matches nothing is itself
+//! a finding.
+//!
+//! The crate has zero dependencies — not even the vendored shims — so
+//! the lint stays buildable and trustworthy independent of everything it
+//! lints.
+
+#![deny(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use std::path::Path;
+
+pub use allow::{AllowEntry, Allowlist};
+pub use rules::{Finding, LintError};
+
+/// Lints the tree rooted at `root` against the allowlist text (pass an
+/// empty string when no allowlist exists). Returns findings sorted by
+/// file, line, then rule — an empty vector means the tree is clean.
+pub fn lint_tree(root: &Path, allow_text: &str) -> Result<Vec<Finding>, LintError> {
+    let mut allow =
+        Allowlist::parse(allow_text).map_err(|e| LintError(format!("lint.allow.toml: {e}")))?;
+    rules::run(root, &mut allow)
+}

@@ -1,0 +1,104 @@
+//! CLI driver for `mt4g-lint`.
+//!
+//! ```text
+//! mt4g-lint --workspace              # lint the enclosing workspace
+//! mt4g-lint --root DIR [--allow F]   # lint an explicit tree
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or setup error.
+//! Diagnostics go to stdout as `file:line: rule-id message`, one per
+//! line, deterministically ordered — CI greps and golden tests both
+//! depend on that.
+
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut workspace = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(f) => allow_path = Some(PathBuf::from(f)),
+                None => return usage("--allow needs a file"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "mt4g-lint: determinism-invariant lint pass\n\n\
+                     USAGE:\n  mt4g-lint --workspace\n  mt4g-lint --root DIR [--allow FILE]\n\n\
+                     Rules: det-time det-rng det-hash unsafe-safety docs-deny\n\
+                     fingerprint-knob vendor-purity stale-allow\n\
+                     Exceptions: lint.allow.toml at the lint root (audited, with reasons)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match (root, workspace) {
+        (Some(r), _) => r,
+        (None, true) => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("mt4g-lint: no workspace Cargo.toml above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+        (None, false) => return usage("pass --workspace or --root DIR"),
+    };
+
+    let allow_file = allow_path.unwrap_or_else(|| root.join("lint.allow.toml"));
+    // A missing allowlist is an empty allowlist; a malformed one is fatal.
+    let allow_text = std::fs::read_to_string(&allow_file).unwrap_or_default();
+
+    match mt4g_lint::lint_tree(&root, &allow_text) {
+        Ok(findings) if findings.is_empty() => {
+            println!("mt4g-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("mt4g-lint: {} finding(s)", findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("mt4g-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mt4g-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

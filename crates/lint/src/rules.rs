@@ -1,0 +1,583 @@
+//! The determinism-invariant rules.
+//!
+//! Each rule is a pure function over [`crate::lexer::Scanned`] token
+//! streams; the driver in [`run`] walks the tree once, scans each `.rs`
+//! file once, and feeds every rule. Two zones exist:
+//!
+//! * **workspace** (`src/`, `crates/`, anything not under `vendor/`):
+//!   gets `det-time`, `det-rng`, `det-hash`, `unsafe-safety`,
+//!   `docs-deny`, and contributes to `fingerprint-knob`;
+//! * **vendor** (`vendor/`): gets only `vendor-purity` — the shims are
+//!   third-party-shaped code held to a different bar (no ambient
+//!   authority), not to the workspace's doc/style bar.
+//!
+//! Findings are matched against the allowlist *after* detection, so an
+//! allowlisted site still counts as "seen" for `stale-allow` purposes.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::allow::Allowlist;
+use crate::lexer::{scan, Scanned, Token};
+
+/// The struct whose knobs must all be fingerprinted (or be explicitly
+/// allowlisted as measurement-neutral).
+const KNOB_STRUCT: &str = "DiscoveryConfig";
+/// The function(s) whose bodies must mention every knob. All functions
+/// with this name are unioned, so both the free fingerprint builder and
+/// any accessor named `fingerprint` contribute.
+const FINGERPRINT_FN: &str = "fingerprint";
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`det-time`, `unsafe-safety`, …).
+    pub rule: &'static str,
+    /// Named item the finding is about (a config field, an allow entry);
+    /// empty for site findings. This is what `item = "…"` allowlist
+    /// entries match.
+    pub item: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A fatal driver error (unreadable root, malformed allowlist).
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs every rule over the tree rooted at `root`, filtering through
+/// `allow`. Returns findings sorted by file, line, then rule.
+pub fn run(root: &Path, allow: &mut Allowlist) -> Result<Vec<Finding>, LintError> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    // fingerprint-knob is cross-file: gather knob fields and fingerprint
+    // idents over the whole walk, judge at the end.
+    let mut knobs: Vec<(String, String, u32)> = Vec::new(); // (file, field, line)
+    let mut fp_idents: BTreeSet<String> = BTreeSet::new();
+    let mut fp_fn_seen = false;
+
+    for rel in &files {
+        let abs = root.join(rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| LintError(format!("cannot read {}: {e}", rel.display())))?;
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let scanned = scan(&src);
+        if rel_str.starts_with("vendor/") {
+            vendor_purity(&rel_str, &scanned, &mut raw);
+        } else {
+            det_hazards(&rel_str, &scanned, &mut raw);
+            unsafe_safety(&rel_str, &scanned, &mut raw);
+            if is_crate_root(&rel_str) {
+                docs_deny(&rel_str, &scanned, &mut raw);
+            }
+            collect_knob_fields(&rel_str, &scanned, &mut knobs);
+            fp_fn_seen |= collect_fingerprint_idents(&scanned, &mut fp_idents);
+        }
+    }
+
+    for (file, field, line) in knobs {
+        if !fp_idents.contains(&field) {
+            raw.push(Finding {
+                file,
+                line,
+                rule: "fingerprint-knob",
+                item: field.clone(),
+                message: if fp_fn_seen {
+                    format!(
+                        "`{KNOB_STRUCT}` knob `{field}` never appears in any \
+                         `fn {FINGERPRINT_FN}` body; a knob that changes measurements \
+                         but not the fingerprint lets incompatible shards merge"
+                    )
+                } else {
+                    format!(
+                        "`{KNOB_STRUCT}` knob `{field}` has no `fn {FINGERPRINT_FN}` \
+                         to appear in"
+                    )
+                },
+            });
+        }
+    }
+
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !allow.covers(f.rule, &f.file, &f.item))
+        .collect();
+
+    for stale in allow.unused() {
+        findings.push(Finding {
+            file: "lint.allow.toml".to_string(),
+            line: stale.line,
+            rule: "stale-allow",
+            item: stale.rule.clone(),
+            message: format!(
+                "allow entry (rule `{}`{}) matched no finding; delete it",
+                stale.rule,
+                if stale.path.is_empty() {
+                    String::new()
+                } else {
+                    format!(", path `{}`", stale.path)
+                }
+            ),
+        });
+    }
+
+    findings.sort();
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `dir` as root-relative paths.
+/// Directory entries are sorted so the walk — and therefore diagnostic
+/// order — is deterministic, which the lint demands of everyone else.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| LintError(format!("cannot read dir {}: {e}", dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `target` and `.git` are build/VCS state; the lint's own
+            // test fixtures contain planted violations by design.
+            if name == "target" || name.starts_with('.') || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Whether `rel` is a crate root that must carry `#![deny(missing_docs)]`.
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs"
+}
+
+/// `det-time` / `det-rng` / `det-hash`: nondeterminism sources in
+/// workspace code.
+fn det_hazards(file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    let toks = &s.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        match id {
+            // Only the *call* is the hazard: storing an `Instant` a
+            // caller handed over is fine, reading the clock is not.
+            "Instant" if followed_by_path(toks, i, "now") => out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "det-time",
+                item: String::new(),
+                message: "`Instant::now()` outside an allowlisted timing site; \
+                          wall-clock reads must never influence report bytes"
+                    .to_string(),
+            }),
+            "SystemTime" => out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "det-time",
+                item: String::new(),
+                message: "`SystemTime` is wall-clock state; reports must be \
+                          reproducible byte-for-byte across runs"
+                    .to_string(),
+            }),
+            "thread_rng" => out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "det-rng",
+                item: String::new(),
+                message: "`thread_rng` is OS-seeded; use the seeded vendored \
+                          `rand_chacha` stream derived from the plan seed"
+                    .to_string(),
+            }),
+            "HashMap" | "HashSet" => out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: "det-hash",
+                item: String::new(),
+                message: format!(
+                    "std `{id}` iterates in randomized order; use \
+                     `BTree{}` so iteration order can never leak into output",
+                    &id[4..]
+                ),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Whether token `i` is followed by `:: seg` (the lexer splits `::` into
+/// two `:` puncts).
+fn followed_by_path(toks: &[Token], i: usize, seg: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.ident() == Some(seg))
+}
+
+/// `unsafe-safety`: every `unsafe` token needs a `// SAFETY:` comment on
+/// the same line or on the contiguous comment block directly above.
+fn unsafe_safety(file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    for t in &s.tokens {
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        if has_safety_comment(s, t.line) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line: t.line,
+            rule: "unsafe-safety",
+            item: String::new(),
+            message: "`unsafe` without a `// SAFETY:` comment stating the \
+                      invariant that makes it sound"
+                .to_string(),
+        });
+    }
+}
+
+fn has_safety_comment(s: &Scanned, line: u32) -> bool {
+    if s.comment_text_on(line).contains("SAFETY:") {
+        return true;
+    }
+    // Walk up through comment-only lines (doc or plain) directly above.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 && s.line_has_comment(l) && !s.line_has_code(l) {
+        if s.comment_text_on(l).contains("SAFETY:") {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// `docs-deny`: a crate root must contain the token sequence
+/// `# ! [ deny ( … missing_docs … ) ]`.
+fn docs_deny(file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    let toks = &s.tokens;
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        if toks[i].is_punct('#')
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('[')
+            && toks[i + 3].ident() == Some("deny")
+            && toks[i + 4].is_punct('(')
+        {
+            let mut j = i + 5;
+            while j < toks.len() && !toks[j].is_punct(')') {
+                if toks[j].ident() == Some("missing_docs") {
+                    return;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out.push(Finding {
+        file: file.to_string(),
+        line: 1,
+        rule: "docs-deny",
+        item: String::new(),
+        message: "crate root lacks `#![deny(missing_docs)]`; every public \
+                  item in this workspace documents its contract"
+            .to_string(),
+    });
+}
+
+/// Collects `(file, field, line)` for every field of [`KNOB_STRUCT`].
+fn collect_knob_fields(file: &str, s: &Scanned, out: &mut Vec<(String, String, u32)>) {
+    let toks = &s.tokens;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].ident() == Some("struct") && toks[i + 1].ident() == Some(KNOB_STRUCT) {
+            // Find the opening `{` of the body (skip optional generics).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            parse_struct_fields(file, toks, j, out);
+        }
+        i += 1;
+    }
+}
+
+/// Parses field names from a struct body starting at the `{` at `open`.
+/// A field is an identifier directly followed by a single `:` (not `::`)
+/// at brace depth 1 with no open brackets/parens/angles, whose previous
+/// token is `{`, `,`, `]` (attribute end), or `pub`.
+fn parse_struct_fields(
+    file: &str,
+    toks: &[Token],
+    open: usize,
+    out: &mut Vec<(String, String, u32)>,
+) {
+    let (mut brace, mut bracket, mut paren, mut angle) = (0i32, 0i32, 0i32, 0i32);
+    let mut k = open;
+    while k < toks.len() {
+        let t = &toks[k];
+        match &t.kind {
+            crate::lexer::TokenKind::Punct(c) => match c {
+                '{' => brace += 1,
+                '}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        return;
+                    }
+                }
+                '[' => bracket += 1,
+                ']' => bracket -= 1,
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            },
+            crate::lexer::TokenKind::Ident(name) => {
+                if brace == 1
+                    && bracket == 0
+                    && paren == 0
+                    && angle == 0
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && !toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    let prev_ok = toks.get(k.wrapping_sub(1)).is_some_and(|p| {
+                        p.is_punct('{')
+                            || p.is_punct(',')
+                            || p.is_punct(']')
+                            || p.ident() == Some("pub")
+                    });
+                    if prev_ok {
+                        out.push((file.to_string(), name.clone(), t.line));
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Unions the identifiers appearing in every `fn fingerprint` body into
+/// `out`. Returns whether any such function was seen.
+fn collect_fingerprint_idents(s: &Scanned, out: &mut BTreeSet<String>) -> bool {
+    let toks = &s.tokens;
+    let mut seen = false;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].ident() == Some("fn") && toks[i + 1].ident() == Some(FINGERPRINT_FN) {
+            seen = true;
+            // Skip the signature: the body is the first `{` outside the
+            // parameter parens.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('(') {
+                    paren += 1;
+                } else if toks[j].is_punct(')') {
+                    paren -= 1;
+                } else if toks[j].is_punct('{') && paren == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let mut brace = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    brace += 1;
+                } else if toks[j].is_punct('}') {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                } else if let Some(id) = toks[j].ident() {
+                    out.insert(id.to_string());
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    seen
+}
+
+/// `vendor-purity`: vendored shims may not reach `std::time`,
+/// `std::net`, or `std::process` — ambient authority would let a shim
+/// smuggle nondeterminism or I/O under the workspace rules' radar.
+fn vendor_purity(file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    const BANNED: [&str; 3] = ["time", "net", "process"];
+    let toks = &s.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_std_path = toks[i].ident() == Some("std")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':');
+        if !is_std_path {
+            i += 1;
+            continue;
+        }
+        let flag = |line: u32, module: &str, out: &mut Vec<Finding>| {
+            out.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: "vendor-purity",
+                item: String::new(),
+                message: format!(
+                    "vendored shim reaches `std::{module}`; shims must hold no \
+                     ambient authority (clock, network, processes)"
+                ),
+            });
+        };
+        match toks.get(i + 3) {
+            Some(t) if t.is_punct('{') => {
+                // `use std::{a, b, …}` group: scan the group members.
+                let mut j = i + 4;
+                let mut depth = 1i32;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 1 {
+                        if let Some(id) = toks[j].ident() {
+                            if BANNED.contains(&id) {
+                                flag(toks[j].line, id, out);
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            Some(t) => {
+                if let Some(id) = t.ident() {
+                    if BANNED.contains(&id) {
+                        flag(t.line, id, out);
+                    }
+                }
+                i += 3;
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn find(src: &str, f: fn(&str, &Scanned, &mut Vec<Finding>)) -> Vec<Finding> {
+        let s = scan(src);
+        let mut out = Vec::new();
+        f("t.rs", &s, &mut out);
+        out
+    }
+
+    #[test]
+    fn det_rules_fire_on_real_uses_only() {
+        let src = r##"
+            // Instant::now in a comment is fine
+            let msg = "SystemTime in a string is fine";
+            let t = std::time::Instant::now();
+            let m: HashMap<u32, u32> = HashMap::new();
+            let r = thread_rng();
+            fn takes(i: Instant) {}
+        "##;
+        let out = find(src, det_hazards);
+        let rules: Vec<&str> = out.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            ["det-time", "det-hash", "det-hash", "det-rng"],
+            "one per real hazard; the `Instant` parameter type is not a clock read"
+        );
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }";
+        assert_eq!(find(bad, unsafe_safety).len(), 1);
+        let trailing = "fn f() { unsafe { g() } } // SAFETY: g has no preconditions";
+        assert!(find(trailing, unsafe_safety).is_empty());
+        let above = "// SAFETY: g has no preconditions\n// (second line)\nunsafe { g() }";
+        assert!(find(above, unsafe_safety).is_empty());
+        let detached = "// SAFETY: too far away\nlet x = 1;\nunsafe { g() }";
+        assert_eq!(find(detached, unsafe_safety).len(), 1);
+    }
+
+    #[test]
+    fn docs_deny_detects_the_attribute() {
+        assert!(find("#![deny(missing_docs)]\npub fn f() {}", docs_deny).is_empty());
+        assert!(find("#![deny(unsafe_code, missing_docs)]", docs_deny).is_empty());
+        assert_eq!(find("#![warn(missing_docs)]", docs_deny).len(), 1);
+        assert_eq!(find("pub fn f() {}", docs_deny).len(), 1);
+    }
+
+    #[test]
+    fn struct_fields_skip_attrs_and_generics() {
+        let src = r#"
+            pub struct DiscoveryConfig {
+                /// doc
+                pub alpha: f64,
+                #[serde(default)]
+                pub only: Option<Vec<CacheKind>>,
+                pub jobs: usize,
+            }
+        "#;
+        let mut out = Vec::new();
+        collect_knob_fields("t.rs", &scan(src), &mut out);
+        let names: Vec<&str> = out.iter().map(|(_, n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "only", "jobs"]);
+    }
+
+    #[test]
+    fn fingerprint_union_covers_all_named_fns() {
+        let src = r#"
+            impl P { pub fn fingerprint(&self) -> &str { &self.fp } }
+            fn fingerprint(cfg: &C) -> String { format!("{}", cfg.alpha) }
+        "#;
+        let mut ids = BTreeSet::new();
+        assert!(collect_fingerprint_idents(&scan(src), &mut ids));
+        assert!(ids.contains("alpha") && ids.contains("fp"));
+    }
+
+    #[test]
+    fn vendor_purity_catches_groups_and_paths() {
+        let src = "use std::time::Instant;\nuse std::{net, io};\nlet c = std::process::Command;";
+        let out = find(src, vendor_purity);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(out.len(), 3);
+        assert_eq!(lines, [1, 2, 3]);
+    }
+}

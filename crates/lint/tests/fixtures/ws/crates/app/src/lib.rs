@@ -1,0 +1,16 @@
+//! App crate root: carries the docs gate, so `docs-deny` must not fire,
+//! but its `DiscoveryConfig` has a knob the fingerprint forgets.
+#![deny(missing_docs)]
+
+/// Discovery knobs.
+pub struct DiscoveryConfig {
+    /// Significance level — fingerprinted below.
+    pub alpha: f64,
+    /// Planted violation: never mentioned in `fn fingerprint`.
+    pub debug: bool,
+}
+
+/// Plan fingerprint (deliberately forgets `debug`).
+pub fn fingerprint(cfg: &DiscoveryConfig) -> String {
+    format!("alpha={}", cfg.alpha)
+}

@@ -1,0 +1,21 @@
+pub mod timing;
+
+use std::collections::HashMap;
+
+pub fn sizes() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn entropy() -> u64 {
+    let mut r = thread_rng();
+    r.next_u64()
+}
+
+pub unsafe fn poke(p: *mut u8) {
+    unsafe { *p = 0 }
+}

@@ -1,0 +1,14 @@
+//! Allowlisted timing helper: `det-time` findings here are covered by
+//! the fixture allowlist, so none may surface.
+
+/// Milliseconds elapsed since `t0`.
+pub fn elapsed_ms(t0: std::time::Instant) -> u128 {
+    let now = std::time::Instant::now();
+    now.duration_since(t0).as_millis()
+}
+
+/// Reads the first byte — a *justified* unsafe, which must not fire.
+pub fn first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points at at least one readable byte.
+    unsafe { *p }
+}

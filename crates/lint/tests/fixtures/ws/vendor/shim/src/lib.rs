@@ -1,0 +1,11 @@
+// Vendored shim fixture: only `vendor-purity` applies in this zone, so
+// the HashMap and the bare unsafe below must NOT fire.
+
+use std::collections::HashMap;
+use std::time::Instant;
+use std::{io, process};
+
+pub fn run() -> HashMap<u32, u32> {
+    let _ = std::net::TcpStream::connect("127.0.0.1:1");
+    unsafe { core::hint::unreachable_unchecked() }
+}

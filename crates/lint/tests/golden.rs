@@ -1,0 +1,79 @@
+//! The lint's own regression tests: a fixture tree with one planted
+//! violation per rule checked against golden diagnostics, and the real
+//! workspace checked clean under the real allowlist.
+
+use std::path::{Path, PathBuf};
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture_root() -> PathBuf {
+    manifest_dir().join("tests/fixtures/ws")
+}
+
+/// Every planted violation — and nothing else — must surface, with the
+/// exact diagnostic text and deterministic ordering the golden file
+/// records. Covers all eight rules:
+/// det-time/det-rng/det-hash/unsafe-safety/docs-deny on `src/lib.rs`,
+/// fingerprint-knob on the fixture `DiscoveryConfig`, vendor-purity on
+/// the fixture shim (whose HashMap and bare `unsafe` must NOT fire —
+/// vendor is a different zone), and stale-allow from the fixture
+/// allowlist's dead entry. The allowlisted `src/timing.rs` clock reads
+/// must stay silent.
+#[test]
+fn fixtures_match_golden_diagnostics() {
+    let root = fixture_root();
+    let allow = std::fs::read_to_string(root.join("allow.toml")).unwrap();
+    let findings = mt4g_lint::lint_tree(&root, &allow).unwrap();
+    let got: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+
+    let golden =
+        std::fs::read_to_string(manifest_dir().join("tests/fixtures/expected.txt")).unwrap();
+    let want: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        got, want,
+        "fixture diagnostics drifted from the golden file"
+    );
+}
+
+/// Running twice must produce identical output — the lint holds itself
+/// to the determinism bar it enforces (the tree walk sorts entries).
+#[test]
+fn lint_output_is_deterministic() {
+    let root = fixture_root();
+    let allow = std::fs::read_to_string(root.join("allow.toml")).unwrap();
+    let a = mt4g_lint::lint_tree(&root, &allow).unwrap();
+    let b = mt4g_lint::lint_tree(&root, &allow).unwrap();
+    assert_eq!(a, b);
+}
+
+/// The real workspace, under the real checked-in allowlist, is clean.
+/// This is the same check CI's `lint` job runs via the binary; keeping
+/// it in `cargo test` means a violation fails tier-1 locally too.
+#[test]
+fn workspace_is_lint_clean() {
+    let ws = manifest_dir()
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let allow = std::fs::read_to_string(ws.join("lint.allow.toml"))
+        .expect("lint.allow.toml exists at the workspace root");
+    let findings = mt4g_lint::lint_tree(ws, &allow).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// An unparseable allowlist is a hard error, not a silent no-op.
+#[test]
+fn malformed_allowlist_is_fatal() {
+    let err = mt4g_lint::lint_tree(&fixture_root(), "[[allow]]\nrule = \"det-time\"\n");
+    assert!(err.is_err(), "entry without a reason must be rejected");
+}

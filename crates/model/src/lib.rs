@@ -29,7 +29,7 @@
 //! discovery suite — including reports reassembled from CI shards with
 //! `mt4g merge`, which are byte-identical to single-process runs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod gpuscout;
 pub mod hongkim;

@@ -795,6 +795,10 @@ impl SetAssoc {
         // slot's own tag is re-verified, so an eviction that recycled
         // the remembered lane falls through to the full path.
         if line_addr == self.mru_line {
+            // SAFETY: `mru_lane` is only ever written with `base + way`
+            // values the AgePacked path just used to index `lanes`, and
+            // the lane count never changes after construction, so the
+            // remembered index is always in bounds.
             let slot = unsafe { self.lanes.get_unchecked_mut(self.mru_lane as usize) };
             if *slot >> spl == line_addr {
                 let had = *slot & sector_bit != 0;

@@ -1,4 +1,4 @@
-//! The original `Vec<Vec<Line>>` / `HashMap`+`BTreeMap` sectored-cache
+//! The original `Vec<Vec<Line>>` / map+`BTreeMap` sectored-cache
 //! implementation, retained verbatim as a differential-testing oracle.
 //!
 //! The flat tag store in [`super`] must produce *bit-identical* behaviour
@@ -9,7 +9,7 @@
 //! streams and asserts equivalence; keep this module in sync with nothing:
 //! it is frozen on purpose.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use super::Access;
 
@@ -36,8 +36,10 @@ enum Organization {
         ways: u32,
     },
     FullyAssociative {
-        /// line address -> state
-        lines: HashMap<u64, FaLine>,
+        /// line address -> state. Keyed lookups only (eviction order
+        /// comes from the `lru` tree), stored ordered so the container
+        /// is deterministic by construction (`det-hash` lint).
+        lines: BTreeMap<u64, FaLine>,
         /// last_use tick -> line address (LRU order; ticks are unique)
         lru: BTreeMap<u64, u64>,
         capacity_lines: u64,
@@ -79,7 +81,7 @@ impl ReferenceSectoredCache {
         let total_lines = size / line_size;
         let org = if ways as u64 >= total_lines {
             Organization::FullyAssociative {
-                lines: HashMap::new(),
+                lines: BTreeMap::new(),
                 lru: BTreeMap::new(),
                 capacity_lines: total_lines,
             }

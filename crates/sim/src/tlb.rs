@@ -121,8 +121,11 @@ pub(crate) struct Tlb {
     /// Per-set recency order, least-recent first. Sets are short (≤ ways
     /// entries), so the LRU update is a small rotate.
     sets: Vec<Vec<u64>>,
-    /// Pages ever installed since the last flush.
-    seen: std::collections::HashSet<u64>,
+    /// Pages ever installed since the last flush. A `BTreeSet` (not a
+    /// hash set) keeps the container deterministic by construction —
+    /// membership is all the free-first-touch rule needs, and the
+    /// workspace-wide `det-hash` lint bans std hash containers.
+    seen: std::collections::BTreeSet<u64>,
     /// Micro-memo for the hot path: the last page looked up, which is by
     /// construction resident and most-recent. Sequential p-chases re-touch
     /// one page tens of thousands of times in a row, so this one compare
@@ -144,7 +147,7 @@ impl Tlb {
             ways,
             num_sets: entries / ways,
             sets: vec![Vec::new(); entries / ways],
-            seen: std::collections::HashSet::new(),
+            seen: std::collections::BTreeSet::new(),
             last_page: u64::MAX,
         }
     }

@@ -47,6 +47,8 @@
 //! assert_eq!(cl1.size.value(), Some(&2048));
 //! ```
 
+#![deny(missing_docs)]
+
 pub use mt4g_core as core;
 pub use mt4g_model as model;
 pub use mt4g_sim as sim;

@@ -318,7 +318,14 @@ mod tests {
                         let mut m = max_seen.lock().unwrap();
                         *m = (*m).max(now);
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    // Widen the overlap window without touching the
+                    // clock (vendored shims must stay `std::time`-free —
+                    // the `vendor-purity` lint): a yield burst keeps the
+                    // slot occupied long enough for another worker to
+                    // run the concurrent branch.
+                    for _ in 0..64 {
+                        std::thread::yield_now();
+                    }
                     live.fetch_sub(1, Ordering::SeqCst);
                     x
                 })

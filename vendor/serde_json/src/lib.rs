@@ -162,12 +162,23 @@ fn write_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Container nesting depth, bounded by [`MAX_DEPTH`] so adversarial
+    /// input (e.g. a request line of 100k `[`s fed to a long-running
+    /// daemon) fails with a parse error instead of overflowing the stack
+    /// of this recursive-descent parser.
+    depth: usize,
 }
+
+/// Maximum container nesting the parser accepts. Real workspace payloads
+/// nest a handful of levels; 128 leaves two orders of magnitude of head
+/// room while keeping worst-case stack use far below thread stack sizes.
+const MAX_DEPTH: usize = 128;
 
 fn parse_value(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -217,6 +228,17 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::new(format!(
+                "recursion depth limit ({MAX_DEPTH}) exceeded at offset {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Value, Error> {
         match self.peek() {
             Some(b'{') => self.object(),
@@ -234,6 +256,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.object_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn object_body(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -269,6 +298,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.array_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn array_body(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -419,6 +455,23 @@ fn utf8_len(first: u8) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn depth_limit_rejects_nesting_bombs_without_overflowing() {
+        // One past the limit fails with a parse error (not a stack
+        // overflow), in array, object, and mixed form.
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        let err = from_str_value(&deep).unwrap_err();
+        assert!(err.to_string().contains("depth"), "{err}");
+        let deep = "{\"k\":".repeat(MAX_DEPTH + 1);
+        let err = from_str_value(&deep).unwrap_err();
+        assert!(err.to_string().contains("depth"), "{err}");
+        let huge = "[".repeat(500_000);
+        assert!(from_str_value(&huge).is_err());
+        // At the limit, parsing succeeds.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str_value(&ok).is_ok());
+    }
 
     #[test]
     fn roundtrip_scalars() {
